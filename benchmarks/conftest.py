@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+One memoised :class:`ExperimentRunner` serves every figure — the grid of
+(application x model) simulations is run once per session and each
+benchmark measures regenerating its table/figure from it.
+
+Scale is environment-controlled:
+
+* ``REPRO_BENCH_APPS``   — number of applications (balanced across suites),
+  or ``all`` for the full 44-app roster (default: 15);
+* ``REPRO_BENCH_LENGTH`` — instructions simulated per application
+  (default: 20000).
+
+Every benchmark writes its regenerated table to ``benchmarks/output/`` so
+the numbers recorded in EXPERIMENTS.md can be reproduced verbatim.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """The session-wide memoised simulation grid."""
+    return ExperimentRunner.from_environment()
+
+
+@pytest.fixture(scope="session")
+def record_output():
+    """Persist a regenerated figure/table for EXPERIMENTS.md."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _record

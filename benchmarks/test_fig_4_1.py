@@ -1,0 +1,26 @@
+"""Benchmark: Figure 4.1 — IPC improvement over same-width baselines.
+
+Paper (overall geomeans): TN ~+2%, TW ~+7%, TON ~+17%, TOW ~+25%, with
+SpecInt and execution-limited multimedia benefiting least from the trace
+cache alone.
+"""
+
+from repro.experiments.aggregate import OVERALL
+from repro.experiments.figures import fig4_1
+
+
+def test_fig_4_1(benchmark, runner, record_output):
+    fig4_1(runner)  # warm the simulation grid outside the timed region
+    fig = benchmark(fig4_1, runner)
+    record_output("fig4_1", fig.format())
+
+    tn, ton = fig.series["TN/N"][OVERALL], fig.series["TON/N"][OVERALL]
+    tw, tow = fig.series["TW/W"][OVERALL], fig.series["TOW/W"][OVERALL]
+    # Shape: optimization strictly beats trace-caching alone, on both widths.
+    assert ton > tn
+    assert tow > tw
+    # Shape: every extension helps (or is at worst neutral).
+    assert tn > -0.02 and tw > -0.02
+    # Magnitude bands (paper: +2/+7/+17/+25; generous tolerance).
+    assert ton > 0.05
+    assert tow > 0.04

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 4.10 — utilization of the optimizer's work (TOW).
+
+Paper: optimized traces are executed many times each (the high blazing
+threshold guarantees reuse amortises optimization); SpecFP exhibits the
+highest reusability thanks to trace-cache locality.
+"""
+
+from repro.experiments.aggregate import OVERALL
+from repro.experiments.figures import fig4_10
+
+
+def test_fig_4_10(benchmark, runner, record_output):
+    fig4_10(runner)
+    fig = benchmark(fig4_10, runner)
+    record_output("fig4_10", fig.format())
+
+    reuse = fig.series["executions/trace"]
+    # Shape: optimized work is heavily reused (the energy-amortisation
+    # argument of §2.4), and regular FP code reuses most.
+    assert reuse[OVERALL] > 2.0
+    assert reuse["SpecFP"] >= reuse["SpecInt"]

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 4.11 — energy breakdown for {N, TON, TOS}.
+
+Paper: shown for flash, swim and gcc.  The front-end share diminishes
+from N to TON to TOS; on wider machines the execution components' share
+grows; total trace-manipulation energy (filters + construction +
+optimization) is on the order of 10% of the total.
+"""
+
+import pytest
+
+from repro.experiments.figures import BREAKDOWN_APPS, fig4_11
+
+
+def test_fig_4_11(benchmark, runner, record_output):
+    fig4_11(runner)
+    fig = benchmark(fig4_11, runner)
+    record_output("fig4_11", fig.format())
+
+    for app in BREAKDOWN_APPS:
+        n_share = fig.series[f"{app}/N"]
+        ton_share = fig.series[f"{app}/TON"]
+        tos_share = fig.series[f"{app}/TOS"]
+        # Shares are proper fractions summing to one.
+        for shares in (n_share, ton_share, tos_share):
+            assert sum(shares.values()) == pytest.approx(1.0, abs=1e-6)
+        # The paper's headline: front-end energy share shrinks with PARROT.
+        assert ton_share["frontend"] < n_share["frontend"], app
+        assert tos_share["frontend"] < n_share["frontend"], app
+        # Trace manipulation stays a modest slice of the total (~10%).
+        assert ton_share.get("trace_unit", 0.0) < 0.30, app

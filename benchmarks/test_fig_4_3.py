@@ -1,0 +1,22 @@
+"""Benchmark: Figure 4.3 — CMPW improvement over same-width baselines.
+
+Paper: TON +32% over N; TOW +92% over W.
+"""
+
+from repro.experiments.aggregate import OVERALL
+from repro.experiments.figures import fig4_3
+
+
+def test_fig_4_3(benchmark, runner, record_output):
+    fig4_3(runner)
+    fig = benchmark(fig4_3, runner)
+    record_output("fig4_3", fig.format())
+
+    ton = fig.series["TON/N"][OVERALL]
+    tow = fig.series["TOW/W"][OVERALL]
+    # Shape: PARROT improves power awareness on both widths, and the
+    # optimized models beat the unoptimized trace-cache models.
+    assert ton > 0.10
+    assert tow > 0.10
+    assert ton > fig.series["TN/N"][OVERALL]
+    assert tow > fig.series["TW/W"][OVERALL]

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 4.4 — IPC of the extreme alternatives relative to N.
+
+Paper: widening systematically helps (W > N); TON slightly outperforms W;
+TOW is the fastest, ~+45% over N.
+"""
+
+from repro.experiments.aggregate import OVERALL
+from repro.experiments.figures import fig4_4
+
+
+def test_fig_4_4(benchmark, runner, record_output):
+    fig4_4(runner)
+    fig = benchmark(fig4_4, runner)
+    record_output("fig4_4", fig.format())
+
+    w = fig.series["W/N"][OVERALL]
+    ton = fig.series["TON/N"][OVERALL]
+    tow = fig.series["TOW/N"][OVERALL]
+    # Shape: widening helps, PARROT-on-narrow is competitive with W,
+    # PARROT-on-wide wins outright.
+    assert w > 0.0
+    assert ton > w - 0.08  # "slightly outperforms the doubly wide machine"
+    assert tow > w
+    assert tow > ton

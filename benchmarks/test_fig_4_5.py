@@ -1,0 +1,23 @@
+"""Benchmark: Figure 4.5 — energy of the extreme alternatives relative to N.
+
+Paper: W is vastly inefficient (~+70% over N); TON achieves W-class
+performance with ~39% less energy than W (~+3% over N).
+"""
+
+from repro.experiments.aggregate import OVERALL
+from repro.experiments.figures import fig4_5
+
+
+def test_fig_4_5(benchmark, runner, record_output):
+    fig4_5(runner)
+    fig = benchmark(fig4_5, runner)
+    record_output("fig4_5", fig.format())
+
+    w = fig.series["W/N"][OVERALL]
+    ton = fig.series["TON/N"][OVERALL]
+    tow = fig.series["TOW/N"][OVERALL]
+    # Shape: the conventional path to performance is the expensive one.
+    assert w > 0.40                   # paper: ~+70%
+    assert abs(ton) < 0.20            # paper: ~+3%
+    assert ton < w - 0.30             # TON far below W (paper: -39%)
+    assert tow < w                    # optimizer saves on the wide machine

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 4.6 — CMPW of the extreme alternatives relative to N.
+
+Paper: TON is ~+67% better than W (PARROT beats mere widening); TOW
+improves ~+51% over N.
+"""
+
+from repro.experiments.aggregate import OVERALL
+from repro.experiments.figures import fig4_6
+
+
+def test_fig_4_6(benchmark, runner, record_output):
+    fig4_6(runner)
+    fig = benchmark(fig4_6, runner)
+    record_output("fig4_6", fig.format())
+
+    w = fig.series["W/N"][OVERALL]
+    ton = fig.series["TON/N"][OVERALL]
+    tow = fig.series["TOW/N"][OVERALL]
+    # Shape: mere widening *hurts* power awareness; PARROT improves it.
+    assert w < 0.0
+    assert ton > 0.10
+    assert tow > w
+    # PARROT-on-narrow dominates widening by a wide margin (paper: +67%).
+    assert ton - w > 0.30

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 4.7 — front-end predictability (mispredictions/1K).
+
+Paper: the PARROT machine's behaviour clearly splits — the hot code's
+trace misprediction rate is even smaller than N's branch misprediction
+rate, while the cold residue's branch misprediction rate is the highest
+of the three.
+"""
+
+from repro.experiments.aggregate import OVERALL
+from repro.experiments.figures import fig4_7
+
+
+def test_fig_4_7(benchmark, runner, record_output):
+    fig4_7(runner)
+    fig = benchmark(fig4_7, runner)
+    record_output("fig4_7", fig.format())
+
+    n_branch = fig.series["N branch"][OVERALL]
+    hot_trace = fig.series["TON trace (hot)"][OVERALL]
+    cold_branch = fig.series["TON branch (cold)"][OVERALL]
+    # The paper's three-way split.
+    assert hot_trace < n_branch < cold_branch

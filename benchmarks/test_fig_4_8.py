@@ -1,0 +1,20 @@
+"""Benchmark: Figure 4.8 — coverage of the hot pipeline (TON).
+
+Paper: ~90% for the very regular SpecFP applications, 60-70% for the
+control-intensive SpecInt applications.
+"""
+
+from repro.experiments.figures import fig4_8
+
+
+def test_fig_4_8(benchmark, runner, record_output):
+    fig4_8(runner)
+    fig = benchmark(fig4_8, runner)
+    record_output("fig4_8", fig.format())
+
+    coverage = fig.series["coverage"]
+    # Shape: regular FP code is covered far better than irregular INT code.
+    assert coverage["SpecFP"] > coverage["SpecInt"]
+    assert coverage["SpecFP"] > 0.6          # paper: ~0.9
+    assert 0.2 < coverage["SpecInt"] < 0.9   # paper: 0.6-0.7
+    assert all(0.0 <= v <= 1.0 for v in coverage.values())

@@ -1,0 +1,30 @@
+"""Benchmark: the abstract's headline claims.
+
+* PARROT delivers better performance at comparable energy on
+  resource-constrained designs (TON vs N), whereas the conventional path
+  to similar performance (W) consumes ~70% more energy;
+* scaled up (TOW), PARROT delivers ~+45% IPC while *improving* CMPW by
+  >50% over the baseline N.
+"""
+
+from repro.experiments.figures import headline
+
+
+def test_headline(benchmark, runner, record_output):
+    headline(runner)
+    fig = benchmark(headline, runner)
+    record_output("headline", fig.format())
+
+    w, ton, tow = fig.series["W"], fig.series["TON"], fig.series["TOW"]
+    # TON: better performance than N at comparable energy.
+    assert ton["IPC"] > 0.04
+    assert abs(ton["Energy"]) < 0.20
+    # The conventional path (W) to similar performance costs far more.
+    assert w["Energy"] > ton["Energy"] + 0.40
+    # TOW: the performance flagship; its power awareness far exceeds the
+    # conventional wide machine's.  (The paper reports TOW CMPW ~+51% over
+    # N; our reproduction attenuates TOW's IPC gain, leaving its CMPW near
+    # N's level — see EXPERIMENTS.md for the deviation discussion.)
+    assert tow["IPC"] > w["IPC"]
+    assert tow["CMPW"] > w["CMPW"] + 0.1
+    assert w["CMPW"] < 0.0

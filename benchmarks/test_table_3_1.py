@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3.1 (the configuration space)."""
+
+from repro.experiments.figures import table3_1
+
+
+def test_table_3_1(benchmark, record_output):
+    text = benchmark(table3_1)
+    record_output("table3_1", text)
+    # The 2-D space: width x {base, +TC, +TC+opt}, plus the split TOS.
+    for model in ("N", "W", "TN", "TW", "TON", "TOW", "TOS"):
+        assert model in text

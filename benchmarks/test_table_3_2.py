@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 3.2 (microarchitectural settings)."""
+
+from repro.experiments.figures import table3_2
+
+
+def test_table_3_2(benchmark, record_output):
+    text = benchmark(table3_2)
+    record_output("table3_2", text)
+    # Key settings the paper states: 4-wide N with a 4K-entry predictor,
+    # 8-wide W, 2K+2K predictors on trace-cache models.
+    assert "4096" in text
+    assert "2048" in text
+    assert "16384" in text

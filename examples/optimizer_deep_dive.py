@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Watch the dynamic optimizer transform one real hot trace.
+
+Pulls the hottest trace-shaped segment out of a SpecFP application,
+builds the decoded trace, runs the full optimizer pass pipeline on it,
+and prints the before/after uop listings, the per-pass application
+counts, and the machine-checked architectural-equivalence verdict.
+
+Usage:  python examples/optimizer_deep_dive.py [app]
+"""
+
+import sys
+from collections import Counter
+
+from repro import application, segment_stream
+from repro.optimizer import TraceOptimizer, check_equivalence, promote_control
+from repro.trace import build_trace
+
+
+def hottest_segment(app_name: str, length: int = 20_000):
+    workload = application(app_name).build()
+    counts = Counter()
+    samples = {}
+    for segment in segment_stream(workload.stream(length)):
+        counts[segment.tid] += 1
+        samples.setdefault(segment.tid, segment)
+    tid, occurrences = counts.most_common(1)[0]
+    return samples[tid], occurrences
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "wupwise"
+    segment, occurrences = hottest_segment(app_name)
+    print(f"hottest trace of {app_name}: {segment.tid}")
+    print(f"  executed {occurrences} times, {segment.num_instructions} "
+          f"instructions, {segment.uop_count} uops, "
+          f"join_count={segment.join_count}\n")
+
+    trace = build_trace(segment.tid, segment.instructions)
+    optimized, report = TraceOptimizer().optimize(trace)
+
+    print("original decoded uops:")
+    for i, uop in enumerate(trace.uops):
+        print(f"  {i:3d}  {uop}")
+    print("\noptimized uops:")
+    for i, uop in enumerate(optimized.uops):
+        print(f"  {i:3d}  {uop}")
+
+    print("\npass applications:")
+    promotion = report.promotion
+    print(f"  control promotion: {promotion.branches_promoted} branches -> "
+          f"asserts, {promotion.jumps_eliminated} jumps, "
+          f"{promotion.calls_eliminated + promotion.returns_eliminated} "
+          f"call/return uops eliminated")
+    for pass_name, count in report.pass_applications.items():
+        print(f"  {pass_name:22s} {count}")
+
+    print(f"\nuop reduction:        {report.uop_reduction:6.1%} "
+          f"({report.uops_before} -> {report.uops_after})")
+    print(f"dependency reduction: {report.dependency_reduction:6.1%} "
+          f"(critical path {report.critical_path_before} -> "
+          f"{report.critical_path_after})")
+    print(f"virtual renames:      {report.virtual_renames}")
+
+    baseline, _ = promote_control(trace.uops, trace.tid)
+    verdict = check_equivalence(baseline, optimized.uops)
+    print(f"\narchitectural equivalence check: "
+          f"{'PASS' if verdict.equivalent else 'FAIL: ' + verdict.reason}")
+
+
+if __name__ == "__main__":
+    main()

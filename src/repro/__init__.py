@@ -1,0 +1,84 @@
+"""PARROT: Power Awareness through Selective Dynamically Optimized Traces.
+
+A from-scratch reproduction of Rosner, Almog, Moffie, Schwartz & Mendelson
+(ISCA 2004): a trace-driven performance and energy simulator for
+out-of-order machines extended with a selective, dynamically optimized
+trace cache, plus synthetic workloads standing in for the paper's 44
+proprietary application traces and a harness regenerating every table and
+figure of the evaluation.
+
+Quickstart::
+
+    from repro import ParrotSimulator, model_config, application
+
+    sim = ParrotSimulator(model_config("TON"))
+    result = sim.run(application("swim"), 20_000)
+    print(result.ipc, result.total_energy, result.coverage)
+
+Package map:
+
+============================  ===============================================
+``repro.isa``                 synthetic variable-length CISC ISA (IA32 stand-in)
+``repro.workloads``           synthetic application generator + the 44-app suite
+``repro.memory``              L1I/L1D/L2/DRAM hierarchy
+``repro.frontend``            branch predictor, trace predictor, fetch models
+``repro.pipeline``            cycle-level out-of-order timing core
+``repro.trace``               TIDs, trace selection, filters, trace cache
+``repro.optimizer``           dynamic trace optimizer (promotion + 7 passes)
+``repro.power``               WATTCH-style energy model, leakage, CMPW
+``repro.core``                the PARROT machine simulator
+``repro.models``              the seven configurations N/W/TN/TW/TON/TOW/TOS
+``repro.experiments``         figure/table regeneration harness
+============================  ===============================================
+"""
+
+from repro.core.config import MachineConfig
+from repro.core.results import SimulationResult, TraceUnitStats
+from repro.core.simulator import ParrotSimulator, segment_stream
+from repro.errors import (
+    ConfigurationError,
+    DecodeError,
+    ExperimentError,
+    OptimizationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.models.configs import MODEL_NAMES, all_models, model_config
+from repro.workloads.suite import (
+    ALL_APPS,
+    KILLER_APPS,
+    Application,
+    application,
+    benchmark_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_APPS",
+    "Application",
+    "ConfigurationError",
+    "DecodeError",
+    "ExperimentError",
+    "ExperimentRunner",
+    "KILLER_APPS",
+    "MODEL_NAMES",
+    "MachineConfig",
+    "OptimizationError",
+    "ParrotSimulator",
+    "ReproError",
+    "SimulationError",
+    "SimulationResult",
+    "TraceError",
+    "TraceUnitStats",
+    "WorkloadError",
+    "__version__",
+    "all_models",
+    "application",
+    "benchmark_suite",
+    "model_config",
+    "segment_stream",
+]

@@ -1,0 +1,162 @@
+"""Command-line interface: simulate, sweep, and regenerate paper figures.
+
+Examples::
+
+    python -m repro run swim --model TON --length 20000
+    python -m repro sweep --models N,TON,TOW --apps 12
+    python -m repro figure fig4_1 --apps all
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.simulator import ParrotSimulator
+from repro.experiments.figures import FIGURE_GENERATORS, table3_1, table3_2
+from repro.experiments.runner import ExperimentRunner
+from repro.models.configs import MODEL_NAMES, model_config
+from repro.workloads.suite import ALL_APPS, application, benchmark_suite
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _apps_arg(text: str) -> str:
+    if text.lower() in ("all", "full", "44"):
+        return "all"
+    _positive_int(text)  # validate; raises on non-positive counts
+    return text
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--apps", default="15", type=_apps_arg,
+        help="number of applications (balanced across suites) or 'all'",
+    )
+    parser.add_argument(
+        "--length", type=_positive_int, default=20_000,
+        help="instructions simulated per application",
+    )
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    max_apps = None if args.apps == "all" else int(args.apps)
+    return ExperimentRunner(length=args.length, max_apps=max_apps)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Simulate one application on one model and print the result."""
+    try:
+        app = application(args.app)
+    except KeyError:
+        print(f"unknown application {args.app!r}; run `repro list` to see "
+              f"the {len(ALL_APPS)} available applications", file=sys.stderr)
+        return 2
+    result = ParrotSimulator(model_config(args.model)).run(app, args.length)
+    print(f"{app.name} ({app.suite}) on {args.model}: "
+          f"{args.length} instructions")
+    print(f"  IPC            {result.ipc:8.3f}")
+    print(f"  cycles         {result.cycles:8.0f}")
+    print(f"  energy         {result.total_energy:8.0f}")
+    print(f"  power          {result.point.power:8.2f}")
+    print(f"  CMPW           {result.point.cmpw:8.3f}")
+    print(f"  coverage       {result.coverage:8.1%}")
+    print(f"  uop reduction  {result.uop_reduction:8.1%}")
+    print(f"  bmisp/1k       {result.cold_mispredicts_per_kinstr:8.1f}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep models x applications; print an IPC/energy/CMPW table."""
+    runner = _runner(args)
+    models = args.models.split(",")
+    apps = runner.applications()
+    print(f"{'app':16}{'suite':12}" + "".join(
+        f"{m + ' IPC':>10}{m + ' E':>12}" for m in models
+    ))
+    for app in apps:
+        row = f"{app.name:16}{app.suite:12}"
+        for model in models:
+            result = runner.result(model, app)
+            row += f"{result.ipc:>10.2f}{result.total_energy:>12.0f}"
+        print(row)
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate one paper figure (or a table)."""
+    if args.name in ("table3_1", "table3_2"):
+        print(table3_1() if args.name == "table3_1" else table3_2())
+        return 0
+    generator = FIGURE_GENERATORS.get(args.name)
+    if generator is None:
+        print(f"unknown figure {args.name!r}; known: "
+              f"{', '.join(FIGURE_GENERATORS)}, table3_1, table3_2",
+              file=sys.stderr)
+        return 2
+    print(generator(_runner(args)).format())
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """List models, applications and figures."""
+    print("models:", ", ".join(MODEL_NAMES))
+    print("figures:", ", ".join(FIGURE_GENERATORS), "+ table3_1, table3_2")
+    print(f"applications ({len(ALL_APPS)}):")
+    for app in benchmark_suite():
+        print(f"  {app.name:16} {app.suite}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PARROT (ISCA 2004) reproduction: simulate, sweep, figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one application on one model")
+    run.add_argument("app", help=f"application name (one of the {len(ALL_APPS)})")
+    run.add_argument("--model", default="TON", choices=MODEL_NAMES)
+    run.add_argument("--length", type=_positive_int, default=20_000)
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="sweep models over applications")
+    sweep.add_argument("--models", default="N,TON")
+    _add_scale_args(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument("name", help="e.g. fig4_1 ... fig4_11, headline, table3_2")
+    _add_scale_args(figure)
+    figure.set_defaults(func=cmd_figure)
+
+    lst = sub.add_parser("list", help="list models, applications, figures")
+    lst.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
+        import os
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

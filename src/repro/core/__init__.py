@@ -1,0 +1,15 @@
+"""The PARROT core: machine configuration, simulator, background phases."""
+
+from repro.core.background import BackgroundProcessor
+from repro.core.config import MachineConfig
+from repro.core.results import SimulationResult, TraceUnitStats
+from repro.core.simulator import ParrotSimulator, segment_stream
+
+__all__ = [
+    "BackgroundProcessor",
+    "MachineConfig",
+    "ParrotSimulator",
+    "SimulationResult",
+    "TraceUnitStats",
+    "segment_stream",
+]

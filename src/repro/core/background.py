@@ -1,0 +1,131 @@
+"""Background (post-processing) phases: filtering, construction, optimization.
+
+§2.3: the background phase of the *cold* subsystem selects TIDs, filters
+them for hotness and constructs traces into the trace cache; the background
+phase of the *hot* subsystem identifies blazing traces and hands them to
+the optimizer.  Both run off the critical path: the optimizer is a
+non-pipelined unit with ~100-cycle occupancy per trace, so blazing triggers
+arriving while it is busy queue up (a small queue; overflow drops the
+trigger, to be re-triggered by continued execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MachineConfig
+from repro.core.results import TraceUnitStats
+from repro.optimizer.pipeline import TraceOptimizer
+from repro.power.events import EventCounts
+from repro.trace.filters import CounterFilter
+from repro.trace.selection import TraceSegment
+from repro.trace.trace import Trace, build_trace
+from repro.trace.trace_cache import TraceCache
+
+#: Pending-optimization queue depth (a relaxed optimizer front buffer).
+_OPTIMIZER_QUEUE_DEPTH = 4
+
+
+@dataclass(slots=True)
+class _PendingOptimization:
+    ready_cycle: float
+    trace: Trace
+
+
+class BackgroundProcessor:
+    """The decoupled trace-selection / construction / optimization engine."""
+
+    def __init__(self, config: MachineConfig, events: EventCounts,
+                 stats: TraceUnitStats):
+        self.config = config
+        self.events = events
+        self.stats = stats
+        self.trace_cache = TraceCache(config.tcache_uops)
+        self.hot_filter = CounterFilter(
+            config.hot_filter_capacity, config.hot_threshold
+        )
+        self.blazing_filter = CounterFilter(
+            config.blazing_filter_capacity, config.blazing_threshold
+        )
+        self.optimizer = TraceOptimizer(config.optimizer)
+        self._optimizer_busy_until = 0.0
+        self._pending: list[_PendingOptimization] = []
+
+    # -- cold-side background: TID selection -> hot filter -> construction --
+
+    def after_commit(self, segment: TraceSegment, now: float) -> None:
+        """Process one committed trace-shaped segment (cold or hot).
+
+        Trains the hot filter on every committed segment (continuous
+        training) and constructs + inserts the trace when the TID crosses
+        the hot threshold and is not already resident.
+        """
+        self.stats.segments += 1
+        self.events.add("filter_access")
+        became_hot = self.hot_filter.access(segment.tid)
+        if became_hot and not self.trace_cache.contains(segment.tid):
+            trace = build_trace(segment.tid, segment.instructions)
+            self.events.add("construct_uop", trace.num_uops)
+            self.events.add("tcache_write", trace.num_uops)
+            evicted = self.trace_cache.insert(trace)
+            for tid in evicted:
+                # Reset both filters: the hot counter must be able to cross
+                # its threshold again, or an evicted trace could never be
+                # reconstructed (access() triggers only on the exact
+                # crossing).
+                self.hot_filter.forget(tid)
+                self.blazing_filter.forget(tid)
+            self.stats.traces_constructed += 1
+        self._drain_ready(now)
+
+    # -- hot-side background: blazing filter -> optimizer ----------------------
+
+    def after_hot_execution(self, trace: Trace, now: float) -> None:
+        """Count a hot execution; queue optimization on a blazing trigger."""
+        self.events.add("filter_access")
+        blazing = self.blazing_filter.access(trace.tid)
+        if (
+            blazing
+            and self.config.optimize_traces
+            and not trace.optimized
+        ):
+            self._enqueue_optimization(trace, now)
+        self._drain_ready(now)
+
+    def _enqueue_optimization(self, trace: Trace, now: float) -> None:
+        if len(self._pending) >= _OPTIMIZER_QUEUE_DEPTH:
+            # Drop the trigger, but reset the blazing counter so continued
+            # execution re-accumulates and re-triggers (access() only fires
+            # on the exact threshold crossing).
+            self.blazing_filter.forget(trace.tid)
+            self.stats.optimizations_dropped += 1
+            return
+        start = max(now, self._optimizer_busy_until)
+        finish = start + self.config.optimizer.latency_cycles
+        self._optimizer_busy_until = finish
+        optimized, report = self.optimizer.optimize(trace)
+        self.events.add("optimizer_uop", report.uops_before)
+        self._pending.append(_PendingOptimization(finish, optimized))
+        self.stats.traces_optimized += 1
+
+    def _drain_ready(self, now: float) -> None:
+        """Install optimized traces whose optimizer latency has elapsed."""
+        if not self._pending:
+            return
+        still_pending = []
+        for item in self._pending:
+            if item.ready_cycle <= now:
+                if not self.trace_cache.contains(item.trace.tid):
+                    # The original was evicted while the optimizer worked:
+                    # installing now would displace hotter traces with a
+                    # possibly-cold one.  Drop the result; the TID can
+                    # re-heat through the normal filters.
+                    continue
+                self.events.add("tcache_write", item.trace.num_uops)
+                evicted = self.trace_cache.insert(item.trace)
+                for tid in evicted:
+                    self.hot_filter.forget(tid)
+                    self.blazing_filter.forget(tid)
+            else:
+                still_pending.append(item)
+        self._pending = still_pending

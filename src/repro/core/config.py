@@ -1,0 +1,96 @@
+"""Machine configurations: everything that defines one simulated model.
+
+A :class:`MachineConfig` bundles the execution core(s), front-end widths,
+predictor/table sizes, trace-cache and filter parameters, optimizer
+settings, memory hierarchy and energy calibration.  The seven named models
+of Tables 3.1/3.2 are built from this in :mod:`repro.models.configs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.frontend.fetch import FetchParams
+from repro.memory.hierarchy import HierarchyConfig
+from repro.optimizer.pipeline import OptimizerConfig
+from repro.pipeline.resources import CoreParams, ExecProfile
+from repro.power.tags import EnergyCalibration, StructureSizes
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """Complete description of one simulated machine model."""
+
+    name: str
+    description: str
+
+    #: The execution core.  For split machines these are the *hot* core's
+    #: structures; the cold pipeline runs with ``cold_profile`` widths.
+    core: CoreParams
+    fetch: FetchParams
+
+    #: Trace-cache machinery (None-equivalents when has_trace_cache=False).
+    has_trace_cache: bool = False
+    optimize_traces: bool = False
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+
+    #: Predictor/table sizes.
+    bpred_entries: int = 4096
+    tpred_entries: int = 2048
+    #: Confidence a next-TID prediction needs before the fetch selector
+    #: launches the hot pipeline (rigorous selection keeps wrong-trace
+    #: flushes rare on irregular code).
+    tpred_confidence: int = 2
+    #: Confidence drain applied to a predictor entry whose confident
+    #: prediction proved wrong (a flushed trace launch).
+    tpred_mispredict_penalty: int = 1
+    tcache_uops: int = 16 * 1024
+
+    #: Gradual filtering thresholds (§2.3).
+    hot_threshold: int = 8
+    blazing_threshold: int = 12
+    hot_filter_capacity: int = 1024
+    blazing_filter_capacity: int = 512
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+    #: Split-core settings: a non-None cold profile makes the machine split.
+    cold_profile: ExecProfile | None = None
+    state_switch_latency: int = 3
+
+    #: Additional leakage-relevant area (trace cache + trace unit, and the
+    #: second core for split machines).
+    extra_area: float = 0.0
+
+    calibration: EnergyCalibration = field(default_factory=EnergyCalibration)
+
+    def __post_init__(self) -> None:
+        if self.optimize_traces and not self.has_trace_cache:
+            raise ConfigurationError(
+                f"{self.name}: trace optimization requires a trace cache"
+            )
+        if self.optimize_traces and not self.optimizer.enabled:
+            raise ConfigurationError(
+                f"{self.name}: optimize_traces set but optimizer disabled"
+            )
+        if self.hot_threshold < 1 or self.blazing_threshold < 1:
+            raise ConfigurationError(f"{self.name}: thresholds must be >= 1")
+        if self.cold_profile is not None and not self.has_trace_cache:
+            raise ConfigurationError(
+                f"{self.name}: a split machine needs the hot (trace) pipeline"
+            )
+
+    @property
+    def is_split(self) -> bool:
+        """True for split-core machines (separate cold/hot widths)."""
+        return self.cold_profile is not None
+
+    @property
+    def structure_sizes(self) -> StructureSizes:
+        """Capacity knobs consumed by the energy tag matrix."""
+        return StructureSizes(
+            bpred_entries=self.bpred_entries,
+            tpred_entries=self.tpred_entries,
+            tcache_uops=self.tcache_uops,
+        )

@@ -1,0 +1,124 @@
+"""Simulation results: everything the experiment harness reads.
+
+One :class:`SimulationResult` per (application, machine) run, carrying the
+performance, energy and PARROT-characterisation statistics every figure of
+the paper is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.energy import EnergyResult
+from repro.power.metrics import PerformanceEnergyPoint
+
+
+@dataclass(slots=True)
+class TraceUnitStats:
+    """Aggregate statistics of the trace machinery in one run."""
+
+    segments: int = 0                 #: trace-shaped segments committed
+    traces_constructed: int = 0
+    traces_optimized: int = 0
+    optimizations_dropped: int = 0    #: blazing triggers lost to a busy optimizer
+    hot_executions: int = 0
+    optimized_executions: int = 0
+    trace_mispredicts: int = 0        #: confident wrong next-TID predictions acted on
+    tcache_miss_on_predict: int = 0
+    #: execution-weighted optimizer impact (Figure 4.9)
+    weighted_uop_reduction: float = 0.0
+    weighted_dep_reduction: float = 0.0
+    #: per-optimized-trace dynamic execution counts (Figure 4.10)
+    optimized_exec_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_optimized_reuse(self) -> float:
+        """Mean dynamic executions per optimized trace (Figure 4.10)."""
+        if not self.optimized_exec_counts:
+            return 0.0
+        total = sum(self.optimized_exec_counts.values())
+        return total / len(self.optimized_exec_counts)
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Outcome of simulating one application on one machine model."""
+
+    app_name: str
+    suite: str
+    model_name: str
+
+    instructions: int = 0
+    cycles: float = 0.0
+    uops_cold: int = 0
+    uops_hot: int = 0
+    uops_wasted: int = 0              #: flushed hot work (trace mispredicts)
+    hot_instructions: int = 0         #: instructions committed from the hot pipeline
+
+    #: front-end behaviour (Figure 4.7), events per 1000 instructions
+    cold_branch_mispredicts: int = 0
+    cold_branch_predictions: int = 0
+    trace_predictions: int = 0
+    trace_mispredictions: int = 0
+
+    energy: EnergyResult | None = None
+    trace_stats: TraceUnitStats = field(default_factory=TraceUnitStats)
+    events: dict[str, float] = field(default_factory=dict)
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Committed macro-instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of instructions committed from the hot pipeline (Fig 4.8)."""
+        if not self.instructions:
+            return 0.0
+        return self.hot_instructions / self.instructions
+
+    @property
+    def total_energy(self) -> float:
+        """Total (dynamic + leakage) energy."""
+        return self.energy.total if self.energy is not None else 0.0
+
+    @property
+    def cold_mispredicts_per_kinstr(self) -> float:
+        """Cold-pipeline branch mispredicts per 1000 committed instructions."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.cold_branch_mispredicts / self.instructions
+
+    @property
+    def trace_mispredicts_per_kinstr(self) -> float:
+        """Trace mispredicts per 1000 committed instructions."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.trace_mispredictions / self.instructions
+
+    @property
+    def point(self) -> PerformanceEnergyPoint:
+        """The (instructions, cycles, energy) triple for metric computation."""
+        return PerformanceEnergyPoint(
+            instructions=self.instructions,
+            cycles=self.cycles,
+            energy=self.total_energy,
+        )
+
+    @property
+    def uop_reduction(self) -> float:
+        """Execution-weighted uop reduction over hot executions (Fig 4.9)."""
+        stats = self.trace_stats
+        if not stats.hot_executions:
+            return 0.0
+        return stats.weighted_uop_reduction / stats.hot_executions
+
+    @property
+    def dependency_reduction(self) -> float:
+        """Execution-weighted critical-path reduction (Fig 4.9)."""
+        stats = self.trace_stats
+        if not stats.hot_executions:
+            return 0.0
+        return stats.weighted_dep_reduction / stats.hot_executions

@@ -1,0 +1,396 @@
+"""The PARROT machine simulator: dual front-ends over a shared timing core.
+
+The simulator is trace-driven (§3): it consumes an application's dynamic
+instruction stream, deterministically partitioned into trace-shaped
+segments by :class:`~repro.trace.selection.TraceSelector` (the selection
+criteria are pure functions of the committed stream).  Per segment, the
+*fetch selector* consults the trace predictor (higher priority) and falls
+back to the branch-predicted cold pipeline (§2.3):
+
+* confident next-TID prediction + trace-cache hit + prediction correct →
+  the segment executes on the **hot pipeline**: decoded (possibly
+  optimized) uops stream from the trace cache, no decode, internal CTIs
+  are asserts, the trace commits atomically;
+* confident but *wrong* prediction with a resident trace → a **trace
+  mispredict**: the flushed hot work is charged, recovery is paid, and the
+  segment re-executes cold;
+* otherwise → the **cold pipeline**: icache fetch groups (taken-branch
+  limited), serial variable-length decode, per-CTI branch prediction.
+
+Both outcomes feed the background phases (filters, construction,
+optimization), giving the continuous training the paper requires.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.background import BackgroundProcessor
+from repro.core.config import MachineConfig
+from repro.core.results import SimulationResult, TraceUnitStats
+from repro.errors import SimulationError
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.frontend.fetch import form_cold_groups, trace_fetch_cycles
+from repro.frontend.trace_predictor import TracePredictor
+from repro.isa.opcodes import UopKind
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import TimingCore
+from repro.pipeline.resources import ExecProfile
+from repro.power.energy import EnergyModel
+from repro.power.events import EventCounts
+from repro.trace.selection import TraceSegment, TraceSelector
+from repro.trace.trace import TRACE_CAPACITY_UOPS, Trace
+from repro.workloads.program import Program
+from repro.workloads.stream import InstructionStream
+from repro.workloads.suite import Application
+
+
+def segment_stream(stream: InstructionStream) -> Iterator[TraceSegment]:
+    """Partition a dynamic stream into trace-shaped segments, in order."""
+    selector = TraceSelector()
+    while not stream.exhausted:
+        for segment in selector.feed(stream.take()):
+            yield segment
+    yield from selector.flush()
+
+
+class ParrotSimulator:
+    """Simulate one machine model; reusable across applications."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self, app: Application, length: int, *, prewarm: bool = True
+    ) -> SimulationResult:
+        """Simulate ``length`` instructions of ``app``; returns the result.
+
+        ``prewarm`` starts the memory hierarchy in steady state (the paper's
+        30-100M-instruction traces amortise compulsory misses; our much
+        shorter runs must not be dominated by them).
+        """
+        if length < 1:
+            raise SimulationError(f"run length {length} must be positive")
+        workload = app.build()
+        stream = workload.stream(length)
+        return self._run_stream(
+            stream, app_name=app.name, suite=app.suite,
+            program=workload.program if prewarm else None,
+        )
+
+    def run_stream(
+        self, stream: InstructionStream, *, app_name: str = "custom",
+        suite: str = "Custom", program: Program | None = None,
+    ) -> SimulationResult:
+        """Simulate an arbitrary dynamic stream (custom-workload API).
+
+        Pass the static ``program`` to start with prewarmed caches.
+        """
+        return self._run_stream(
+            stream, app_name=app_name, suite=suite, program=program
+        )
+
+    # -- machine assembly ------------------------------------------------------
+
+    def _run_stream(
+        self,
+        stream: InstructionStream,
+        *,
+        app_name: str,
+        suite: str,
+        program: Program | None = None,
+    ) -> SimulationResult:
+        config = self.config
+        events = EventCounts()
+        stats = TraceUnitStats()
+        result = SimulationResult(
+            app_name=app_name, suite=suite, model_name=config.name,
+            trace_stats=stats,
+        )
+
+        core = TimingCore(config.core, events)
+        hot_profile = ExecProfile.from_params(config.core)
+        cold_profile = config.cold_profile or hot_profile
+        hierarchy = MemoryHierarchy(config.hierarchy)
+        if program is not None:
+            hierarchy.prewarm(
+                code_addresses=program.instructions.keys(),
+                data_ranges=[
+                    (spec.base, spec.extent) for spec in program.mem_specs.values()
+                ],
+            )
+        bpred = BranchPredictor(config.bpred_entries)
+        tpred = (
+            TracePredictor(
+                config.tpred_entries,
+                confidence_threshold=config.tpred_confidence,
+                mispredict_penalty=config.tpred_mispredict_penalty,
+            )
+            if config.has_trace_cache
+            else None
+        )
+        background = (
+            BackgroundProcessor(config, events, stats)
+            if config.has_trace_cache
+            else None
+        )
+
+        last_pipeline = "cold"
+        for segment in segment_stream(stream):
+            executed_hot = False
+            trace: Trace | None = None
+            predicted = None
+            if tpred is not None and background is not None and segment.complete:
+                predicted = tpred.predict()
+                events.add("tpred_lookup")
+                if predicted is not None:
+                    trace = background.trace_cache.lookup(predicted)
+                    events.add("tcache_read")  # tag lookup
+                    if trace is None:
+                        stats.tcache_miss_on_predict += 1
+                    elif predicted == segment.tid:
+                        if config.is_split and last_pipeline != "hot":
+                            core.apply_state_switch(config.state_switch_latency)
+                            core.stall_fetch(1)
+                        core.set_profile(hot_profile)
+                        self._execute_hot(
+                            core, hierarchy, events, result, trace, segment
+                        )
+                        background.after_hot_execution(trace, core.cycles)
+                        # Retire-time training: hot-committed CTIs still
+                        # update the branch predictor (no fetch-time lookup
+                        # was needed), keeping its global history coherent
+                        # for the interleaved cold code.
+                        for dyn in segment.instructions:
+                            if dyn.is_cti:
+                                bpred.predict_and_train(
+                                    dyn.instr, dyn.taken, dyn.next_address
+                                )
+                                events.add("bpred_update")
+                        executed_hot = True
+                        last_pipeline = "hot"
+                    else:
+                        # Wrong trace started on the hot pipeline: flush.
+                        if config.is_split and last_pipeline != "hot":
+                            core.apply_state_switch(config.state_switch_latency)
+                            core.stall_fetch(1)
+                            last_pipeline = "hot"
+                        self._trace_mispredict(
+                            core, events, result, trace, segment
+                        )
+                        stats.trace_mispredicts += 1
+            if not executed_hot:
+                if config.is_split and last_pipeline != "cold":
+                    core.apply_state_switch(config.state_switch_latency)
+                    core.stall_fetch(1)
+                core.set_profile(cold_profile)
+                self._execute_cold(
+                    core, hierarchy, bpred, events, result, segment
+                )
+                last_pipeline = "cold"
+
+            result.instructions += segment.num_instructions
+
+            # Background phases: continuous training of predictor + filters.
+            # Incomplete tail segments never terminated, so the hardware
+            # never saw them as traces: no training, no construction.
+            if segment.complete:
+                if tpred is not None:
+                    tpred.train(segment.tid)
+                    events.add("tpred_update")
+                if background is not None:
+                    background.after_commit(segment, core.cycles)
+
+        core.check_invariants()
+        core.flush_events()
+        result.cycles = max(core.cycles, 1.0)
+        self._finalize(result, core, hierarchy, bpred, tpred, events)
+        return result
+
+    # -- hot pipeline ----------------------------------------------------------
+
+    def _execute_hot(
+        self,
+        core: TimingCore,
+        hierarchy: MemoryHierarchy,
+        events: EventCounts,
+        result: SimulationResult,
+        trace: Trace,
+        segment: TraceSegment,
+    ) -> None:
+        """Execute a correctly predicted trace on the hot pipeline.
+
+        The caller has already selected the hot execution profile.
+        """
+        uops = trace.uops
+        # The trace cache reads whole frames: energy is frame-granular, not
+        # per-resident-uop (a short optimized trace still burns a full
+        # frame read).
+        events.add("tcache_read", TRACE_CAPACITY_UOPS)
+        instructions = segment.instructions
+        per_cycle = self.config.fetch.trace_uops
+        group_cycle = core.begin_fetch_group()
+        in_group = 0
+        for uop in uops:
+            if in_group >= per_cycle:
+                group_cycle = core.begin_fetch_group()
+                in_group = 0
+            in_group += 1
+            mem_latency = 0
+            kind = uop.kind
+            if kind is UopKind.LOAD:
+                mem_latency = hierarchy.load_latency(
+                    instructions[uop.origin].effective_address
+                )
+            elif kind is UopKind.STORE:
+                hierarchy.store_access(instructions[uop.origin].effective_address)
+            core.run_uop(uop, group_cycle, mem_latency)
+        if trace.optimized and trace.virtual_renames:
+            events.add("rename_virtual", trace.virtual_renames)
+        trace.exec_count += 1
+        stats = result.trace_stats
+        stats.hot_executions += 1
+        stats.weighted_uop_reduction += trace.uop_reduction
+        stats.weighted_dep_reduction += trace.dependency_reduction
+        if trace.optimized:
+            stats.optimized_executions += 1
+            # Keyed by TID (stable identity): id() can be reused by the
+            # allocator after an evicted trace is collected.
+            key = trace.tid
+            stats.optimized_exec_counts[key] = (
+                stats.optimized_exec_counts.get(key, 0) + 1
+            )
+        result.uops_hot += len(uops)
+        result.hot_instructions += segment.num_instructions
+
+    def _trace_mispredict(
+        self,
+        core: TimingCore,
+        events: EventCounts,
+        result: SimulationResult,
+        trace: Trace,
+        segment: TraceSegment,
+    ) -> None:
+        """Charge a flushed wrong-trace execution; the segment re-runs cold.
+
+        The wasted work is the prefix of the wrong trace up to the first
+        failing assert (first diverging branch direction), or a couple of
+        uops when even the start address was wrong.
+        """
+        wasted = self._wasted_uops(trace, segment)
+        events.add("tcache_read", TRACE_CAPACITY_UOPS)
+        events.add("trace_flush")
+        # Flushed uops consumed the full front/execute path up to the
+        # flush: rename, window insert+wakeup, ROB allocation, register
+        # reads and execution.  They never commit (no rob_commit) and
+        # their results are discarded (no regfile_write).
+        events.add("rename_uop", wasted)
+        events.add("window_insert", wasted)
+        events.add("window_wakeup", wasted)
+        events.add("issue_uop", wasted)
+        events.add("rob_write", wasted)
+        events.add("regfile_read", wasted)
+        events.add("exec_int", wasted)
+        result.uops_wasted += wasted
+        # Recovery: the failing assert resolves a full pipeline depth after
+        # fetch (like a branch), then atomic-state restoration adds the
+        # trace-flush extra, plus the fetch slots the wasted uops consumed.
+        core.stall_fetch(
+            self.config.core.front_depth
+            + self.config.core.trace_flush_extra
+            + trace_fetch_cycles(wasted, self.config.fetch)
+        )
+
+    @staticmethod
+    def _wasted_uops(trace: Trace, segment: TraceSegment) -> int:
+        if trace.tid.start != segment.tid.start:
+            return min(4, trace.num_uops)
+        diverge = 0
+        limit = min(trace.tid.num_branches, segment.tid.num_branches)
+        while diverge < limit and trace.tid.direction(diverge) == segment.tid.direction(diverge):
+            diverge += 1
+        fraction = (diverge + 1) / (trace.tid.num_branches + 1)
+        return max(1, min(trace.num_uops, round(trace.num_uops * fraction)))
+
+    # -- cold pipeline -------------------------------------------------------------
+
+    def _execute_cold(
+        self,
+        core: TimingCore,
+        hierarchy: MemoryHierarchy,
+        bpred: BranchPredictor,
+        events: EventCounts,
+        result: SimulationResult,
+        segment: TraceSegment,
+    ) -> None:
+        """Execute a segment on the cold pipeline (icache fetch + decode)."""
+        for group in form_cold_groups(segment.instructions, self.config.fetch):
+            fetch_latency = hierarchy.fetch_latency(group.start_address)
+            group_cycle = core.begin_fetch_group(fetch_latency)
+            events.add("fetch_cycle")
+            events.add("decode_instr", len(group.instructions))
+            for dyn in group.instructions:
+                complete = 0.0
+                mem_latency = 0
+                for uop in dyn.instr.uops:
+                    kind = uop.kind
+                    mem_latency = 0
+                    if kind is UopKind.LOAD:
+                        mem_latency = hierarchy.load_latency(dyn.effective_address)
+                    elif kind is UopKind.STORE:
+                        hierarchy.store_access(dyn.effective_address)
+                    complete = core.run_uop(uop, group_cycle, mem_latency)
+                    result.uops_cold += 1
+                if dyn.is_cti:
+                    result.cold_branch_predictions += 1
+                    events.add("bpred_lookup")
+                    events.add("bpred_update")
+                    mispredicted = bpred.predict_and_train(
+                        dyn.instr, dyn.taken, dyn.next_address
+                    )
+                    if mispredicted:
+                        events.add("mispredict_flush")
+                        result.cold_branch_mispredicts += 1
+                        core.redirect_fetch(complete + 1)
+                        # Any remaining instructions of this fetch group sit
+                        # on the fall-through the front end did not fetch
+                        # (it redirected down the predicted path): they are
+                        # refetched after resolution.
+                        group_cycle = core.begin_fetch_group()
+
+    # -- finalisation ---------------------------------------------------------------
+
+    def _finalize(
+        self,
+        result: SimulationResult,
+        core: TimingCore,
+        hierarchy: MemoryHierarchy,
+        bpred: BranchPredictor,
+        tpred: TracePredictor | None,
+        events: EventCounts,
+    ) -> None:
+        """Merge hierarchy events, evaluate energy, snapshot statistics."""
+        h = hierarchy.events
+        events.add("l1i_read", h.l1i_accesses)
+        events.add("l1d_read", h.l1d_accesses - h.l1d_writes)
+        events.add("l1d_write", h.l1d_writes)
+        events.add("l2_access", h.l2_accesses)
+        events.add("memory_access", h.memory_accesses)
+        events.add("core_cycle", result.cycles)
+
+        if tpred is not None:
+            result.trace_predictions = tpred.stats.predictions
+            result.trace_mispredictions = tpred.stats.mispredictions
+
+        config = self.config
+        model = EnergyModel(
+            config.core,
+            sizes=config.structure_sizes,
+            calibration=config.calibration,
+            l2_mbytes=config.hierarchy.l2_mbytes,
+            extra_area=config.extra_area,
+        )
+        result.energy = model.evaluate(events, result.cycles)
+        result.events = events.as_dict()

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the PARROT reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being able
+to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine or component configuration is inconsistent or out of range."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or program skeleton could not be constructed."""
+
+
+class DecodeError(ReproError):
+    """A macro-instruction could not be decoded into micro-operations."""
+
+
+class TraceError(ReproError):
+    """Trace selection, construction or cache interaction failed an invariant."""
+
+
+class OptimizationError(ReproError):
+    """A dynamic-optimizer pass produced or detected an inconsistent trace."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulation violated an internal invariant."""
+
+
+class ExperimentError(ReproError):
+    """An experiment/figure harness was invoked with unusable parameters."""

@@ -1,0 +1,78 @@
+"""Aggregation helpers: per-suite and overall geometric means.
+
+The paper's graphs "display the geometrical mean for each group of
+applications as well as the overall mean for the entire benchmark" (§4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.results import SimulationResult
+from repro.workloads.profiles import ALL_SUITES
+
+#: Label used for the whole-benchmark mean.
+OVERALL = "Overall"
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (ignores non-positives)."""
+    logs = [math.log(v) for v in values if v > 0]
+    if not logs:
+        return 0.0
+    return math.exp(sum(logs) / len(logs))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain mean (used for additive quantities like reductions)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def by_suite(
+    results: Sequence[SimulationResult],
+    metric: Callable[[SimulationResult], float],
+    *,
+    mean: Callable[[Iterable[float]], float] = geomean,
+) -> dict[str, float]:
+    """Aggregate ``metric`` per suite plus the overall mean.
+
+    Suites appear in the paper's order; suites with no results are omitted.
+    """
+    out: dict[str, float] = {}
+    for suite in ALL_SUITES:
+        suite_values = [metric(r) for r in results if r.suite == suite]
+        if suite_values:
+            out[suite] = mean(suite_values)
+    out[OVERALL] = mean([metric(r) for r in results])
+    return out
+
+
+def paired_ratio_by_suite(
+    test: Sequence[SimulationResult],
+    base: Sequence[SimulationResult],
+    metric: Callable[[SimulationResult], float],
+) -> dict[str, float]:
+    """Geomean of per-application ``metric(test)/metric(base)`` per suite.
+
+    ``test`` and ``base`` must cover the same applications (matched by
+    name); the result maps suite -> geomean ratio - 1 (i.e. +0.17 = +17%).
+    """
+    base_by_name = {r.app_name: r for r in base}
+    ratios: dict[str, list[float]] = {}
+    all_ratios: list[float] = []
+    for r in test:
+        b = base_by_name[r.app_name]
+        denominator = metric(b)
+        if denominator == 0:
+            continue
+        ratio = metric(r) / denominator
+        ratios.setdefault(r.suite, []).append(ratio)
+        all_ratios.append(ratio)
+    out = {}
+    for suite in ALL_SUITES:
+        if suite in ratios:
+            out[suite] = geomean(ratios[suite]) - 1.0
+    out[OVERALL] = geomean(all_ratios) - 1.0
+    return out

@@ -1,0 +1,86 @@
+"""Report exporters: figures to Markdown / CSV, and a whole-paper report.
+
+The text renderer on :class:`~repro.experiments.figures.FigureData` is for
+terminals; these exporters feed documentation (EXPERIMENTS.md-style
+tables) and downstream analysis (CSV into a spreadsheet or pandas).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.figures import FIGURE_GENERATORS, FigureData, table3_1, table3_2
+from repro.experiments.runner import ExperimentRunner
+
+
+def _format_value(value: float, unit: str) -> str:
+    if unit == "percent":
+        return f"{value:+.1%}"
+    if unit == "rate":
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def to_markdown(figure: FigureData) -> str:
+    """Render a figure as a GitHub-flavoured Markdown table."""
+    groups: list[str] = []
+    for values in figure.series.values():
+        for group in values:
+            if group not in groups:
+                groups.append(group)
+    lines = [f"### {figure.figure_id}: {figure.title}", ""]
+    header = "| group | " + " | ".join(figure.series) + " |"
+    separator = "|" + "---|" * (len(figure.series) + 1)
+    lines += [header, separator]
+    for group in groups:
+        cells = []
+        for values in figure.series.values():
+            value = values.get(group)
+            cells.append("-" if value is None else _format_value(value, figure.unit))
+        lines.append(f"| {group} | " + " | ".join(cells) + " |")
+    if figure.notes:
+        lines += ["", f"*{figure.notes}*"]
+    return "\n".join(lines)
+
+
+def to_csv(figure: FigureData) -> str:
+    """Render a figure as CSV (group, series..., raw values)."""
+    groups: list[str] = []
+    for values in figure.series.values():
+        for group in values:
+            if group not in groups:
+                groups.append(group)
+    out = io.StringIO()
+    out.write("group," + ",".join(figure.series) + "\n")
+    for group in groups:
+        row = [group]
+        for values in figure.series.values():
+            value = values.get(group)
+            row.append("" if value is None else repr(value))
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+def full_report(runner: ExperimentRunner) -> str:
+    """Regenerate every table and figure into one Markdown document.
+
+    This is the one-command artefact a reviewer would ask for: the whole
+    evaluation section, from the configured sweep.
+    """
+    parts = [
+        "# PARROT reproduction — regenerated evaluation",
+        "",
+        f"Sweep: {len(runner.applications())} applications x "
+        f"{runner.length} instructions.",
+        "",
+        "```",
+        table3_1(),
+        "",
+        table3_2(),
+        "```",
+        "",
+    ]
+    for name, generator in FIGURE_GENERATORS.items():
+        parts.append(to_markdown(generator(runner)))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,107 @@
+"""Experiment grid runner with result caching.
+
+Every figure of the evaluation section is a different view over the same
+(application x model) grid of simulation runs, so the runner memoises
+results: one sweep serves all figures.  Scale is controlled explicitly (or
+via the ``REPRO_BENCH_APPS`` / ``REPRO_BENCH_LENGTH`` environment
+variables for the benchmark harness): the paper simulates 30-100M
+instructions per application; our default is 20k instructions over a
+balanced subset, enough for every qualitative shape, and the full
+44-application roster is one environment variable away.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.results import SimulationResult
+from repro.core.simulator import ParrotSimulator
+from repro.errors import ExperimentError
+from repro.models.configs import MODEL_NAMES, model_config
+from repro.workloads.suite import Application, application, benchmark_suite
+
+#: Environment variables controlling benchmark scale.
+ENV_APPS = "REPRO_BENCH_APPS"
+ENV_LENGTH = "REPRO_BENCH_LENGTH"
+
+DEFAULT_APPS = 15
+DEFAULT_LENGTH = 20_000
+
+
+def bench_scale() -> tuple[int | None, int]:
+    """Resolve (max_apps, instructions) from the environment.
+
+    ``REPRO_BENCH_APPS=all`` (or 44) selects the full roster.
+    """
+    apps_raw = os.environ.get(ENV_APPS, str(DEFAULT_APPS))
+    max_apps: int | None
+    if apps_raw.lower() in ("all", "full", "44"):
+        max_apps = None
+    else:
+        max_apps = int(apps_raw)
+    length = int(os.environ.get(ENV_LENGTH, str(DEFAULT_LENGTH)))
+    return max_apps, length
+
+
+@dataclass
+class ExperimentRunner:
+    """Run and memoise (application, model) simulations."""
+
+    length: int = DEFAULT_LENGTH
+    max_apps: int | None = DEFAULT_APPS
+    _cache: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+    _simulators: dict[str, ParrotSimulator] = field(default_factory=dict)
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentRunner":
+        """Build a runner scaled by the ``REPRO_BENCH_*`` variables."""
+        max_apps, length = bench_scale()
+        return cls(length=length, max_apps=max_apps)
+
+    # -- execution --------------------------------------------------------
+
+    def applications(self) -> list[Application]:
+        """The application roster at the configured scale."""
+        return benchmark_suite(max_apps=self.max_apps)
+
+    def _simulator(self, model_name: str) -> ParrotSimulator:
+        if model_name not in MODEL_NAMES:
+            raise ExperimentError(
+                f"unknown model {model_name!r}; known: {MODEL_NAMES}"
+            )
+        if model_name not in self._simulators:
+            self._simulators[model_name] = ParrotSimulator(model_config(model_name))
+        return self._simulators[model_name]
+
+    def result(self, model_name: str, app: Application | str) -> SimulationResult:
+        """Result of one (model, application) run, memoised."""
+        if isinstance(app, str):
+            app = application(app)
+        key = (model_name, app.name)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._simulator(model_name).run(app, self.length)
+            self._cache[key] = cached
+        return cached
+
+    def results(
+        self, model_name: str, apps: list[Application] | None = None
+    ) -> list[SimulationResult]:
+        """Results of one model over the roster (or an explicit app list)."""
+        if apps is None:
+            apps = self.applications()
+        return [self.result(model_name, app) for app in apps]
+
+    def grid(
+        self, model_names: list[str], apps: list[Application] | None = None
+    ) -> dict[str, list[SimulationResult]]:
+        """Results for several models over the same applications."""
+        if apps is None:
+            apps = self.applications()
+        return {name: self.results(name, apps) for name in model_names}
+
+    @property
+    def runs_cached(self) -> int:
+        """Number of memoised simulation runs."""
+        return len(self._cache)

@@ -1,0 +1,21 @@
+"""Front-end substrate: branch prediction, trace prediction, fetch models."""
+
+from repro.frontend.branch_predictor import BranchPredictor, BranchPredictorStats
+from repro.frontend.fetch import (
+    FetchGroup,
+    FetchParams,
+    form_cold_groups,
+    trace_fetch_cycles,
+)
+from repro.frontend.trace_predictor import TracePredictor, TracePredictorStats
+
+__all__ = [
+    "BranchPredictor",
+    "BranchPredictorStats",
+    "FetchGroup",
+    "FetchParams",
+    "TracePredictor",
+    "TracePredictorStats",
+    "form_cold_groups",
+    "trace_fetch_cycles",
+]

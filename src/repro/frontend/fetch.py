@@ -1,0 +1,84 @@
+"""Fetch-group formation models for the cold and hot pipelines.
+
+The cold front end fetches raw IA32-like bytes: a fetch group ends at the
+machine's instruction-width limit, its byte-bandwidth limit, or the first
+taken CTI (a taken branch redirects fetch, wasting the rest of the line —
+the classic fetch-bandwidth limiter the trace cache removes).  The hot
+front end fetches *decoded uops* from the trace cache and is limited only
+by its uop bandwidth, flowing straight past taken internal branches.
+
+These helpers are pure grouping logic so they can be unit-tested in
+isolation; the execution subsystems drive them and feed the timing core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import DynamicInstruction
+
+
+@dataclass(frozen=True, slots=True)
+class FetchParams:
+    """Bandwidth limits of one front end."""
+
+    width_instrs: int   #: macro-instructions decodable per cycle
+    width_bytes: int    #: instruction bytes fetchable per cycle
+    trace_uops: int     #: decoded uops per cycle out of the trace cache
+
+    def __post_init__(self) -> None:
+        if self.width_instrs < 1 or self.width_bytes < 1 or self.trace_uops < 1:
+            raise ConfigurationError(f"fetch parameters must be positive: {self}")
+
+
+@dataclass(slots=True)
+class FetchGroup:
+    """One cold fetch cycle's worth of dynamic instructions."""
+
+    instructions: list[DynamicInstruction]
+    start_address: int
+    byte_count: int
+    ends_on_taken: bool
+
+    @property
+    def num_uops(self) -> int:
+        """Total decoded uops in the group."""
+        return sum(d.instr.num_uops for d in self.instructions)
+
+
+def form_cold_groups(
+    instructions: Sequence[DynamicInstruction], params: FetchParams
+) -> Iterable[FetchGroup]:
+    """Split a dynamic run into cold fetch groups (one group per cycle).
+
+    A group closes when the instruction-count or byte budget is exhausted or
+    the group contains a taken CTI (including calls, returns and jumps).
+    """
+    group: list[DynamicInstruction] = []
+    bytes_used = 0
+    start = 0
+    for dyn in instructions:
+        if group and (
+            len(group) >= params.width_instrs
+            or bytes_used + dyn.instr.length > params.width_bytes
+        ):
+            yield FetchGroup(group, start, bytes_used, ends_on_taken=False)
+            group, bytes_used = [], 0
+        if not group:
+            start = dyn.address
+        group.append(dyn)
+        bytes_used += dyn.instr.length
+        if dyn.is_cti and dyn.taken:
+            yield FetchGroup(group, start, bytes_used, ends_on_taken=True)
+            group, bytes_used = [], 0
+    if group:
+        yield FetchGroup(group, start, bytes_used, ends_on_taken=False)
+
+
+def trace_fetch_cycles(num_uops: int, params: FetchParams) -> int:
+    """Number of cycles to stream ``num_uops`` out of the trace cache."""
+    if num_uops <= 0:
+        return 0
+    return -(-num_uops // params.trace_uops)  # ceiling division

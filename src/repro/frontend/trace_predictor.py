@@ -1,0 +1,161 @@
+"""Next-trace (next-TID) prediction for the hot pipeline.
+
+The fetch selector consults the trace predictor first; only when it makes a
+confident prediction that hits in the trace cache does the hot pipeline
+run (§2.3).  The predictor maps a hashed history of recently committed TIDs
+to the most likely next TID, with a saturating confidence counter per entry
+so that one noisy occurrence does not evict an established prediction —
+this mirrors the path-based next-trace predictors the paper builds on [15].
+
+The predictor is trained by TID selection on *every* committed trace-shaped
+segment (hot or cold), which is what §2.3 means by "continuous training of
+both trace predictor and hot filter is assured".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(slots=True)
+class TracePredictorStats:
+    """Prediction accounting for the trace predictor."""
+
+    lookups: int = 0
+    predictions: int = 0        #: confident predictions issued
+    correct: int = 0
+    mispredictions: int = 0     #: confident predictions that were wrong
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Wrong fraction among confident predictions."""
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+
+class _Entry:
+    __slots__ = ("tid", "confidence")
+
+    def __init__(self, tid: Hashable):
+        self.tid = tid
+        self.confidence = 1
+
+
+class TracePredictor:
+    """History-hashed, set-associative next-TID predictor with confidence.
+
+    ``entries`` bounds the table like a hardware structure: the table is a
+    2-way set-associative array indexed by the history hash.  Two ways per
+    set let a loop-exit TID coexist with the loop-body TID instead of the
+    two thrashing each other — the dominant pattern in regular code.
+    Prediction returns the most confident way at or above the confidence
+    threshold.
+    """
+
+    WAYS = 2
+
+    def __init__(self, entries: int = 2048, *, history_length: int = 2,
+                 confidence_threshold: int = 2, mispredict_penalty: int = 2):
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigurationError(f"predictor entries {entries} not a power of two")
+        if history_length < 1:
+            raise ConfigurationError("history length must be >= 1")
+        if mispredict_penalty < 1:
+            raise ConfigurationError("mispredict penalty must be >= 1")
+        self.entries = entries
+        self._num_sets = max(entries // self.WAYS, 1)
+        self._mask = self._num_sets - 1
+        self._history_length = history_length
+        self._confidence_threshold = confidence_threshold
+        self._mispredict_penalty = mispredict_penalty
+        #: Saturation ceiling: at least one above the launch threshold so a
+        #: single mispredict penalty does not immediately de-confidence a
+        #: well-established entry.
+        self._confidence_cap = max(3, confidence_threshold + 1)
+        self._table: list[list[_Entry]] = [[] for _ in range(self._num_sets)]
+        self._history: list[Hashable] = []
+        self._set_cache: list[_Entry] | None = None
+        self.stats = TracePredictorStats()
+
+    def _set(self) -> list[_Entry]:
+        # The history only changes in train(), so the predict()/train()
+        # pair of each segment shares one tuple-hash computation.
+        cached = self._set_cache
+        if cached is None:
+            cached = self._table[hash(tuple(self._history)) & self._mask]
+            self._set_cache = cached
+        return cached
+
+    def _best(self, ways: list[_Entry]) -> "_Entry | None":
+        best = None
+        for entry in ways:
+            if best is None or entry.confidence > best.confidence:
+                best = entry
+        return best
+
+    def predict(self) -> Hashable | None:
+        """Predict the next TID from current history, or None if unconfident."""
+        self.stats.lookups += 1
+        best = self._best(self._set())
+        if best is not None and best.confidence >= self._confidence_threshold:
+            return best.tid
+        return None
+
+    def train(self, actual_tid: Hashable) -> bool:
+        """Train with the TID that actually committed next.
+
+        Must be called exactly once per committed trace-shaped segment,
+        *after* :meth:`predict` for that segment.  Returns True when a
+        confident prediction existed and was wrong (a trace mispredict).
+        """
+        ways = self._set()
+        best = self._best(ways)
+        confident = (
+            best is not None and best.confidence >= self._confidence_threshold
+        )
+        mispredicted = False
+        if confident:
+            self.stats.predictions += 1
+            if best.tid == actual_tid:
+                self.stats.correct += 1
+            else:
+                self.stats.mispredictions += 1
+                mispredicted = True
+                # A confidently wrong prediction launched a trace that had
+                # to be flushed — expensive.  Drain the entry's confidence
+                # faster than one hit rebuilds it, so noisy paths must
+                # re-earn the right to run hot (rigorous selection, §2.3).
+                best.confidence = max(0, best.confidence - self._mispredict_penalty)
+
+        hit = None
+        for entry in ways:
+            if entry.tid == actual_tid:
+                hit = entry
+                break
+        if hit is not None:
+            if hit.confidence < self._confidence_cap:
+                hit.confidence += 1
+        elif len(ways) < self.WAYS:
+            ways.append(_Entry(actual_tid))
+        else:
+            # Weaken the weakest way; replace it once drained.
+            weakest = min(ways, key=lambda e: e.confidence)
+            weakest.confidence -= 1
+            if weakest.confidence <= 0:
+                ways.remove(weakest)
+                ways.append(_Entry(actual_tid))
+
+        self._history.append(actual_tid)
+        if len(self._history) > self._history_length:
+            self._history.pop(0)
+        self._set_cache = None  # history changed: next lookup re-hashes
+        return mispredicted
+
+    def reset(self) -> None:
+        """Return to power-on state."""
+        self._table = [[] for _ in range(self._num_sets)]
+        self._history.clear()
+        self._set_cache = None
+        self.stats = TracePredictorStats()

@@ -1,0 +1,72 @@
+"""Synthetic variable-length CISC ISA (IA32 stand-in).
+
+Public surface: uop/instruction data types, the instruction-class taxonomy,
+decode templates and the variable-length encoding model.
+"""
+
+from repro.isa.decoder import decode_template, uop_count
+from repro.isa.encoding import MAX_INSTR_LENGTH, encoded_length, mean_length
+from repro.isa.instruction import (
+    DisassemblyLine,
+    DynamicInstruction,
+    MacroInstruction,
+    Uop,
+    disassemble,
+)
+from repro.isa.opcodes import (
+    CTI_CLASSES,
+    CTI_KINDS,
+    OPTIMIZER_ONLY_KINDS,
+    UOP_FU,
+    UOP_LATENCY,
+    FuClass,
+    InstrClass,
+    UopKind,
+)
+from repro.isa.registers import (
+    FLAGS_REG,
+    FP_REG_BASE,
+    INT_REG_BASE,
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_NONE,
+    STACK_REG,
+    is_fp_reg,
+    is_int_reg,
+    is_valid_reg,
+    register_name,
+)
+
+__all__ = [
+    "CTI_CLASSES",
+    "CTI_KINDS",
+    "DisassemblyLine",
+    "DynamicInstruction",
+    "FLAGS_REG",
+    "FP_REG_BASE",
+    "FuClass",
+    "INT_REG_BASE",
+    "InstrClass",
+    "MacroInstruction",
+    "MAX_INSTR_LENGTH",
+    "NUM_ARCH_REGS",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "OPTIMIZER_ONLY_KINDS",
+    "REG_NONE",
+    "STACK_REG",
+    "UOP_FU",
+    "UOP_LATENCY",
+    "Uop",
+    "UopKind",
+    "decode_template",
+    "disassemble",
+    "encoded_length",
+    "is_fp_reg",
+    "is_int_reg",
+    "is_valid_reg",
+    "mean_length",
+    "register_name",
+    "uop_count",
+]

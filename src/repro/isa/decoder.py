@@ -1,0 +1,141 @@
+"""Macro-instruction to micro-operation decode templates.
+
+Program-skeleton builders (see :mod:`repro.workloads.kernels`) construct
+static instructions by choosing an :class:`~repro.isa.opcodes.InstrClass`
+and concrete register operands; :func:`decode_template` expands the class
+into its uop tuple exactly as the hardware decoder would.  Because the
+PARROT trace cache stores *decoded* traces, the same templates are shared by
+the cold decode path (paying decode energy every execution) and the trace
+constructor (paying it once).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import InstrClass, UopKind
+from repro.isa.registers import FLAGS_REG, REG_NONE, STACK_REG
+
+
+def decode_template(
+    iclass: InstrClass,
+    *,
+    dest: int = REG_NONE,
+    src1: int = REG_NONE,
+    src2: int = REG_NONE,
+    imm: int | None = None,
+    fp_mul: bool = False,
+) -> tuple[Uop, ...]:
+    """Expand a macro-instruction class into its micro-operation template.
+
+    ``fp_mul`` selects the multiply flavour of :data:`InstrClass.FP_ARITH`.
+    Raises :class:`~repro.errors.DecodeError` for unknown classes or operand
+    shapes that the class cannot encode.
+    """
+    if iclass is InstrClass.SIMPLE_ALU:
+        return (Uop(UopKind.ALU, dest, src1, src2),)
+    if iclass is InstrClass.ALU_IMM:
+        if imm is None:
+            raise DecodeError("ALU_IMM requires an immediate")
+        return (Uop(UopKind.ALU, dest, src1, REG_NONE, imm),)
+    if iclass is InstrClass.LOAD_IMM:
+        if imm is None:
+            raise DecodeError("LOAD_IMM requires an immediate")
+        return (Uop(UopKind.MOV_IMM, dest, REG_NONE, REG_NONE, imm),)
+    if iclass is InstrClass.REG_MOV:
+        return (Uop(UopKind.MOV, dest, src1),)
+    if iclass is InstrClass.LOGIC_OP:
+        return (Uop(UopKind.LOGIC, dest, src1, src2, imm),)
+    if iclass is InstrClass.SHIFT_OP:
+        if imm is None:
+            raise DecodeError("SHIFT_OP requires an immediate shift count")
+        return (Uop(UopKind.SHIFT, dest, src1, REG_NONE, imm),)
+    if iclass is InstrClass.COMPARE:
+        return (Uop(UopKind.CMP, FLAGS_REG, src1, src2, imm),)
+    if iclass is InstrClass.INT_MUL:
+        return (Uop(UopKind.MUL, dest, src1, src2),)
+    if iclass is InstrClass.INT_DIV:
+        # Quotient then remainder move, as two dependent uops.
+        return (
+            Uop(UopKind.DIV, dest, src1, src2),
+            Uop(UopKind.MOV, src1, dest),
+        )
+    if iclass is InstrClass.FP_ARITH:
+        kind = UopKind.FP_MUL if fp_mul else UopKind.FP_ADD
+        return (Uop(kind, dest, src1, src2),)
+    if iclass is InstrClass.FP_DIVIDE:
+        return (Uop(UopKind.FP_DIV, dest, src1, src2),)
+    if iclass is InstrClass.LOAD:
+        return (Uop(UopKind.LOAD, dest, src1),)
+    if iclass is InstrClass.STORE:
+        return (Uop(UopKind.STORE, REG_NONE, src1, src2),)
+    if iclass is InstrClass.LOAD_OP:
+        # CISC read-modify form: load into dest, then combine with src2.
+        return (
+            Uop(UopKind.LOAD, dest, src1),
+            Uop(UopKind.ALU, dest, dest, src2),
+        )
+    if iclass is InstrClass.RMW:
+        # Full read-modify-write: load, combine, store back.
+        return (
+            Uop(UopKind.LOAD, dest, src1),
+            Uop(UopKind.ALU, dest, dest, src2),
+            Uop(UopKind.STORE, REG_NONE, src1, dest),
+        )
+    if iclass is InstrClass.COMPLEX_ADDR:
+        # Address generation then load through the computed address.
+        return (
+            Uop(UopKind.AGU, dest, src1, src2),
+            Uop(UopKind.LOAD, dest, dest),
+        )
+    if iclass is InstrClass.COND_BRANCH:
+        return (Uop(UopKind.BRANCH, REG_NONE, FLAGS_REG),)
+    if iclass is InstrClass.DIRECT_JUMP:
+        return (Uop(UopKind.JUMP),)
+    if iclass is InstrClass.CALL_DIRECT:
+        return (
+            Uop(UopKind.ALU, STACK_REG, STACK_REG, REG_NONE, -8),
+            Uop(UopKind.CALL, REG_NONE, STACK_REG),
+        )
+    if iclass is InstrClass.RETURN_NEAR:
+        return (
+            Uop(UopKind.ALU, STACK_REG, STACK_REG, REG_NONE, 8),
+            Uop(UopKind.RETURN, REG_NONE, STACK_REG),
+        )
+    if iclass is InstrClass.INDIRECT_JUMP:
+        if src1 == REG_NONE:
+            raise DecodeError("INDIRECT_JUMP requires a target register")
+        return (
+            Uop(UopKind.ALU, src1, src1, REG_NONE, 0),
+            Uop(UopKind.IND_JUMP, REG_NONE, src1),
+        )
+    if iclass is InstrClass.STRING_OP:
+        # One step of a string move: load, store, bump both pointers.
+        return (
+            Uop(UopKind.LOAD, dest, src1),
+            Uop(UopKind.STORE, REG_NONE, src2, dest),
+            Uop(UopKind.ALU, src1, src1, REG_NONE, 8),
+            Uop(UopKind.ALU, src2, src2, REG_NONE, 8),
+        )
+    if iclass is InstrClass.SOFTWARE_INT:
+        return (Uop(UopKind.SYSCALL),)
+    if iclass is InstrClass.FP_LOAD:
+        return (Uop(UopKind.LOAD, dest, src1),)
+    if iclass is InstrClass.FP_STORE:
+        return (Uop(UopKind.STORE, REG_NONE, src1, src2),)
+    raise DecodeError(f"unknown instruction class {iclass!r}")
+
+
+def uop_count(iclass: InstrClass) -> int:
+    """Number of uops a class decodes into (without building the template)."""
+    counts = {
+        InstrClass.INT_DIV: 2,
+        InstrClass.LOAD_OP: 2,
+        InstrClass.RMW: 3,
+        InstrClass.COMPLEX_ADDR: 2,
+        InstrClass.CALL_DIRECT: 2,
+        InstrClass.RETURN_NEAR: 2,
+        InstrClass.INDIRECT_JUMP: 2,
+        InstrClass.STRING_OP: 4,
+    }
+    return counts.get(iclass, 1)

@@ -1,0 +1,72 @@
+"""Variable-length encoding model of the synthetic CISC ISA.
+
+IA32 instructions occupy 1-15 bytes and the length is only known after
+(partially) decoding the instruction — the property that makes parallel
+decode expensive and motivates PARROT's decoded trace cache.  This module
+models encoded lengths per instruction class.  Lengths are drawn once at
+program-construction time from a per-class range, so the static image is
+deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import DecodeError
+from repro.isa.opcodes import InstrClass
+
+#: Inclusive (min, max) encoded byte lengths per instruction class.
+#: Ranges follow typical IA32 encodings: reg-reg ops are short, forms with
+#: immediates or memory operands and prefixes are long.
+LENGTH_RANGES: dict[InstrClass, tuple[int, int]] = {
+    InstrClass.SIMPLE_ALU: (2, 3),
+    InstrClass.ALU_IMM: (3, 6),
+    InstrClass.LOAD_IMM: (5, 6),
+    InstrClass.REG_MOV: (2, 3),
+    InstrClass.LOGIC_OP: (2, 4),
+    InstrClass.SHIFT_OP: (3, 4),
+    InstrClass.COMPARE: (2, 4),
+    InstrClass.INT_MUL: (3, 5),
+    InstrClass.INT_DIV: (2, 3),
+    InstrClass.FP_ARITH: (3, 5),
+    InstrClass.FP_DIVIDE: (3, 5),
+    InstrClass.LOAD: (2, 7),
+    InstrClass.STORE: (2, 7),
+    InstrClass.LOAD_OP: (3, 7),
+    InstrClass.RMW: (3, 8),
+    InstrClass.COMPLEX_ADDR: (3, 8),
+    InstrClass.COND_BRANCH: (2, 6),
+    InstrClass.DIRECT_JUMP: (2, 5),
+    InstrClass.CALL_DIRECT: (5, 5),
+    InstrClass.RETURN_NEAR: (1, 3),
+    InstrClass.INDIRECT_JUMP: (2, 7),
+    InstrClass.STRING_OP: (2, 3),
+    InstrClass.SOFTWARE_INT: (2, 2),
+    InstrClass.FP_LOAD: (2, 7),
+    InstrClass.FP_STORE: (2, 7),
+}
+
+#: Architectural maximum encoded length (IA32's limit).
+MAX_INSTR_LENGTH = 15
+
+
+def encoded_length(iclass: InstrClass, rng: random.Random) -> int:
+    """Draw an encoded byte length for one static instruction.
+
+    The draw is uniform over the class's range; with a shared seeded ``rng``
+    the whole program image is deterministic.
+    """
+    try:
+        lo, hi = LENGTH_RANGES[iclass]
+    except KeyError as exc:
+        raise DecodeError(f"no length range for instruction class {iclass!r}") from exc
+    length = rng.randint(lo, hi)
+    if not 1 <= length <= MAX_INSTR_LENGTH:
+        raise DecodeError(f"encoded length {length} out of [1, {MAX_INSTR_LENGTH}]")
+    return length
+
+
+def mean_length(iclass: InstrClass) -> float:
+    """Expected encoded length of a class (used by fetch-bandwidth tests)."""
+    lo, hi = LENGTH_RANGES[iclass]
+    return (lo + hi) / 2.0

@@ -1,0 +1,191 @@
+"""Micro-operation and macro-instruction taxonomies of the synthetic CISC ISA.
+
+The paper simulates IA32: variable-length macro-instructions, decoded into
+micro-operations (uops).  We reproduce the properties PARROT depends on —
+serial, expensive decode and >1 uop per instruction — with a compact synthetic
+ISA.  Each macro-instruction belongs to an :class:`InstrClass` which fixes its
+uop expansion template; each uop has a :class:`UopKind` which fixes its
+functional-unit class and execution latency.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class UopKind(enum.IntEnum):
+    """Kinds of micro-operations produced by the decoder or the optimizer."""
+
+    NOP = 0
+    MOV_IMM = 1      # dest <- immediate (constant producer)
+    MOV = 2          # dest <- src register copy
+    ALU = 3          # integer add/sub style operation
+    LOGIC = 4        # and/or/xor style operation
+    SHIFT = 5
+    CMP = 6          # produces flags
+    MUL = 7
+    DIV = 8
+    FP_ADD = 9
+    FP_MUL = 10
+    FP_DIV = 11
+    LOAD = 12
+    STORE = 13
+    AGU = 14         # address generation (part of complex memory forms)
+    BRANCH = 15      # conditional control transfer (consumes flags)
+    JUMP = 16        # unconditional direct jump
+    CALL = 17
+    RETURN = 18
+    IND_JUMP = 19    # indirect jump (non-return)
+    SYSCALL = 20     # software exception / interrupt gateway
+    # Uop kinds that exist only inside optimized traces:
+    ASSERT_T = 21    # assert a promoted branch is taken
+    ASSERT_NT = 22   # assert a promoted branch is not taken
+    FUSED_ALU = 23   # two dependent ALU/LOGIC uops fused into one slot
+    SIMD2 = 24       # two independent identical int ops packed into one slot
+    FP_SIMD2 = 25    # two independent identical FP ops packed into one slot
+
+
+#: Uop kinds that transfer control (terminate basic blocks when taken).
+CTI_KINDS = frozenset(
+    {
+        UopKind.BRANCH,
+        UopKind.JUMP,
+        UopKind.CALL,
+        UopKind.RETURN,
+        UopKind.IND_JUMP,
+        UopKind.SYSCALL,
+    }
+)
+
+#: Uop kinds introduced by the dynamic optimizer (never produced by decode).
+OPTIMIZER_ONLY_KINDS = frozenset(
+    {
+        UopKind.ASSERT_T,
+        UopKind.ASSERT_NT,
+        UopKind.FUSED_ALU,
+        UopKind.SIMD2,
+        UopKind.FP_SIMD2,
+    }
+)
+
+
+class FuClass(enum.IntEnum):
+    """Functional-unit classes used by the issue stage and the energy model."""
+
+    NONE = 0    # zero-latency bookkeeping (NOP, asserts execute on branch unit)
+    INT = 1
+    INT_MUL = 2
+    FP = 3
+    MEM_LOAD = 4
+    MEM_STORE = 5
+    BRANCH = 6
+
+
+#: Execution latency (cycles) per uop kind, for a hit in the L1 data cache
+#: in the case of loads.  Values follow a contemporary deeply-pipelined core.
+UOP_LATENCY: dict[UopKind, int] = {
+    UopKind.NOP: 1,
+    UopKind.MOV_IMM: 1,
+    UopKind.MOV: 1,
+    UopKind.ALU: 1,
+    UopKind.LOGIC: 1,
+    UopKind.SHIFT: 1,
+    UopKind.CMP: 1,
+    UopKind.MUL: 4,
+    UopKind.DIV: 20,
+    UopKind.FP_ADD: 4,
+    UopKind.FP_MUL: 5,
+    UopKind.FP_DIV: 24,
+    UopKind.LOAD: 3,     # L1 hit latency; misses add hierarchy latency
+    UopKind.STORE: 1,
+    UopKind.AGU: 1,
+    UopKind.BRANCH: 1,
+    UopKind.JUMP: 1,
+    UopKind.CALL: 1,
+    UopKind.RETURN: 1,
+    UopKind.IND_JUMP: 1,
+    UopKind.SYSCALL: 10,
+    UopKind.ASSERT_T: 1,
+    UopKind.ASSERT_NT: 1,
+    UopKind.FUSED_ALU: 2,
+    UopKind.SIMD2: 1,
+    UopKind.FP_SIMD2: 4,
+}
+
+#: Functional-unit class per uop kind.
+UOP_FU: dict[UopKind, FuClass] = {
+    UopKind.NOP: FuClass.NONE,
+    UopKind.MOV_IMM: FuClass.INT,
+    UopKind.MOV: FuClass.INT,
+    UopKind.ALU: FuClass.INT,
+    UopKind.LOGIC: FuClass.INT,
+    UopKind.SHIFT: FuClass.INT,
+    UopKind.CMP: FuClass.INT,
+    UopKind.MUL: FuClass.INT_MUL,
+    UopKind.DIV: FuClass.INT_MUL,
+    UopKind.FP_ADD: FuClass.FP,
+    UopKind.FP_MUL: FuClass.FP,
+    UopKind.FP_DIV: FuClass.FP,
+    UopKind.LOAD: FuClass.MEM_LOAD,
+    UopKind.STORE: FuClass.MEM_STORE,
+    UopKind.AGU: FuClass.INT,
+    UopKind.BRANCH: FuClass.BRANCH,
+    UopKind.JUMP: FuClass.BRANCH,
+    UopKind.CALL: FuClass.BRANCH,
+    UopKind.RETURN: FuClass.BRANCH,
+    UopKind.IND_JUMP: FuClass.BRANCH,
+    UopKind.SYSCALL: FuClass.BRANCH,
+    UopKind.ASSERT_T: FuClass.BRANCH,
+    UopKind.ASSERT_NT: FuClass.BRANCH,
+    UopKind.FUSED_ALU: FuClass.INT,
+    UopKind.SIMD2: FuClass.INT,
+    UopKind.FP_SIMD2: FuClass.FP,
+}
+
+
+class InstrClass(enum.IntEnum):
+    """Macro-instruction classes of the synthetic CISC ISA.
+
+    Each class fixes a uop-expansion template (see
+    :mod:`repro.isa.decoder`) and a typical encoded length range (see
+    :mod:`repro.isa.encoding`).
+    """
+
+    SIMPLE_ALU = 0        # reg-reg ALU op               -> 1 uop
+    ALU_IMM = 1           # reg-imm ALU op               -> 1 uop
+    LOAD_IMM = 2          # constant materialisation     -> 1 uop
+    REG_MOV = 3           # register copy                -> 1 uop
+    LOGIC_OP = 4          # and/or/xor                   -> 1 uop
+    SHIFT_OP = 5          # shl/shr                      -> 1 uop
+    COMPARE = 6           # cmp/test, sets flags         -> 1 uop
+    INT_MUL = 7           # imul                         -> 1 uop
+    INT_DIV = 8           # idiv                         -> 2 uops
+    FP_ARITH = 9          # fadd/fmul                    -> 1 uop
+    FP_DIVIDE = 10        # fdiv                         -> 1 uop
+    LOAD = 11             # memory load                  -> 1 uop
+    STORE = 12            # memory store                 -> 1 uop
+    LOAD_OP = 13          # load + ALU (CISC rmw read)   -> 2 uops
+    RMW = 14              # load + ALU + store           -> 3 uops
+    COMPLEX_ADDR = 15     # AGU + load (base+index*scale)-> 2 uops
+    COND_BRANCH = 16      # conditional branch           -> 1 uop
+    DIRECT_JUMP = 17      # unconditional direct jump    -> 1 uop
+    CALL_DIRECT = 18      # call: push retaddr + jump    -> 2 uops
+    RETURN_NEAR = 19      # ret: pop retaddr + jump      -> 2 uops
+    INDIRECT_JUMP = 20    # jmp [reg] / switch tables    -> 2 uops
+    STRING_OP = 21        # CISC string step             -> 4 uops
+    SOFTWARE_INT = 22     # int n / syscall              -> 1 uop
+    FP_LOAD = 23          # FP memory load               -> 1 uop
+    FP_STORE = 24         # FP memory store              -> 1 uop
+
+
+#: Classes whose final uop is a control-transfer instruction.
+CTI_CLASSES = frozenset(
+    {
+        InstrClass.COND_BRANCH,
+        InstrClass.DIRECT_JUMP,
+        InstrClass.CALL_DIRECT,
+        InstrClass.RETURN_NEAR,
+        InstrClass.INDIRECT_JUMP,
+        InstrClass.SOFTWARE_INT,
+    }
+)

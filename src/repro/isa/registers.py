@@ -1,0 +1,55 @@
+"""Architectural register file description of the synthetic ISA.
+
+The synthetic ISA exposes 16 integer registers, 8 floating-point registers
+and a flags register — close enough to IA32-with-extensions for the renaming
+and optimization machinery to face realistic pressure.  Registers are plain
+integers so the hot simulation loops stay allocation-free.
+"""
+
+from __future__ import annotations
+
+#: Sentinel meaning "no register operand".
+REG_NONE = -1
+
+NUM_INT_REGS = 16
+NUM_FP_REGS = 8
+
+#: Integer registers occupy indices [0, NUM_INT_REGS).
+INT_REG_BASE = 0
+#: FP registers occupy indices [NUM_INT_REGS, NUM_INT_REGS + NUM_FP_REGS).
+FP_REG_BASE = NUM_INT_REGS
+#: The flags register (written by CMP, read by conditional branches).
+FLAGS_REG = NUM_INT_REGS + NUM_FP_REGS
+#: The architectural stack pointer (one of the integer registers).
+STACK_REG = NUM_INT_REGS - 1
+
+#: Total number of architectural registers (including flags).
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS + 1
+
+
+def is_int_reg(reg: int) -> bool:
+    """Return True when ``reg`` is an integer architectural register."""
+    return INT_REG_BASE <= reg < INT_REG_BASE + NUM_INT_REGS
+
+
+def is_fp_reg(reg: int) -> bool:
+    """Return True when ``reg`` is a floating-point architectural register."""
+    return FP_REG_BASE <= reg < FP_REG_BASE + NUM_FP_REGS
+
+
+def is_valid_reg(reg: int) -> bool:
+    """Return True for any real architectural register (flags included)."""
+    return 0 <= reg < NUM_ARCH_REGS
+
+
+def register_name(reg: int) -> str:
+    """Human-readable register name, for disassembly and debugging."""
+    if reg == REG_NONE:
+        return "--"
+    if is_int_reg(reg):
+        return f"r{reg - INT_REG_BASE}"
+    if is_fp_reg(reg):
+        return f"f{reg - FP_REG_BASE}"
+    if reg == FLAGS_REG:
+        return "flags"
+    return f"?{reg}"

@@ -1,0 +1,13 @@
+"""Memory hierarchy substrate: set-associative caches, L1/L2/DRAM stack."""
+
+from repro.memory.cache import Cache, CacheGeometry, CacheStats
+from repro.memory.hierarchy import HierarchyConfig, HierarchyEvents, MemoryHierarchy
+
+__all__ = [
+    "Cache",
+    "CacheGeometry",
+    "CacheStats",
+    "HierarchyConfig",
+    "HierarchyEvents",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,124 @@
+"""A set-associative cache model with LRU replacement.
+
+Used for the L1 instruction cache, L1 data cache and unified L2.  The model
+tracks hits/misses and evictions; it is a *timing and energy* model, not a
+functional one — no data contents are stored, only tags.
+
+LRU is implemented with per-set insertion-ordered dicts, giving O(1)
+amortised access, which matters because the simulator probes caches on
+every memory uop and fetch block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True, slots=True)
+class CacheGeometry:
+    """Size/associativity/line-size description of one cache."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_bytes):
+            raise ConfigurationError(f"line size {self.line_bytes} not a power of two")
+        if self.size_bytes <= 0 or self.assoc <= 0:
+            raise ConfigurationError("cache size and associativity must be positive")
+        if self.size_bytes % (self.assoc * self.line_bytes) != 0:
+            raise ConfigurationError(
+                f"cache of {self.size_bytes}B cannot be {self.assoc}-way with "
+                f"{self.line_bytes}B lines"
+            )
+        if not _is_pow2(self.num_sets):
+            raise ConfigurationError(f"number of sets {self.num_sets} not a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Access counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction (0 when never accessed)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class Cache:
+    """One level of a tag-only set-associative LRU cache."""
+
+    def __init__(self, name: str, geometry: CacheGeometry):
+        self.name = name
+        self.geometry = geometry
+        self.stats = CacheStats()
+        self._line_shift = geometry.line_bytes.bit_length() - 1
+        self._set_mask = geometry.num_sets - 1
+        # Per-set LRU: dict preserves insertion order; move-to-end on hit.
+        self._sets: list[dict[int, None]] = [dict() for _ in range(geometry.num_sets)]
+
+    def access(self, address: int) -> bool:
+        """Probe the cache; allocate on miss.  Returns True on hit."""
+        line = address >> self._line_shift
+        set_index = line & self._set_mask
+        cache_set = self._sets[set_index]
+        if line in cache_set:
+            # Refresh LRU position.
+            del cache_set[line]
+            cache_set[line] = None
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.geometry.assoc:
+            oldest = next(iter(cache_set))
+            del cache_set[oldest]
+            self.stats.evictions += 1
+        cache_set[line] = None
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check presence without updating LRU state or counters."""
+        line = address >> self._line_shift
+        return line in self._sets[line & self._set_mask]
+
+    def reset_stats(self) -> None:
+        """Zero the counters without flushing contents."""
+        self.stats = CacheStats()
+
+    def flush(self) -> None:
+        """Empty the cache (contents and counters)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.reset_stats()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,144 @@
+"""The full memory hierarchy: L1I, L1D, unified L2 and main memory.
+
+The hierarchy returns *latencies* for instruction-fetch and data accesses
+and counts the per-level events the energy model charges for.  Latencies
+are additive down the hierarchy (an L1 miss pays the L2 lookup; an L2 miss
+additionally pays the memory latency), matching the paper's "full memory
+hierarchy" in its performance simulator (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.memory.cache import Cache, CacheGeometry
+
+
+@dataclass(frozen=True, slots=True)
+class HierarchyConfig:
+    """Sizes and latencies of the three-level hierarchy.
+
+    Defaults resemble the 2004-era high-performance parts the paper models:
+    32KB split L1s, a 1MB unified L2, and a few-hundred-cycle memory.
+    """
+
+    l1i: CacheGeometry = CacheGeometry(32 * 1024, 4, 64)
+    l1d: CacheGeometry = CacheGeometry(32 * 1024, 8, 64)
+    l2: CacheGeometry = CacheGeometry(1024 * 1024, 8, 64)
+    l1_latency: int = 3
+    l2_latency: int = 12
+    memory_latency: int = 150
+
+    @property
+    def l2_mbytes(self) -> float:
+        """L2 capacity in megabytes (feeds the paper's leakage formula)."""
+        return self.l2.size_bytes / (1024.0 * 1024.0)
+
+
+@dataclass(slots=True)
+class HierarchyEvents:
+    """Event counters consumed by the energy model."""
+
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_accesses: int = 0
+    l1d_writes: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    memory_accesses: int = 0
+
+
+class MemoryHierarchy:
+    """Three-level memory hierarchy shared by fetch and data paths."""
+
+    def __init__(self, config: HierarchyConfig | None = None):
+        self.config = config or HierarchyConfig()
+        self.l1i = Cache("L1I", self.config.l1i)
+        self.l1d = Cache("L1D", self.config.l1d)
+        self.l2 = Cache("L2", self.config.l2)
+        self.events = HierarchyEvents()
+
+    # -- instruction side ---------------------------------------------------
+
+    def fetch_latency(self, address: int) -> int:
+        """Latency of fetching the line containing ``address``.
+
+        An L1I hit costs nothing extra (the pipeline hides it); misses pay
+        the L2 latency and, on an L2 miss, the memory latency too.
+        """
+        self.events.l1i_accesses += 1
+        if self.l1i.access(address):
+            return 0
+        self.events.l1i_misses += 1
+        self.events.l2_accesses += 1
+        if self.l2.access(address):
+            return self.config.l2_latency
+        self.events.l2_misses += 1
+        self.events.memory_accesses += 1
+        return self.config.l2_latency + self.config.memory_latency
+
+    # -- data side ------------------------------------------------------------
+
+    def load_latency(self, address: int) -> int:
+        """Total load-to-use latency for a data access at ``address``."""
+        self.events.l1d_accesses += 1
+        if self.l1d.access(address):
+            return self.config.l1_latency
+        self.events.l1d_misses += 1
+        self.events.l2_accesses += 1
+        if self.l2.access(address):
+            return self.config.l1_latency + self.config.l2_latency
+        self.events.l2_misses += 1
+        self.events.memory_accesses += 1
+        return (
+            self.config.l1_latency
+            + self.config.l2_latency
+            + self.config.memory_latency
+        )
+
+    def store_access(self, address: int) -> None:
+        """Account a store (write-allocate; stores retire via buffers,
+        so they do not stall the dependent-timing model)."""
+        self.events.l1d_accesses += 1
+        self.events.l1d_writes += 1
+        if not self.l1d.access(address):
+            self.events.l1d_misses += 1
+            self.events.l2_accesses += 1
+            if not self.l2.access(address):
+                self.events.l2_misses += 1
+                self.events.memory_accesses += 1
+
+    def reset(self) -> None:
+        """Flush all levels and zero counters (fresh simulation)."""
+        self.l1i.flush()
+        self.l1d.flush()
+        self.l2.flush()
+        self.events = HierarchyEvents()
+
+    def prewarm(
+        self,
+        code_addresses: "Iterable[int]" = (),
+        data_ranges: "Iterable[tuple[int, int]]" = (),
+    ) -> None:
+        """Pre-load code and data into the hierarchy (steady-state start).
+
+        The paper simulates 30-100M-instruction traces, so compulsory
+        misses are negligible; our runs are orders of magnitude shorter and
+        would otherwise be dominated by cold-cache warmup.  Prewarming
+        installs all code lines into L1I+L2 and all data-region lines into
+        L2 (capacity still limits what L1D can keep), then zeroes the event
+        counters so prewarm traffic is never charged.
+        """
+        line = self.config.l2.line_bytes
+        for address in code_addresses:
+            self.l1i.access(address)
+            self.l2.access(address)
+        for base, extent in data_ranges:
+            for addr in range(base, base + max(extent, line), line):
+                self.l2.access(addr)
+        self.events = HierarchyEvents()
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()

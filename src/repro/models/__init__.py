@@ -1,0 +1,27 @@
+"""The seven machine models of the paper (Tables 3.1/3.2)."""
+
+from repro.models.configs import (
+    MODEL_NAMES,
+    all_models,
+    model_config,
+    model_n,
+    model_tn,
+    model_ton,
+    model_tos,
+    model_tow,
+    model_tw,
+    model_w,
+)
+
+__all__ = [
+    "MODEL_NAMES",
+    "all_models",
+    "model_config",
+    "model_n",
+    "model_tn",
+    "model_ton",
+    "model_tos",
+    "model_tow",
+    "model_tw",
+    "model_w",
+]

@@ -1,0 +1,210 @@
+"""The seven machine models of Tables 3.1 and 3.2.
+
+The two-dimensional configuration space (Table 3.1) crosses machine width
+{narrow = 4-wide, wide = 8-wide} with trace-cache extension
+{none, selective trace cache (T), trace cache + dynamic optimization (TO)}:
+
+=========  ==============  =====================  =========================
+width      base            + trace cache          + trace cache + optimizer
+=========  ==============  =====================  =========================
+narrow     ``N``           ``TN``                 ``TON``
+wide       ``W``           ``TW``                 ``TOW``
+split      --              --                     ``TOS`` (cold 4 / hot 8)
+=========  ==============  =====================  =========================
+
+Microarchitectural settings (Table 3.2): the reference N is a standard
+4-wide super-scalar, super-pipelined OOO machine with a 4K-entry branch
+predictor; W doubles every stage; trace-cache models halve the branch
+predictor to 2K entries and add a 2K-entry trace predictor plus a 16K-uop
+decoded trace cache with hot/blazing filtering; TOS couples a narrow cold
+pipeline with a wide hot pipeline over a shared architectural state.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MachineConfig
+from repro.frontend.fetch import FetchParams
+from repro.optimizer.pipeline import OptimizerConfig
+from repro.pipeline.resources import (
+    ExecProfile,
+    narrow_core_params,
+    narrow_fu_counts,
+    wide_core_params,
+)
+from repro.power.tags import EnergyCalibration
+
+#: Names of the seven models, in the paper's presentation order.
+MODEL_NAMES = ("N", "W", "TN", "TW", "TON", "TOW", "TOS")
+
+#: Leakage-relevant area of the trace machinery (trace cache, predictors,
+#: filters, constructor, optimizer) relative to the standard core.
+_TRACE_UNIT_AREA = 0.15
+
+_NARROW_FETCH = FetchParams(width_instrs=4, width_bytes=16, trace_uops=8)
+# The wide front end decodes 8 instructions per cycle, but taken-branch
+# redirects and fetch-block alignment keep its sustained supply below the
+# theoretical peak (the classic limiter the trace cache removes).
+_WIDE_FETCH = FetchParams(width_instrs=6, width_bytes=24, trace_uops=16)
+#: TOS: narrow cold fetch feeding a wide hot pipeline.
+_SPLIT_FETCH = FetchParams(width_instrs=4, width_bytes=16, trace_uops=16)
+
+
+def model_n(calibration: EnergyCalibration | None = None) -> MachineConfig:
+    """N: the standard 4-wide OOO reference machine."""
+    return MachineConfig(
+        name="N",
+        description="4-wide super-scalar, super-pipelined OOO reference",
+        core=narrow_core_params("N-core"),
+        fetch=_NARROW_FETCH,
+        has_trace_cache=False,
+        bpred_entries=4096,
+        calibration=calibration or EnergyCalibration(),
+    )
+
+
+def model_w(calibration: EnergyCalibration | None = None) -> MachineConfig:
+    """W: the theoretical 8-wide extension (all stages widened)."""
+    return MachineConfig(
+        name="W",
+        description="8-wide extension of N: all stages doubled",
+        core=wide_core_params("W-core"),
+        fetch=_WIDE_FETCH,
+        has_trace_cache=False,
+        bpred_entries=4096,
+        calibration=calibration or EnergyCalibration(),
+    )
+
+
+def _trace_model(
+    name: str,
+    description: str,
+    *,
+    wide: bool,
+    optimize: bool,
+    calibration: EnergyCalibration | None,
+    optimizer: OptimizerConfig | None = None,
+) -> MachineConfig:
+    core = wide_core_params(f"{name}-core") if wide else narrow_core_params(f"{name}-core")
+    return MachineConfig(
+        name=name,
+        description=description,
+        core=core,
+        fetch=_WIDE_FETCH if wide else _NARROW_FETCH,
+        has_trace_cache=True,
+        optimize_traces=optimize,
+        optimizer=optimizer or OptimizerConfig(),
+        bpred_entries=2048,
+        tpred_entries=2048,
+        tcache_uops=16 * 1024,
+        extra_area=_TRACE_UNIT_AREA,
+        calibration=calibration or EnergyCalibration(),
+    )
+
+
+def model_tn(calibration: EnergyCalibration | None = None) -> MachineConfig:
+    """TN: N plus a selective trace cache (optimizations disabled)."""
+    return _trace_model(
+        "TN", "4-wide + selective trace cache, no optimizer",
+        wide=False, optimize=False, calibration=calibration,
+    )
+
+
+def model_tw(calibration: EnergyCalibration | None = None) -> MachineConfig:
+    """TW: W plus a selective trace cache (optimizations disabled)."""
+    return _trace_model(
+        "TW", "8-wide + selective trace cache, no optimizer",
+        wide=True, optimize=False, calibration=calibration,
+    )
+
+
+def model_ton(
+    calibration: EnergyCalibration | None = None,
+    optimizer: OptimizerConfig | None = None,
+) -> MachineConfig:
+    """TON: the PARROT narrow machine (trace cache + dynamic optimizer)."""
+    return _trace_model(
+        "TON", "4-wide PARROT: selective trace cache + dynamic optimizer",
+        wide=False, optimize=True, calibration=calibration, optimizer=optimizer,
+    )
+
+
+def model_tow(
+    calibration: EnergyCalibration | None = None,
+    optimizer: OptimizerConfig | None = None,
+) -> MachineConfig:
+    """TOW: the PARROT wide machine (trace cache + dynamic optimizer)."""
+    return _trace_model(
+        "TOW", "8-wide PARROT: selective trace cache + dynamic optimizer",
+        wide=True, optimize=True, calibration=calibration, optimizer=optimizer,
+    )
+
+
+def model_tos(
+    calibration: EnergyCalibration | None = None,
+    *,
+    state_switch_latency: int = 3,
+    cold_width: int = 4,
+) -> MachineConfig:
+    """TOS: the conceptual split machine — narrow cold core, wide hot core.
+
+    Presented in the paper "only as a reference for alternative future
+    developments" (§4); its energy breakdown appears in Figure 4.11.  The
+    ``state_switch_latency`` and ``cold_width`` knobs support the §5
+    future-work exploration of alternative decoupled split cores (see
+    ``examples/split_core_study.py``).
+
+    Known approximation: the energy tag matrix is built from the wide hot
+    core's parameters, so cold-pipeline uops are charged wide-width
+    rename/issue/regfile energy.  This overstates TOS's cold-phase energy
+    (conservative for the paper's point that the split design is the more
+    power-hungry alternative); per-pipeline tag matrices are future work.
+    """
+    cold_profile = ExecProfile(
+        rename_width=cold_width,
+        issue_width=cold_width,
+        commit_width=cold_width,
+        fu_counts=narrow_fu_counts(),
+    )
+    core = wide_core_params("TOS-hot-core")
+    return MachineConfig(
+        name="TOS",
+        description="split PARROT: narrow cold pipeline, 8-wide hot pipeline",
+        core=core,
+        fetch=_SPLIT_FETCH,
+        has_trace_cache=True,
+        optimize_traces=True,
+        optimizer=OptimizerConfig(),
+        bpred_entries=2048,
+        tpred_entries=2048,
+        tcache_uops=16 * 1024,
+        cold_profile=cold_profile,
+        state_switch_latency=state_switch_latency,
+        # Two cores on die: the narrow cold core's area adds to leakage.
+        extra_area=_TRACE_UNIT_AREA + 1.0,
+        calibration=calibration or EnergyCalibration(),
+    )
+
+
+_FACTORIES = {
+    "N": model_n,
+    "W": model_w,
+    "TN": model_tn,
+    "TW": model_tw,
+    "TON": model_ton,
+    "TOW": model_tow,
+    "TOS": model_tos,
+}
+
+
+def model_config(name: str, calibration: EnergyCalibration | None = None) -> MachineConfig:
+    """Build a named model configuration (Table 3.1/3.2)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown model {name!r}; known: {MODEL_NAMES}") from exc
+    return factory(calibration)
+
+
+def all_models(calibration: EnergyCalibration | None = None) -> list[MachineConfig]:
+    """All seven configurations, in presentation order."""
+    return [model_config(name, calibration) for name in MODEL_NAMES]

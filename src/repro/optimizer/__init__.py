@@ -1,0 +1,59 @@
+"""Dynamic trace optimizer: promotion, passes, pass manager, verification."""
+
+from repro.optimizer.asserts import PromotionStats, promote_control
+from repro.optimizer.dependency_graph import DependencyGraph, build_dependency_graph
+from repro.optimizer.passes import (
+    ConstantPropagation,
+    CriticalPathScheduling,
+    DeadCodeElimination,
+    LogicSimplify,
+    MicroOpFusion,
+    OptimizationPass,
+    Simdify,
+    VirtualRenaming,
+)
+from repro.optimizer.pipeline import (
+    OptimizationReport,
+    OptimizerConfig,
+    TraceOptimizer,
+)
+from repro.optimizer.semantics import (
+    FOLDABLE_KINDS,
+    SIDE_EFFECT_KINDS,
+    fold,
+    initial_register_value,
+    load_token,
+)
+from repro.optimizer.verify import (
+    EquivalenceResult,
+    TraceMachineState,
+    check_equivalence,
+    interpret,
+)
+
+__all__ = [
+    "ConstantPropagation",
+    "CriticalPathScheduling",
+    "DeadCodeElimination",
+    "DependencyGraph",
+    "EquivalenceResult",
+    "FOLDABLE_KINDS",
+    "LogicSimplify",
+    "MicroOpFusion",
+    "OptimizationPass",
+    "OptimizationReport",
+    "OptimizerConfig",
+    "PromotionStats",
+    "SIDE_EFFECT_KINDS",
+    "Simdify",
+    "TraceMachineState",
+    "TraceOptimizer",
+    "VirtualRenaming",
+    "build_dependency_graph",
+    "check_equivalence",
+    "fold",
+    "initial_register_value",
+    "interpret",
+    "load_token",
+    "promote_control",
+]

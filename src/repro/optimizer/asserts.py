@@ -1,0 +1,81 @@
+"""Control promotion: branches inside atomic traces become assert uops.
+
+Trace atomicity (§2.2-2.4) means a trace's internal control flow is fixed
+at construction time: internal conditional branches are *promoted* to
+assert operations that merely verify the recorded direction (rePlay-style
+[25]); direct jumps, calls and returns need no execution at all — their
+targets are implied by the trace — so their control uops are eliminated
+(the stack-pointer-adjust uops of calls/returns remain, since they update
+architectural state).  An indirect jump terminating a trace keeps a target
+assert.
+
+Promotion is the first optimizer pass: every subsequent pass relies on the
+straight-line, assert-annotated form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizationError
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.trace.tid import TraceId
+
+
+@dataclass(slots=True)
+class PromotionStats:
+    """Counts of control uops transformed by promotion."""
+
+    branches_promoted: int = 0
+    jumps_eliminated: int = 0
+    calls_eliminated: int = 0
+    returns_eliminated: int = 0
+    indirects_asserted: int = 0
+
+
+def promote_control(uops: list[Uop], tid: TraceId) -> tuple[list[Uop], PromotionStats]:
+    """Replace internal control uops with asserts / eliminate them.
+
+    The i-th conditional-branch uop takes its asserted direction from the
+    i-th bit of the TID's direction string.  Raises
+    :class:`~repro.errors.OptimizationError` when the trace contains more
+    branches than the TID records — that would mean selection and
+    construction disagree.
+    """
+    stats = PromotionStats()
+    out: list[Uop] = []
+    branch_index = 0
+    for uop in uops:
+        kind = uop.kind
+        if kind is UopKind.BRANCH:
+            if branch_index >= tid.num_branches:
+                raise OptimizationError(
+                    f"{tid}: trace has more conditional branches than the TID"
+                    f" records ({tid.num_branches})"
+                )
+            taken = tid.direction(branch_index)
+            branch_index += 1
+            promoted = uop.copy()
+            promoted.kind = UopKind.ASSERT_T if taken else UopKind.ASSERT_NT
+            out.append(promoted)
+            stats.branches_promoted += 1
+        elif kind is UopKind.JUMP:
+            stats.jumps_eliminated += 1
+        elif kind is UopKind.CALL:
+            stats.calls_eliminated += 1
+        elif kind is UopKind.RETURN:
+            stats.returns_eliminated += 1
+        elif kind is UopKind.IND_JUMP:
+            asserted = uop.copy()
+            asserted.kind = UopKind.ASSERT_T
+            out.append(asserted)
+            stats.indirects_asserted += 1
+        else:
+            out.append(uop.copy())
+    if branch_index != tid.num_branches:
+        raise OptimizationError(
+            f"{tid}: trace has {branch_index} conditional branches but the "
+            f"TID records {tid.num_branches}"
+        )
+    return out, stats

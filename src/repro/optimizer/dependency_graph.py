@@ -1,0 +1,98 @@
+"""Static dependency graph over a trace's uops.
+
+The paper's optimizer "maintains a static dependency graph, which is used
+across different optimization passes" (§3.1).  Ours records:
+
+* RAW edges (true data dependences through registers, including flags),
+* WAW/WAR edges (output/anti dependences — needed so the scheduling pass
+  cannot produce a semantically different register state; the hardware's
+  partial renaming would remove them, but the committed values must match),
+* memory-order edges (stores are ordered with respect to all other memory
+  operations; load-load pairs may reorder).
+
+Heights (latency-weighted longest path to any leaf) drive the
+critical-path scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+
+
+@dataclass(slots=True)
+class DependencyGraph:
+    """Immutable-after-build dependence information for one uop list."""
+
+    num_nodes: int
+    #: predecessor index lists (deduplicated), per node
+    preds: list[list[int]]
+    #: successor index lists, per node
+    succs: list[list[int]]
+    #: latency-weighted height (longest path from node to any sink)
+    heights: list[int]
+
+    def critical_path(self) -> int:
+        """Length of the longest dependence chain in the graph."""
+        return max(self.heights, default=0)
+
+
+def build_dependency_graph(uops: list[Uop]) -> DependencyGraph:
+    """Construct the full dependence graph of a uop sequence."""
+    n = len(uops)
+    pred_sets: list[set[int]] = [set() for _ in range(n)]
+
+    last_writer: dict[int, int] = {}
+    readers_since_write: dict[int, list[int]] = {}
+    last_store = -1
+    last_mem = -1
+
+    for i, uop in enumerate(uops):
+        preds = pred_sets[i]
+        # RAW: depend on the last writer of every source.
+        for src in uop.sources():
+            writer = last_writer.get(src)
+            if writer is not None:
+                preds.add(writer)
+            readers_since_write.setdefault(src, []).append(i)
+        # WAW / WAR on each destination.
+        for dest in uop.destinations():
+            writer = last_writer.get(dest)
+            if writer is not None:
+                preds.add(writer)
+            for reader in readers_since_write.get(dest, ()):
+                if reader != i:
+                    preds.add(reader)
+            last_writer[dest] = i
+            readers_since_write[dest] = []
+        # Memory ordering: stores order against everything; loads order
+        # against stores only.
+        if uop.kind is UopKind.STORE:
+            if last_mem >= 0:
+                preds.add(last_mem)
+            last_store = i
+            last_mem = i
+        elif uop.kind is UopKind.LOAD:
+            if last_store >= 0:
+                preds.add(last_store)
+            last_mem = i
+
+    preds_list = [sorted(p) for p in pred_sets]
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for i, preds in enumerate(preds_list):
+        for p in preds:
+            succs[p].append(i)
+
+    heights = [0] * n
+    for i in range(n - 1, -1, -1):
+        best = 0
+        for s in succs[i]:
+            if heights[s] > best:
+                best = heights[s]
+        heights[i] = best + uops[i].latency
+
+    return DependencyGraph(
+        num_nodes=n, preds=preds_list, succs=succs, heights=heights
+    )

@@ -1,0 +1,23 @@
+"""Dynamic-optimizer passes (general-purpose and core-specific, §2.4)."""
+
+from repro.optimizer.passes.base import OptimizationPass, UseInfo, definition_uses
+from repro.optimizer.passes.constant_propagation import ConstantPropagation
+from repro.optimizer.passes.dead_code import DeadCodeElimination
+from repro.optimizer.passes.fusion import MicroOpFusion
+from repro.optimizer.passes.logic_simplify import LogicSimplify
+from repro.optimizer.passes.renaming import VirtualRenaming
+from repro.optimizer.passes.scheduling import CriticalPathScheduling
+from repro.optimizer.passes.simdify import Simdify
+
+__all__ = [
+    "ConstantPropagation",
+    "CriticalPathScheduling",
+    "DeadCodeElimination",
+    "LogicSimplify",
+    "MicroOpFusion",
+    "OptimizationPass",
+    "Simdify",
+    "UseInfo",
+    "VirtualRenaming",
+    "definition_uses",
+]

@@ -1,0 +1,84 @@
+"""Shared infrastructure for optimizer passes.
+
+Each pass is a callable object transforming a uop list in trace order and
+recording what it did in its ``applied`` counter.  Passes must preserve the
+trace's architectural semantics: final register state and the ordered
+store sequence (checked by :mod:`repro.optimizer.verify`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import Uop
+from repro.isa.registers import REG_NONE
+
+
+class OptimizationPass:
+    """Base class: a named, self-counting trace transformation."""
+
+    name = "base"
+    #: True for the core-specific class of optimizations (§2.4) — those
+    #: exploiting integration with the execution hardware.
+    core_specific = False
+
+    def __init__(self) -> None:
+        self.applied = 0
+
+    def run(self, uops: list[Uop]) -> list[Uop]:
+        """Transform ``uops``; return the (possibly new) list."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Zero the application counter."""
+        self.applied = 0
+
+
+@dataclass(slots=True)
+class UseInfo:
+    """Readers of one register definition, up to its next redefinition."""
+
+    readers: list[int]
+    redefined_at: int | None
+
+
+def definition_uses(uops: list[Uop]) -> dict[int, UseInfo]:
+    """For every defining uop index, who reads that value and where it dies.
+
+    Returns a map from defining index to :class:`UseInfo`.  Only ``dest``
+    definitions are tracked (``dest2`` packed definitions are left alone by
+    the passes that use this analysis).
+    """
+    live_def: dict[int, int] = {}  # register -> defining index (-1: untracked)
+    info: dict[int, UseInfo] = {}
+    for i, uop in enumerate(uops):
+        for src in uop.sources():
+            definer = live_def.get(src, -1)
+            if definer >= 0:
+                info[definer].readers.append(i)
+        dest = uop.dest
+        if dest != REG_NONE:
+            previous = live_def.get(dest, -1)
+            if previous >= 0:
+                info[previous].redefined_at = i
+            live_def[dest] = i
+            info[i] = UseInfo(readers=[], redefined_at=None)
+        dest2 = uop.dest2
+        if dest2 != REG_NONE:
+            previous = live_def.get(dest2, -1)
+            if previous >= 0:
+                info[previous].redefined_at = i
+            # Packed second destinations are not offered to single-use
+            # transformations; mark the register untracked.
+            live_def[dest2] = -1
+    return info
+
+
+def reg_sources(uop: Uop) -> tuple[int, ...]:
+    """Register sources excluding packed extras (pre-SIMD passes only)."""
+    srcs = []
+    if uop.src1 != REG_NONE:
+        srcs.append(uop.src1)
+    if uop.src2 != REG_NONE:
+        srcs.append(uop.src2)
+    return tuple(srcs)

@@ -1,0 +1,105 @@
+"""Constant and copy propagation (general-purpose optimization, §2.4).
+
+Forward dataflow over the straight-line (post-promotion) trace:
+
+* registers holding known constants are tracked; foldable uops whose
+  register inputs are all known collapse to ``MOV_IMM`` (constant folding);
+* additive/xor kinds with one known register input fold that input into the
+  immediate field, removing a data dependence edge (the "dependency
+  elimination" effect the paper highlights);
+* register copies are propagated so consumers read the original source,
+  which both shortens dependence chains and exposes dead copies to DCE.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import REG_NONE
+from repro.optimizer.passes.base import OptimizationPass
+from repro.optimizer.semantics import FOLDABLE_KINDS, fold
+
+#: Kinds where a known src2 can be merged into the immediate operand.
+_IMM_MERGEABLE = {
+    UopKind.ALU: lambda imm, val: (imm or 0) + val,
+    UopKind.AGU: lambda imm, val: (imm or 0) + val,
+    UopKind.FP_ADD: lambda imm, val: (imm or 0) + val,
+    UopKind.LOGIC: lambda imm, val: (imm or 0) ^ val,
+}
+
+
+class ConstantPropagation(OptimizationPass):
+    """Constant folding, immediate merging and copy propagation."""
+
+    name = "constant_propagation"
+    core_specific = False
+
+    def run(self, uops: list[Uop]) -> list[Uop]:
+        known: dict[int, int] = {}
+        copies: dict[int, int] = {}
+        out: list[Uop] = []
+        for uop in uops:
+            uop = self._substitute_copies(uop, copies)
+            uop = self._try_fold(uop, known)
+            self._update_state(uop, known, copies)
+            out.append(uop)
+        return out
+
+    @staticmethod
+    def _substitute_copies(uop: Uop, copies: dict[int, int]) -> Uop:
+        src1 = copies.get(uop.src1, uop.src1)
+        src2 = copies.get(uop.src2, uop.src2)
+        if src1 != uop.src1 or src2 != uop.src2:
+            uop = uop.copy()
+            uop.src1 = src1
+            uop.src2 = src2
+        return uop
+
+    def _try_fold(self, uop: Uop, known: dict[int, int]) -> Uop:
+        kind = uop.kind
+        if kind not in FOLDABLE_KINDS or uop.dest == REG_NONE:
+            return uop
+        v1 = known.get(uop.src1) if uop.src1 != REG_NONE else 0
+        v2 = known.get(uop.src2) if uop.src2 != REG_NONE else 0
+        if v1 is not None and v2 is not None and kind is not UopKind.MOV_IMM:
+            value = fold(kind, v1, v2, uop.imm)
+            folded = uop.copy()
+            folded.kind = UopKind.MOV_IMM
+            folded.src1 = REG_NONE
+            folded.src2 = REG_NONE
+            folded.imm = value
+            self.applied += 1
+            return folded
+        merge = _IMM_MERGEABLE.get(kind)
+        if merge is not None:
+            # One known register operand folds into the immediate field,
+            # eliminating a dependence edge.
+            if uop.src2 != REG_NONE and v2 is not None:
+                merged = uop.copy()
+                merged.imm = merge(uop.imm, v2)
+                merged.src2 = REG_NONE
+                self.applied += 1
+                return merged
+            if uop.src1 != REG_NONE and v1 is not None and uop.src2 != REG_NONE:
+                merged = uop.copy()
+                merged.imm = merge(uop.imm, v1)
+                merged.src1 = merged.src2
+                merged.src2 = REG_NONE
+                self.applied += 1
+                return merged
+        return uop
+
+    @staticmethod
+    def _update_state(uop: Uop, known: dict[int, int], copies: dict[int, int]) -> None:
+        for dest in uop.destinations():
+            known.pop(dest, None)
+            copies.pop(dest, None)
+            # Invalidate copies whose *source* was overwritten.
+            stale = [d for d, s in copies.items() if s == dest]
+            for d in stale:
+                del copies[d]
+        if uop.kind is UopKind.MOV_IMM and uop.dest != REG_NONE:
+            known[uop.dest] = uop.imm or 0
+        elif uop.kind is UopKind.MOV and uop.dest != REG_NONE and uop.src1 != REG_NONE:
+            if uop.dest != uop.src1:
+                copies[uop.dest] = uop.src1

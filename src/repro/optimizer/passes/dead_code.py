@@ -1,0 +1,46 @@
+"""Dead-code elimination (general-purpose optimization, §2.4).
+
+Backward liveness over the straight-line trace.  Because traces commit
+atomically, every architectural register is conservatively live at trace
+exit; a write is dead only when it is overwritten before any read *within
+the trace*.  Memory operations, asserts and other side-effecting uops are
+never removed; NOPs always are.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.optimizer.passes.base import OptimizationPass
+from repro.optimizer.semantics import SIDE_EFFECT_KINDS
+
+
+class DeadCodeElimination(OptimizationPass):
+    """Remove writes that are overwritten before being read, and NOPs."""
+
+    name = "dead_code"
+    core_specific = False
+
+    def run(self, uops: list[Uop]) -> list[Uop]:
+        live = set(range(NUM_ARCH_REGS))  # all registers live at trace exit
+        keep: list[Uop | None] = [None] * len(uops)
+        for i in range(len(uops) - 1, -1, -1):
+            uop = uops[i]
+            if uop.kind is UopKind.NOP:
+                self.applied += 1
+                continue
+            dests = uop.destinations()
+            if (
+                dests
+                and uop.kind not in SIDE_EFFECT_KINDS
+                and all(d not in live for d in dests)
+            ):
+                self.applied += 1
+                continue
+            for dest in dests:
+                live.discard(dest)
+            for src in uop.sources():
+                live.add(src)
+            keep[i] = uop
+        return [u for u in keep if u is not None]

@@ -1,0 +1,91 @@
+"""Micro-operation fusion (core-specific optimization, §2.4).
+
+A producer ALU whose value is consumed exactly once, by another ALU, and
+then overwritten, is merged into its consumer as a single ``FUSED_ALU``
+uop occupying one rename/issue slot.  Because the synthetic ALU is
+addition, the fusion is exact: ``d = (a + b + i1) + c + i2`` becomes one
+uop with at most two register sources and the immediates summed.
+
+Legality (checked per candidate):
+
+* the producer's destination has exactly one reader before redefinition,
+  and *is* redefined within the trace (not live-out);
+* no uop between producer and consumer redefines the producer's sources;
+* the fused uop needs at most two register sources in total.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import REG_NONE
+from repro.optimizer.passes.base import OptimizationPass, definition_uses, reg_sources
+
+#: Maximum producer-to-consumer distance considered for fusion (a real
+#: fusion unit examines a small in-order window).
+_FUSION_WINDOW = 4
+
+
+class MicroOpFusion(OptimizationPass):
+    """Fuse dependent single-use ALU pairs into one slot."""
+
+    name = "fusion"
+    core_specific = True
+
+    def run(self, uops: list[Uop]) -> list[Uop]:
+        uses = definition_uses(uops)
+        removed: set[int] = set()
+        replaced: dict[int, Uop] = {}
+        for i, producer in enumerate(uops):
+            if i in removed or i in replaced:
+                continue
+            if producer.kind is not UopKind.ALU or producer.dest == REG_NONE:
+                continue
+            info = uses.get(i)
+            if info is None or len(info.readers) != 1 or info.redefined_at is None:
+                continue
+            j = info.readers[0]
+            if j in removed or j in replaced or not i < j <= i + _FUSION_WINDOW:
+                continue
+            consumer = uops[j]
+            if consumer.kind is not UopKind.ALU or consumer.dest == REG_NONE:
+                continue
+            fused = self._try_fuse(producer, consumer, uops, i, j)
+            if fused is None:
+                continue
+            removed.add(i)
+            replaced[j] = fused
+            self.applied += 1
+        out: list[Uop] = []
+        for k, uop in enumerate(uops):
+            if k in removed:
+                continue
+            out.append(replaced.get(k, uop))
+        return out
+
+    @staticmethod
+    def _try_fuse(
+        producer: Uop, consumer: Uop, uops: list[Uop], i: int, j: int
+    ) -> Uop | None:
+        d = producer.dest
+        consumer_srcs = reg_sources(consumer)
+        # The consumer must read the produced value exactly once.
+        if consumer_srcs.count(d) != 1:
+            return None
+        other_srcs = [s for s in consumer_srcs if s != d]
+        producer_srcs = list(reg_sources(producer))
+        combined = producer_srcs + other_srcs
+        if len(combined) > 2:
+            return None
+        # The producer's sources must survive unchanged until the consumer.
+        needed = set(producer_srcs)
+        for k in range(i + 1, j):
+            mid = uops[k]
+            if mid.dest in needed or mid.dest2 in needed:
+                return None
+        fused = consumer.copy()
+        fused.kind = UopKind.FUSED_ALU
+        fused.src1 = combined[0] if combined else REG_NONE
+        fused.src2 = combined[1] if len(combined) > 1 else REG_NONE
+        fused.imm = (producer.imm or 0) + (consumer.imm or 0)
+        return fused

@@ -1,0 +1,76 @@
+"""Logic simplification (general-purpose optimization, §2.4).
+
+Peephole identities over single uops: additions of zero and shifts by zero
+become register moves; xor of a register with itself becomes a constant
+zero; self-moves become NOPs (removed by the following DCE pass).  These
+fire frequently after constant propagation has merged immediates.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import REG_NONE
+from repro.optimizer.passes.base import OptimizationPass
+
+
+class LogicSimplify(OptimizationPass):
+    """Strength-reduce trivial arithmetic/logic identities."""
+
+    name = "logic_simplify"
+    core_specific = False
+
+    def run(self, uops: list[Uop]) -> list[Uop]:
+        out = []
+        for uop in uops:
+            simplified = self._simplify(uop)
+            if simplified is not uop:
+                self.applied += 1
+            out.append(simplified)
+        return out
+
+    @staticmethod
+    def _to_mov(uop: Uop, src: int) -> Uop:
+        mov = uop.copy()
+        mov.kind = UopKind.MOV
+        mov.src1 = src
+        mov.src2 = REG_NONE
+        mov.imm = None
+        return mov
+
+    def _simplify(self, uop: Uop) -> Uop:
+        kind = uop.kind
+        if uop.dest == REG_NONE:
+            return uop
+        if kind in (UopKind.ALU, UopKind.FP_ADD):
+            # x + 0 -> move
+            if uop.src2 == REG_NONE and not uop.imm and uop.src1 != REG_NONE:
+                return self._to_mov(uop, uop.src1)
+        elif kind is UopKind.LOGIC:
+            if (
+                uop.src1 != REG_NONE
+                and uop.src1 == uop.src2
+                and not uop.imm
+            ):
+                # x ^ x -> 0
+                zero = uop.copy()
+                zero.kind = UopKind.MOV_IMM
+                zero.src1 = REG_NONE
+                zero.src2 = REG_NONE
+                zero.imm = 0
+                return zero
+            if uop.src2 == REG_NONE and not uop.imm and uop.src1 != REG_NONE:
+                # x ^ 0 -> move
+                return self._to_mov(uop, uop.src1)
+        elif kind is UopKind.SHIFT:
+            if not uop.imm and uop.src1 != REG_NONE:
+                # x << 0 -> move
+                return self._to_mov(uop, uop.src1)
+        elif kind is UopKind.MOV:
+            if uop.dest == uop.src1:
+                nop = uop.copy()
+                nop.kind = UopKind.NOP
+                nop.src1 = REG_NONE
+                nop.dest = REG_NONE
+                return nop
+        return uop

@@ -1,0 +1,51 @@
+"""Partial (virtual) renaming analysis (core-specific optimization, §2.4).
+
+Within an atomic trace, only the *last* write to each architectural
+register is architecturally visible; every earlier write produces a
+trace-local temporary.  The optimizer pre-computes those, letting the hot
+pipeline satisfy them from cheap virtual registers instead of the full
+rename table and architectural register file — the paper notes virtual
+renaming "contributes mainly to power/energy saving".
+
+This pass transforms nothing; it annotates.  The energy model charges
+``rename_virtual`` (cheap) instead of ``rename_uop`` (full) for the
+annotated fraction of an optimized trace's uops.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Uop
+from repro.isa.registers import REG_NONE
+from repro.optimizer.passes.base import OptimizationPass
+
+
+class VirtualRenaming(OptimizationPass):
+    """Count trace-local register definitions (virtual renames)."""
+
+    name = "virtual_renaming"
+    core_specific = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.virtual_renames = 0
+
+    def run(self, uops: list[Uop]) -> list[Uop]:
+        last_writer: dict[int, int] = {}
+        for i, uop in enumerate(uops):
+            if uop.dest != REG_NONE:
+                last_writer[uop.dest] = i
+            if uop.dest2 != REG_NONE:
+                last_writer[uop.dest2] = i
+        virtual = 0
+        for i, uop in enumerate(uops):
+            if uop.dest != REG_NONE and last_writer[uop.dest] != i:
+                virtual += 1
+            elif uop.dest2 != REG_NONE and last_writer[uop.dest2] != i:
+                virtual += 1
+        self.virtual_renames = virtual
+        self.applied += virtual
+        return uops
+
+    def reset(self) -> None:
+        super().reset()
+        self.virtual_renames = 0

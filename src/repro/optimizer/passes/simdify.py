@@ -1,0 +1,108 @@
+"""SIMDification (core-specific optimization, §2.4).
+
+Two independent additions of the same kind (integer ALU or FP add) within
+a small window are packed into one two-lane SIMD uop occupying a single
+rename/issue slot: lane 0 keeps the first uop's operands in ``src1/src2``
+and ``dest``; lane 1 carries the second uop's operands in ``extra_srcs``
+and ``dest2``.
+
+Legality: the packed partner moves *up* to the leader's position, so its
+sources must not be written, and its destination must not be read or
+written, by any uop in between (including the leader).
+
+Profitability: both lanes of a packed uop issue and complete *together*,
+so pairing operations from different dependence depths would delay the
+shallower one's consumers.  The pass therefore computes an ASAP (as soon
+as possible) dataflow level for every uop and only pairs operations at
+the same level — the pairs a hardware packer would find naturally
+simultaneous.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import REG_NONE
+from repro.optimizer.passes.base import OptimizationPass, reg_sources
+from repro.trace.trace import asap_levels
+
+#: Kinds eligible for pairing, and the packed kind they produce.
+_PACKABLE = {
+    UopKind.ALU: UopKind.SIMD2,
+    UopKind.FP_ADD: UopKind.FP_SIMD2,
+}
+
+#: Maximum leader-to-partner distance (a real packer's pairing window).
+_SIMD_WINDOW = 6
+
+
+class Simdify(OptimizationPass):
+    """Pack pairs of independent same-kind additions into SIMD slots."""
+
+    name = "simdify"
+    core_specific = True
+
+    def run(self, uops: list[Uop]) -> list[Uop]:
+        removed: set[int] = set()
+        replaced: dict[int, Uop] = {}
+        n = len(uops)
+        asap = asap_levels(uops)
+        for i in range(n):
+            if i in removed or i in replaced:
+                continue
+            leader = uops[i]
+            packed_kind = _PACKABLE.get(leader.kind)
+            if packed_kind is None or not self._plain_add(leader):
+                continue
+            for j in range(i + 1, min(i + 1 + _SIMD_WINDOW, n)):
+                if j in removed or j in replaced:
+                    continue
+                partner = uops[j]
+                if partner.kind is not leader.kind or not self._plain_add(partner):
+                    continue
+                if asap[j] != asap[i]:
+                    continue  # different dataflow depth: pairing would stall
+                if self._can_hoist(uops, i, j):
+                    packed = leader.copy()
+                    packed.kind = packed_kind
+                    packed.dest2 = partner.dest
+                    packed.extra_srcs = reg_sources(partner)
+                    replaced[i] = packed
+                    removed.add(j)
+                    self.applied += 1
+                    break
+        if not self.applied:
+            return uops
+        return [
+            replaced.get(k, uop)
+            for k, uop in enumerate(uops)
+            if k not in removed
+        ]
+
+    @staticmethod
+    def _plain_add(uop: Uop) -> bool:
+        """Eligible lane shape: two register sources, no immediate, one dest."""
+        return (
+            uop.dest != REG_NONE
+            and uop.dest2 == REG_NONE
+            and uop.src1 != REG_NONE
+            and uop.src2 != REG_NONE
+            and not uop.imm
+            and not uop.extra_srcs
+        )
+
+    @staticmethod
+    def _can_hoist(uops: list[Uop], i: int, j: int) -> bool:
+        """True when uop ``j`` may execute at position ``i`` instead."""
+        partner = uops[j]
+        partner_srcs = set(reg_sources(partner))
+        pdest = partner.dest
+        for k in range(i, j):
+            mid = uops[k]
+            if mid.dest in partner_srcs or mid.dest2 in partner_srcs:
+                return False
+            if mid.dest == pdest or mid.dest2 == pdest:
+                return False
+            if pdest in mid.sources():
+                return False
+        return True

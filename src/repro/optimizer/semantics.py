@@ -1,0 +1,95 @@
+"""Concrete value semantics of the synthetic uop set.
+
+The optimizer's constant folding and the equivalence checker
+(:mod:`repro.optimizer.verify`) must agree *exactly* on what every uop
+computes, so the single source of truth lives here.  Values are 64-bit
+wrapped integers; the synthetic operations are: ALU/AGU/FUSED = addition,
+LOGIC = xor, SHIFT = left shift, CMP = subtraction, MUL/DIV as expected,
+and the FP kinds mirror their integer counterparts (the simulator never
+needs real floating point — only deterministic dataflow).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizationError
+from repro.isa.opcodes import UopKind
+
+_MASK = (1 << 64) - 1
+
+
+def initial_register_value(reg: int) -> int:
+    """Deterministic live-in value of architectural register ``reg``."""
+    return ((reg + 1) * 0x9E3779B97F4A7C15) & _MASK
+
+
+def load_token(origin: int) -> int:
+    """Opaque value returned by the (single) load uop of instruction ``origin``.
+
+    Loads are never duplicated by the optimizer and at most one load uop
+    exists per originating instruction, so the origin index identifies the
+    loaded value across reorderings.
+    """
+    return (0xC0FFEE ^ (origin * 0x2545F4914F6CDD1D)) & _MASK
+
+
+def fold(kind: UopKind, a: int, b: int, imm: int | None) -> int:
+    """Value computed by a uop of ``kind`` on operand values ``a``/``b``.
+
+    ``a``/``b`` are 0 for absent register operands.  Raises
+    :class:`~repro.errors.OptimizationError` for kinds with no value
+    semantics (memory, control, asserts) — callers must special-case those.
+    """
+    imm_value = imm or 0
+    if kind in (UopKind.ALU, UopKind.AGU, UopKind.FUSED_ALU, UopKind.FP_ADD):
+        return (a + b + imm_value) & _MASK
+    if kind is UopKind.MOV:
+        return a
+    if kind is UopKind.MOV_IMM:
+        return imm_value & _MASK
+    if kind is UopKind.LOGIC:
+        return (a ^ b ^ imm_value) & _MASK
+    if kind is UopKind.SHIFT:
+        return (a << (imm_value & 63)) & _MASK
+    if kind is UopKind.CMP:
+        return (a - b - imm_value) & _MASK
+    if kind in (UopKind.MUL, UopKind.FP_MUL):
+        # Multiply templates always carry two register operands.
+        return (a * b) & _MASK
+    if kind in (UopKind.DIV, UopKind.FP_DIV):
+        return (a // b) & _MASK if b else 0
+    raise OptimizationError(f"uop kind {kind.name} has no value semantics")
+
+
+#: Kinds whose results :func:`fold` can compute from constant operands.
+FOLDABLE_KINDS = frozenset(
+    {
+        UopKind.ALU,
+        UopKind.AGU,
+        UopKind.MOV,
+        UopKind.MOV_IMM,
+        UopKind.LOGIC,
+        UopKind.SHIFT,
+        UopKind.MUL,
+        UopKind.DIV,
+        UopKind.FP_ADD,
+        UopKind.FP_MUL,
+        UopKind.FP_DIV,
+    }
+)
+
+#: Kinds with architectural side effects beyond a register write: these
+#: uops may never be eliminated by dead-code elimination.
+SIDE_EFFECT_KINDS = frozenset(
+    {
+        UopKind.LOAD,
+        UopKind.STORE,
+        UopKind.BRANCH,
+        UopKind.JUMP,
+        UopKind.CALL,
+        UopKind.RETURN,
+        UopKind.IND_JUMP,
+        UopKind.SYSCALL,
+        UopKind.ASSERT_T,
+        UopKind.ASSERT_NT,
+    }
+)

@@ -1,0 +1,126 @@
+"""Architectural-equivalence checking for optimized traces.
+
+The optimizer's transformations must preserve the trace's overall
+semantics (§2.1: "provided the overall semantics of the trace is
+preserved").  This module interprets a uop sequence over the concrete
+value semantics of :mod:`repro.optimizer.semantics` and compares:
+
+* the final architectural register state, and
+* the ordered sequence of stores (origin, stored value).
+
+Loads are modelled as opaque per-origin tokens (the optimizer never
+duplicates a load and keeps memory operations ordered, so the token
+assignment is stable across transformations).
+
+Used heavily by the property-based test suite: every random trace must
+optimize to an equivalent trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import NUM_ARCH_REGS, REG_NONE
+from repro.optimizer.semantics import fold, initial_register_value, load_token
+
+#: Kinds the interpreter treats as pure control (no register effect).
+_CONTROL_KINDS = frozenset(
+    {
+        UopKind.BRANCH,
+        UopKind.JUMP,
+        UopKind.CALL,
+        UopKind.RETURN,
+        UopKind.IND_JUMP,
+        UopKind.SYSCALL,
+        UopKind.ASSERT_T,
+        UopKind.ASSERT_NT,
+        UopKind.NOP,
+    }
+)
+
+
+@dataclass(slots=True)
+class TraceMachineState:
+    """Result of interpreting one uop sequence."""
+
+    registers: list[int] = field(
+        default_factory=lambda: [
+            initial_register_value(r) for r in range(NUM_ARCH_REGS)
+        ]
+    )
+    #: Ordered store records: (origin, address-operand value, data value).
+    stores: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def value(self, reg: int) -> int:
+        """Current value of ``reg`` (0 for the REG_NONE sentinel)."""
+        return self.registers[reg] if reg != REG_NONE else 0
+
+
+def interpret(uops: list[Uop]) -> TraceMachineState:
+    """Execute ``uops`` over the synthetic value semantics."""
+    state = TraceMachineState()
+    regs = state.registers
+    for uop in uops:
+        kind = uop.kind
+        if kind in _CONTROL_KINDS:
+            continue
+        if kind is UopKind.LOAD:
+            if uop.dest != REG_NONE:
+                regs[uop.dest] = load_token(uop.origin)
+            continue
+        if kind is UopKind.STORE:
+            state.stores.append(
+                (uop.origin, state.value(uop.src1), state.value(uop.src2))
+            )
+            continue
+        if kind in (UopKind.SIMD2, UopKind.FP_SIMD2):
+            lane0 = fold(
+                UopKind.ALU, state.value(uop.src1), state.value(uop.src2), None
+            )
+            extras = uop.extra_srcs or ()
+            lane1 = fold(
+                UopKind.ALU,
+                state.value(extras[0]) if len(extras) > 0 else 0,
+                state.value(extras[1]) if len(extras) > 1 else 0,
+                None,
+            )
+            if uop.dest != REG_NONE:
+                regs[uop.dest] = lane0
+            if uop.dest2 != REG_NONE:
+                regs[uop.dest2] = lane1
+            continue
+        # Value-producing scalar kinds.
+        result = fold(kind, state.value(uop.src1), state.value(uop.src2), uop.imm)
+        if uop.dest != REG_NONE:
+            regs[uop.dest] = result
+    return state
+
+
+@dataclass(slots=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check, with a human-readable reason."""
+
+    equivalent: bool
+    reason: str = ""
+
+
+def check_equivalence(original: list[Uop], optimized: list[Uop]) -> EquivalenceResult:
+    """Compare final register state and store sequences of two uop lists."""
+    state_a = interpret(original)
+    state_b = interpret(optimized)
+    if state_a.stores != state_b.stores:
+        return EquivalenceResult(
+            False,
+            f"store sequences differ: {len(state_a.stores)} vs "
+            f"{len(state_b.stores)} stores or mismatched values",
+        )
+    for reg in range(NUM_ARCH_REGS):
+        if state_a.registers[reg] != state_b.registers[reg]:
+            return EquivalenceResult(
+                False,
+                f"register {reg} differs: {state_a.registers[reg]:#x} vs "
+                f"{state_b.registers[reg]:#x}",
+            )
+    return EquivalenceResult(True)

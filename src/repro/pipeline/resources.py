@@ -1,0 +1,139 @@
+"""Execution-core resource descriptions (widths, windows, functional units).
+
+:class:`CoreParams` captures everything the timing core needs to know about
+one execution engine.  The paper's generic "object-oriented execution core
+class which can be instantiated with a variable number of execution cores of
+widely differing characteristics" (§3.1) maps to
+:class:`~repro.pipeline.core.TimingCore` parameterised by this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.isa.opcodes import FuClass
+
+
+def narrow_fu_counts() -> dict[FuClass, int]:
+    """Functional units of the standard 4-wide machine (model N)."""
+    return {
+        FuClass.INT: 3,
+        FuClass.INT_MUL: 1,
+        FuClass.FP: 2,
+        FuClass.MEM_LOAD: 2,
+        FuClass.MEM_STORE: 1,
+        FuClass.BRANCH: 1,
+    }
+
+
+def wide_fu_counts() -> dict[FuClass, int]:
+    """Functional units of the 8-wide machine (model W): doubled."""
+    return {
+        FuClass.INT: 6,
+        FuClass.INT_MUL: 2,
+        FuClass.FP: 4,
+        FuClass.MEM_LOAD: 3,
+        FuClass.MEM_STORE: 2,
+        FuClass.BRANCH: 2,
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class CoreParams:
+    """Complete description of one out-of-order execution engine.
+
+    Widths are in uops per cycle.  ``front_depth`` is the number of pipeline
+    stages between fetch and dispatch — it determines the misprediction
+    penalty (super-pipelined machines pay dearly for flushes).  ``area`` is
+    the relative core area K in the paper's leakage formula
+    ``LE = P_MAX x (0.05 M + 0.4 K) x CYC``.
+    """
+
+    name: str
+    rename_width: int
+    issue_width: int
+    commit_width: int
+    rob_size: int
+    window_size: int
+    front_depth: int = 20
+    trace_flush_extra: int = 4
+    fu_counts: dict[FuClass, int] = field(default_factory=narrow_fu_counts)
+    area: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.rename_width, self.issue_width, self.commit_width) < 1:
+            raise ConfigurationError(f"{self.name}: widths must be >= 1")
+        if self.rob_size < self.window_size:
+            raise ConfigurationError(
+                f"{self.name}: ROB ({self.rob_size}) smaller than scheduler "
+                f"window ({self.window_size})"
+            )
+        if self.front_depth < 1:
+            raise ConfigurationError(f"{self.name}: front_depth must be >= 1")
+        if self.area <= 0:
+            raise ConfigurationError(f"{self.name}: area must be positive")
+        for fu, count in self.fu_counts.items():
+            if count < 1:
+                raise ConfigurationError(f"{self.name}: no units of class {fu.name}")
+
+
+@dataclass(frozen=True, slots=True)
+class ExecProfile:
+    """Per-pipeline execution widths applied on top of a core's structures.
+
+    A unified PARROT core uses one profile for both hot and cold work; a
+    split machine (TOS) gives the hot pipeline a wider profile than the
+    cold one while sharing the architectural state.  Deriving profiles from
+    :class:`CoreParams` keeps the two representations consistent.
+    """
+
+    rename_width: int
+    issue_width: int
+    commit_width: int
+    fu_counts: dict[FuClass, int]
+
+    @classmethod
+    def from_params(cls, params: CoreParams) -> "ExecProfile":
+        """The profile matching a core's own widths."""
+        return cls(
+            rename_width=params.rename_width,
+            issue_width=params.issue_width,
+            commit_width=params.commit_width,
+            fu_counts=dict(params.fu_counts),
+        )
+
+
+def narrow_core_params(name: str = "narrow") -> CoreParams:
+    """The standard 4-wide OOO core of the reference model N (§3.3)."""
+    return CoreParams(
+        name=name,
+        rename_width=4,
+        issue_width=4,
+        commit_width=4,
+        rob_size=128,
+        window_size=48,
+        front_depth=20,
+        fu_counts=narrow_fu_counts(),
+        area=1.0,
+    )
+
+
+def wide_core_params(name: str = "wide") -> CoreParams:
+    """The theoretical 8-wide extension W: all stages doubled (§3.3).
+
+    The area factor reflects the superlinear growth of rename, bypass and
+    scheduling structures with width — the source of W's "vast energy
+    inefficiency" (Figure 4.5).
+    """
+    return CoreParams(
+        name=name,
+        rename_width=8,
+        issue_width=8,
+        commit_width=8,
+        rob_size=256,
+        window_size=96,
+        front_depth=22,
+        fu_counts=wide_fu_counts(),
+        area=1.9,
+    )

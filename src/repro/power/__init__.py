@@ -1,0 +1,35 @@
+"""Energy modelling: events, tag matrix, leakage, metrics, breakdown."""
+
+from repro.power.energy import (
+    COMPONENT_OF_EVENT,
+    COMPONENTS,
+    EnergyModel,
+    EnergyResult,
+)
+from repro.power.events import ALL_EVENTS, EventCounts
+from repro.power.leakage import calibrate_p_max, leakage_energy
+from repro.power.metrics import (
+    PerformanceEnergyPoint,
+    cmpw_improvement,
+    energy_increase,
+    ipc_improvement,
+)
+from repro.power.tags import EnergyCalibration, StructureSizes, build_tag_matrix
+
+__all__ = [
+    "ALL_EVENTS",
+    "COMPONENTS",
+    "COMPONENT_OF_EVENT",
+    "EnergyCalibration",
+    "EnergyModel",
+    "EnergyResult",
+    "EventCounts",
+    "PerformanceEnergyPoint",
+    "StructureSizes",
+    "build_tag_matrix",
+    "calibrate_p_max",
+    "cmpw_improvement",
+    "energy_increase",
+    "ipc_improvement",
+    "leakage_energy",
+]

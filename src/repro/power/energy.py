@@ -1,0 +1,128 @@
+"""Energy accounting: dynamic event energy + leakage + breakdown.
+
+:class:`EnergyModel` multiplies a run's event counts by the machine's tag
+matrix, adds leakage from the paper's formula, and reports per-component
+breakdowns in the grouping of Figure 4.11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.resources import CoreParams
+from repro.power.events import EventCounts
+from repro.power.leakage import leakage_energy
+from repro.power.tags import EnergyCalibration, StructureSizes, build_tag_matrix
+
+#: Component grouping used for the Figure 4.11 energy breakdown.
+COMPONENT_OF_EVENT: dict[str, str] = {
+    "l1i_read": "frontend",
+    "fetch_cycle": "frontend",
+    "decode_instr": "frontend",
+    "bpred_lookup": "frontend",
+    "bpred_update": "frontend",
+    "rename_uop": "rename",
+    "rename_virtual": "rename",
+    "window_insert": "window",
+    "window_wakeup": "window",
+    "issue_uop": "window",
+    "rob_write": "rob_regfile",
+    "rob_commit": "rob_regfile",
+    "regfile_read": "rob_regfile",
+    "regfile_write": "rob_regfile",
+    "exec_int": "execute",
+    "exec_mul": "execute",
+    "exec_fp": "execute",
+    "exec_mem": "execute",
+    "exec_branch": "execute",
+    "l1d_read": "dcache",
+    "l1d_write": "dcache",
+    "l2_access": "dcache",
+    "memory_access": "dcache",
+    "tpred_lookup": "trace_unit",
+    "tpred_update": "trace_unit",
+    "tcache_read": "trace_unit",
+    "tcache_write": "trace_unit",
+    "filter_access": "trace_unit",
+    "construct_uop": "trace_unit",
+    "optimizer_uop": "trace_unit",
+    "mispredict_flush": "recovery",
+    "trace_flush": "recovery",
+    "state_switch": "recovery",
+    "core_cycle": "clock",
+}
+
+#: Stable component order for reports.
+COMPONENTS = (
+    "frontend",
+    "rename",
+    "window",
+    "rob_regfile",
+    "execute",
+    "dcache",
+    "trace_unit",
+    "recovery",
+    "clock",
+    "leakage",
+)
+
+
+@dataclass(slots=True)
+class EnergyResult:
+    """Total and per-component energy of one run."""
+
+    dynamic: float
+    leakage: float
+    by_component: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Dynamic plus leakage energy."""
+        return self.dynamic + self.leakage
+
+    def component_share(self, component: str) -> float:
+        """Fraction of total energy consumed by ``component``."""
+        total = self.total
+        return self.by_component.get(component, 0.0) / total if total else 0.0
+
+
+class EnergyModel:
+    """Per-machine energy evaluator (tag matrix + leakage)."""
+
+    def __init__(
+        self,
+        params: CoreParams,
+        *,
+        sizes: StructureSizes | None = None,
+        calibration: EnergyCalibration | None = None,
+        l2_mbytes: float = 1.0,
+        extra_area: float = 0.0,
+    ):
+        self.calibration = calibration or EnergyCalibration()
+        self.sizes = sizes or StructureSizes()
+        self.params = params
+        self.l2_mbytes = l2_mbytes
+        #: total leakage-relevant area: core plus trace-side structures.
+        self.area = params.area + extra_area
+        self.tags = build_tag_matrix(self.calibration, params, self.sizes)
+
+    def evaluate(self, events: EventCounts, cycles: float) -> EnergyResult:
+        """Energy of a run given its event counts and cycle count."""
+        by_component: dict[str, float] = {c: 0.0 for c in COMPONENTS}
+        dynamic = 0.0
+        tags = self.tags
+        for event, count in events.items():
+            tag = tags.get(event)
+            if tag is None:
+                continue
+            energy = tag * count
+            dynamic += energy
+            by_component[COMPONENT_OF_EVENT[event]] += energy
+        leak = leakage_energy(
+            self.calibration,
+            l2_mbytes=self.l2_mbytes,
+            core_area=self.area,
+            cycles=cycles,
+        )
+        by_component["leakage"] = leak
+        return EnergyResult(dynamic=dynamic, leakage=leak, by_component=by_component)

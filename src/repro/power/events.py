@@ -1,0 +1,83 @@
+"""Microarchitectural event counting for the energy model.
+
+Following the WATTCH methodology the paper adopts (§3.2), every power-
+relevant operation in the simulator — a cache read, a rename, a wakeup,
+a trace-cache write, an optimizer pass — increments a named event counter.
+The energy model multiplies the final counts by a per-event energy matrix.
+
+:class:`EventCounts` is a deliberately thin ``dict`` wrapper: the timing
+core increments counters on every uop, so this is among the hottest code in
+the simulator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+# Canonical event names, grouped by unit.  Keeping them in one place makes
+# the energy matrix and the breakdown reporting exhaustive by construction.
+FETCH_EVENTS = ("l1i_read", "fetch_cycle")
+DECODE_EVENTS = ("decode_instr",)
+PREDICTOR_EVENTS = ("bpred_lookup", "bpred_update", "tpred_lookup", "tpred_update")
+RENAME_EVENTS = ("rename_uop", "rename_virtual")
+WINDOW_EVENTS = ("window_insert", "window_wakeup", "issue_uop")
+ROB_EVENTS = ("rob_write", "rob_commit")
+REGFILE_EVENTS = ("regfile_read", "regfile_write")
+EXEC_EVENTS = ("exec_int", "exec_mul", "exec_fp", "exec_mem", "exec_branch")
+DCACHE_EVENTS = ("l1d_read", "l1d_write", "l2_access", "memory_access")
+TRACE_EVENTS = (
+    "tcache_read",
+    "tcache_write",
+    "filter_access",
+    "construct_uop",
+    "optimizer_uop",
+)
+MISC_EVENTS = ("mispredict_flush", "trace_flush", "state_switch", "core_cycle")
+
+ALL_EVENTS = (
+    FETCH_EVENTS
+    + DECODE_EVENTS
+    + PREDICTOR_EVENTS
+    + RENAME_EVENTS
+    + WINDOW_EVENTS
+    + ROB_EVENTS
+    + REGFILE_EVENTS
+    + EXEC_EVENTS
+    + DCACHE_EVENTS
+    + TRACE_EVENTS
+    + MISC_EVENTS
+)
+
+
+class EventCounts:
+    """Named counters of power-relevant simulation events."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: defaultdict[str, float] = defaultdict(float)
+
+    def add(self, event: str, count: float = 1.0) -> None:
+        """Increment ``event`` by ``count``."""
+        self._counts[event] += count
+
+    def get(self, event: str) -> float:
+        """Current count of ``event`` (0 when never seen)."""
+        return self._counts.get(event, 0.0)
+
+    def merge(self, other: "EventCounts") -> None:
+        """Accumulate another counter set into this one."""
+        for event, count in other._counts.items():
+            self._counts[event] += count
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        """Iterate over (event, count) pairs with nonzero counts."""
+        return iter(self._counts.items())
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)

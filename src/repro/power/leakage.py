@@ -1,0 +1,43 @@
+"""Leakage energy: the paper's published formula (§3.2).
+
+    LE = P_MAX x (0.05 x M + 0.4 x K) x CYC
+
+where ``P_MAX`` is the highest average per-cycle dynamic power of the base
+OOO model across the benchmark suite (swim of SpecFP in the paper), ``M``
+is the L2 capacity in MBytes, ``K`` the core area relative to the standard
+4-wide core, and ``CYC`` the application's cycle count.  Leakage is assumed
+uniform in space over {core, L2} and in time (consistently hot die).
+"""
+
+from __future__ import annotations
+
+from repro.power.tags import EnergyCalibration
+
+
+def leakage_energy(
+    calib: EnergyCalibration,
+    *,
+    l2_mbytes: float,
+    core_area: float,
+    cycles: float,
+) -> float:
+    """Evaluate ``LE = P_MAX x (0.05 M + 0.4 K) x CYC``."""
+    factor = (
+        calib.leakage_l2_per_mb * l2_mbytes + calib.leakage_core * core_area
+    )
+    return calib.p_max * factor * cycles
+
+
+def calibrate_p_max(dynamic_energies_and_cycles: list[tuple[float, float]]) -> float:
+    """Recompute P_MAX from base-model runs: max of (dynamic energy / cycles).
+
+    The paper picks the application with the highest average dynamic power
+    of the base OOO model (swim).  Feed this the (dynamic_energy, cycles)
+    pairs of the N model across the suite and store the result in
+    :class:`~repro.power.tags.EnergyCalibration`.
+    """
+    if not dynamic_energies_and_cycles:
+        raise ValueError("need at least one (energy, cycles) pair")
+    return max(
+        energy / cycles for energy, cycles in dynamic_energies_and_cycles if cycles > 0
+    )

@@ -1,0 +1,71 @@
+"""Power-awareness metrics (§3.5).
+
+The paper reports IPC, total energy and cubic-MIPS-per-WATT (CMPW).  CMPW
+quantifies design tradeoffs under the assumption that energy can be traded
+for performance through voltage/frequency scaling [5][34]: performance
+enters cubed, power linearly.
+
+At fixed frequency and instruction count, ``MIPS`` is proportional to IPC
+and ``WATT`` to ``energy / cycles``, so
+
+    CMPW  ∝  IPC^3 / (E / CYC)  ∝  IPC^2 x (instructions / E)
+
+up to a constant that cancels in every ratio the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PerformanceEnergyPoint:
+    """One (application, machine) measurement."""
+
+    instructions: int
+    cycles: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError("instructions must be positive")
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+        if self.energy <= 0:
+            raise ValueError("energy must be positive")
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles
+
+    @property
+    def epi(self) -> float:
+        """Energy per instruction."""
+        return self.energy / self.instructions
+
+    @property
+    def power(self) -> float:
+        """Average power: energy per cycle."""
+        return self.energy / self.cycles
+
+    @property
+    def cmpw(self) -> float:
+        """Cubic-MIPS-per-WATT in simulator units (frequency = 1)."""
+        mips = self.ipc
+        return mips**3 / self.power
+
+
+def ipc_improvement(test: PerformanceEnergyPoint, base: PerformanceEnergyPoint) -> float:
+    """Relative IPC gain of ``test`` over ``base`` (0.17 = +17%)."""
+    return test.ipc / base.ipc - 1.0
+
+
+def energy_increase(test: PerformanceEnergyPoint, base: PerformanceEnergyPoint) -> float:
+    """Relative energy increase of ``test`` over ``base``."""
+    return test.energy / base.energy - 1.0
+
+
+def cmpw_improvement(test: PerformanceEnergyPoint, base: PerformanceEnergyPoint) -> float:
+    """Relative cubic-MIPS-per-WATT improvement of ``test`` over ``base``."""
+    return test.cmpw / base.cmpw - 1.0

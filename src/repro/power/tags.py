@@ -1,0 +1,161 @@
+"""Per-event energy tags (the WATTCH-style power matrix of §3.2).
+
+Every microarchitectural event type carries an energy tag in abstract
+energy units (normalised so a 4-wide integer-ALU operation costs 1.0).
+Per-uop tags for width-sensitive structures (rename, wakeup/select,
+register file, bypass) scale superlinearly with machine width, following
+the complexity analyses the paper cites [18][3]; storage-array tags scale
+with capacity.  The absolute unit cancels out of every reported result —
+the paper's figures are all relative — but the *ratios* between tags is
+what makes the wide machine's "vast energy inefficiency" (Figure 4.5)
+emerge rather than being asserted.
+
+All constants live in :class:`EnergyCalibration` so the calibration tests
+and ablation benchmarks can derive variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.resources import CoreParams
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyCalibration:
+    """Base energy costs (at 4-wide) and width-scaling exponents."""
+
+    # -- front end ----------------------------------------------------------
+    l1i_read: float = 1.6            #: per fetch-group icache read
+    fetch_cycle: float = 0.4         #: fetch/steering logic per active cycle
+    decode_instr: float = 2.4        #: serial variable-length decode, per instr
+    decode_width_exp: float = 0.8    #: per-instr decode cost grows with width
+    bpred_access: float = 0.5        #: per lookup/update at 4K entries
+    tpred_access: float = 0.8        #: per lookup/update at 2K entries
+
+    # -- OOO structures ------------------------------------------------------
+    rename_uop: float = 0.9
+    rename_width_exp: float = 1.4
+    rename_virtual_discount: float = 0.3   #: fraction saved by virtual rename
+    window_insert: float = 0.25
+    window_wakeup: float = 0.3
+    window_size_exp: float = 0.5
+    issue_uop: float = 0.55
+    issue_width_exp: float = 1.3
+    rob_access: float = 0.2
+    rob_size_exp: float = 0.5
+    regfile_access: float = 0.35
+    regfile_width_exp: float = 1.2
+
+    # -- execution -----------------------------------------------------------
+    exec_int: float = 1.0
+    exec_mul: float = 2.2
+    exec_fp: float = 2.0
+    exec_mem: float = 1.3
+    exec_branch: float = 0.5
+
+    # -- data-side memory ------------------------------------------------------
+    l1d_access: float = 1.5
+    l2_access: float = 8.0
+    memory_access: float = 40.0
+
+    # -- trace machinery ---------------------------------------------------------
+    tcache_read_uop: float = 0.55    #: per frame-slot read from the trace cache
+    tcache_write_uop: float = 2.0    #: per uop written into the trace cache
+    filter_access: float = 0.3
+    construct_uop: float = 0.3
+    optimizer_uop: float = 2.0       #: per uop per optimization invocation
+
+    # -- recovery / global -----------------------------------------------------
+    mispredict_flush: float = 6.0    #: wrong-path work per flush, scales w/ width
+    flush_width_exp: float = 1.2
+    trace_flush: float = 9.0         #: atomic-trace recovery
+    state_switch: float = 4.0
+    clock_per_cycle: float = 1.6     #: clock tree + always-on, scales with area
+
+    # -- leakage (the paper's published formula) ---------------------------------
+    leakage_l2_per_mb: float = 0.05  #: T = 5% of P_MAX per MByte of L2
+    leakage_core: float = 0.40       #: T = 40% of P_MAX per standard-core area
+    #: P_MAX: highest per-cycle dynamic power of the base OOO model across
+    #: the suite (swim on model N, per §3.2).  Recalibrate with
+    #: ``repro.power.leakage.calibrate_p_max``.
+    p_max: float = 25.0
+
+
+@dataclass(frozen=True, slots=True)
+class StructureSizes:
+    """Capacity knobs of the width-insensitive storage structures."""
+
+    bpred_entries: int = 4096
+    tpred_entries: int = 2048
+    tcache_uops: int = 16 * 1024
+
+
+def build_tag_matrix(
+    calib: EnergyCalibration,
+    params: CoreParams,
+    sizes: StructureSizes,
+) -> dict[str, float]:
+    """Compute the per-event energy matrix for one machine configuration.
+
+    Width scaling is relative to the 4-wide reference: a structure of
+    width ``w`` pays ``(w / 4) ** exponent`` per access.
+    """
+
+    def wscale(width: int, exponent: float) -> float:
+        return (width / 4.0) ** exponent
+
+    rename_tag = calib.rename_uop * wscale(params.rename_width, calib.rename_width_exp)
+    window_scale = (params.window_size / 32.0) ** calib.window_size_exp
+    rob_scale = (params.rob_size / 128.0) ** calib.rob_size_exp
+    return {
+        # front end
+        "l1i_read": calib.l1i_read,
+        "fetch_cycle": calib.fetch_cycle,
+        "decode_instr": calib.decode_instr
+        * wscale(params.rename_width, calib.decode_width_exp),
+        "bpred_lookup": calib.bpred_access * (sizes.bpred_entries / 4096.0) ** 0.5,
+        "bpred_update": calib.bpred_access * (sizes.bpred_entries / 4096.0) ** 0.5,
+        "tpred_lookup": calib.tpred_access * (sizes.tpred_entries / 2048.0) ** 0.5,
+        "tpred_update": calib.tpred_access * (sizes.tpred_entries / 2048.0) ** 0.5,
+        # OOO structures
+        "rename_uop": rename_tag,
+        # Virtual renames are counted as a *discount* on already-counted
+        # full renames, hence the negative tag.
+        "rename_virtual": -calib.rename_virtual_discount * rename_tag,
+        "window_insert": calib.window_insert * window_scale,
+        "window_wakeup": calib.window_wakeup
+        * window_scale
+        * wscale(params.issue_width, 0.5),
+        "issue_uop": calib.issue_uop * wscale(params.issue_width, calib.issue_width_exp),
+        "rob_write": calib.rob_access * rob_scale,
+        "rob_commit": calib.rob_access * rob_scale,
+        "regfile_read": calib.regfile_access
+        * wscale(params.issue_width, calib.regfile_width_exp),
+        "regfile_write": calib.regfile_access
+        * wscale(params.issue_width, calib.regfile_width_exp),
+        # execution
+        "exec_int": calib.exec_int,
+        "exec_mul": calib.exec_mul,
+        "exec_fp": calib.exec_fp,
+        "exec_mem": calib.exec_mem,
+        "exec_branch": calib.exec_branch,
+        # data-side memory
+        "l1d_read": calib.l1d_access,
+        "l1d_write": calib.l1d_access,
+        "l2_access": calib.l2_access,
+        "memory_access": calib.memory_access,
+        # trace machinery (capacity-scaled like a cache array)
+        "tcache_read": calib.tcache_read_uop * (sizes.tcache_uops / 16384.0) ** 0.25,
+        "tcache_write": calib.tcache_write_uop * (sizes.tcache_uops / 16384.0) ** 0.25,
+        "filter_access": calib.filter_access,
+        "construct_uop": calib.construct_uop,
+        "optimizer_uop": calib.optimizer_uop,
+        # recovery / global
+        "mispredict_flush": calib.mispredict_flush
+        * wscale(params.rename_width, calib.flush_width_exp),
+        "trace_flush": calib.trace_flush
+        * wscale(params.rename_width, calib.flush_width_exp),
+        "state_switch": calib.state_switch,
+        "core_cycle": calib.clock_per_cycle * params.area,
+    }

@@ -1,0 +1,29 @@
+"""Trace substrate: TIDs, selection, filtering, executable traces, cache."""
+
+from repro.trace.filters import CounterFilter, FilterStats
+from repro.trace.selection import TraceSegment, TraceSelector
+from repro.trace.tid import TidBuilder, TraceId
+from repro.trace.trace import (
+    TRACE_CAPACITY_UOPS,
+    Trace,
+    asap_levels,
+    build_trace,
+    critical_path_length,
+)
+from repro.trace.trace_cache import TraceCache, TraceCacheStats
+
+__all__ = [
+    "CounterFilter",
+    "FilterStats",
+    "TRACE_CAPACITY_UOPS",
+    "Trace",
+    "TraceCache",
+    "TraceCacheStats",
+    "TraceId",
+    "TraceSegment",
+    "TraceSelector",
+    "TidBuilder",
+    "asap_levels",
+    "build_trace",
+    "critical_path_length",
+]

@@ -1,0 +1,241 @@
+"""Deterministic trace selection (§2.2).
+
+The :class:`TraceSelector` consumes the in-order committed instruction
+stream and partitions it into *trace-shaped segments*, applying the paper's
+selection criteria:
+
+* **Capacity** — frames of at most 64 uops.
+* **Complete basic blocks** — segments terminate on CTIs, except for
+  extremely large basic blocks that hit the capacity limit mid-block.
+* **Terminating CTIs** — indirect jumps and software exceptions always
+  terminate; backward taken branches terminate (cutting loops at iteration
+  boundaries); RETURNs terminate only when they exit the outermost
+  procedure context entered within the trace (tracked with a context
+  counter — the inlining effect).
+* **Joining** — consecutive *identical* segments are merged up to capacity,
+  achieving explicit loop unrolling.
+
+Because the criteria are pure functions of the committed stream, the same
+partition is recovered on every execution — this determinism is what lets
+PARROT compact TIDs into an address plus a branch-direction string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import DynamicInstruction
+from repro.isa.opcodes import InstrClass
+from repro.trace.tid import TidBuilder, TraceId
+from repro.trace.trace import TRACE_CAPACITY_UOPS
+
+
+@dataclass(slots=True)
+class TraceSegment:
+    """One trace-shaped slice of the committed stream.
+
+    ``join_count`` is the number of identical base segments merged into
+    this segment (>= 2 means the implicit unroller fired).  ``complete``
+    is False only for the tail of a truncated stream: the buffered
+    instructions never reached a termination condition, so the hardware
+    would never have selected them — the machine must execute such a
+    segment cold and keep it out of every TID-keyed structure (its TID
+    can alias a real trace's).
+    """
+
+    tid: TraceId
+    instructions: list[DynamicInstruction]
+    uop_count: int
+    join_count: int = 1
+    complete: bool = True
+
+    @property
+    def num_instructions(self) -> int:
+        """Dynamic instructions covered by this segment."""
+        return len(self.instructions)
+
+
+@dataclass(slots=True)
+class _BaseSegment:
+    tid: TraceId
+    instructions: list[DynamicInstruction]
+    uop_count: int
+
+
+class TraceSelector:
+    """Segment the committed stream according to the selection criteria."""
+
+    def __init__(self, capacity_uops: int = TRACE_CAPACITY_UOPS):
+        self.capacity_uops = capacity_uops
+        self._instructions: list[DynamicInstruction] = []
+        self._uops = 0
+        self._tid: TidBuilder | None = None
+        self._context_depth = 0
+        self._pending: TraceSegment | None = None
+        # Selection statistics: termination-cause histogram, plus the
+        # "joined" counter which counts merge events (a joined base also
+        # appears under its own termination cause).
+        self.terminations: dict[str, int] = {
+            "capacity": 0,
+            "backward_taken": 0,
+            "indirect": 0,
+            "exception": 0,
+            "return_exit": 0,
+            "joined": 0,
+        }
+
+    # -- feeding ------------------------------------------------------------
+
+    def feed(self, dyn: DynamicInstruction) -> list[TraceSegment]:
+        """Consume one committed instruction; return any completed segments.
+
+        At most two segments can complete on a single instruction (a
+        capacity flush followed by a join flush).
+        """
+        completed: list[TraceSegment] = []
+
+        # Capacity: terminate *before* an instruction that would overflow.
+        if self._uops and self._uops + dyn.instr.num_uops > self.capacity_uops:
+            self.terminations["capacity"] += 1
+            segment = self._close_base()
+            finished = self._push_base(segment)
+            if finished is not None:
+                completed.append(finished)
+
+        if self._tid is None:
+            self._tid = TidBuilder(dyn.address)
+            self._context_depth = 0
+
+        self._instructions.append(dyn)
+        self._uops += dyn.instr.num_uops
+        self._tid.record_instruction()
+
+        terminate = False
+        iclass = dyn.instr.iclass
+        if iclass is InstrClass.COND_BRANCH:
+            self._tid.record_branch(dyn.taken)
+            if dyn.taken and dyn.next_address <= dyn.address:
+                self.terminations["backward_taken"] += 1
+                terminate = True
+        elif iclass is InstrClass.DIRECT_JUMP:
+            if dyn.next_address <= dyn.address:
+                self.terminations["backward_taken"] += 1
+                terminate = True
+        elif iclass is InstrClass.CALL_DIRECT:
+            self._context_depth += 1
+        elif iclass is InstrClass.RETURN_NEAR:
+            if self._context_depth == 0:
+                self.terminations["return_exit"] += 1
+                terminate = True
+            else:
+                self._context_depth -= 1
+        elif iclass is InstrClass.INDIRECT_JUMP:
+            self.terminations["indirect"] += 1
+            terminate = True
+        elif iclass is InstrClass.SOFTWARE_INT:
+            self.terminations["exception"] += 1
+            terminate = True
+
+        if terminate:
+            segment = self._close_base()
+            finished = self._push_base(segment)
+            if finished is not None:
+                completed.append(finished)
+        return completed
+
+    def flush(self) -> list[TraceSegment]:
+        """Emit whatever is buffered (stream end).
+
+        The pending segment ended on a real termination condition and is
+        complete; any instructions still in the selection buffer never
+        terminated and are emitted as an *incomplete* segment.
+        """
+        completed: list[TraceSegment] = []
+        if self._pending is not None:
+            completed.append(self._pending)
+            self._pending = None
+        if self._instructions:
+            base = self._close_base()
+            completed.append(
+                TraceSegment(
+                    tid=base.tid,
+                    instructions=base.instructions,
+                    uop_count=base.uop_count,
+                    complete=False,
+                )
+            )
+        return completed
+
+    # -- internals -----------------------------------------------------------
+
+    def _close_base(self) -> _BaseSegment:
+        assert self._tid is not None
+        base = _BaseSegment(
+            tid=self._tid.build(),
+            instructions=self._instructions,
+            uop_count=self._uops,
+        )
+        self._instructions = []
+        self._uops = 0
+        self._tid = None
+        self._context_depth = 0
+        return base
+
+    def _push_base(self, base: _BaseSegment) -> TraceSegment | None:
+        """Join consecutive identical base segments up to capacity."""
+        pending = self._pending
+        if (
+            pending is not None
+            and pending.tid.start == base.tid.start
+            and self._same_path(pending, base)
+            and pending.uop_count + base.uop_count <= self.capacity_uops
+        ):
+            # Merge: extend the pending segment with one more copy.
+            joined_tid = self._extend_tid(pending, base)
+            pending.tid = joined_tid
+            pending.instructions.extend(base.instructions)
+            pending.uop_count += base.uop_count
+            pending.join_count += 1
+            self.terminations["joined"] += 1
+            return None
+        self._pending = TraceSegment(
+            tid=base.tid,
+            instructions=base.instructions,
+            uop_count=base.uop_count,
+        )
+        return pending
+
+    @staticmethod
+    def _same_path(pending: TraceSegment, base: _BaseSegment) -> bool:
+        """True when ``base`` repeats the pending segment's base iteration."""
+        copies = pending.join_count
+        base_len = len(pending.instructions) // copies
+        if base_len != len(base.instructions):
+            return False
+        base_branches = base.tid.num_branches
+        if pending.tid.num_branches != base_branches * copies:
+            return False
+        # Compare the direction bits of the last copy with the new base.
+        last_copy_bits = (
+            pending.tid.directions >> (base_branches * (copies - 1))
+        ) & ((1 << base_branches) - 1) if base_branches else 0
+        if last_copy_bits != base.tid.directions:
+            return False
+        # Same start plus same instruction addresses (cheap exact check,
+        # no slice allocation: this runs on every join attempt).
+        pending_instrs = pending.instructions
+        return all(
+            pending_instrs[i].address == b.address
+            for i, b in enumerate(base.instructions)
+        )
+
+    @staticmethod
+    def _extend_tid(pending: TraceSegment, base: _BaseSegment) -> TraceId:
+        shift = pending.tid.num_branches
+        return TraceId(
+            start=pending.tid.start,
+            directions=pending.tid.directions | (base.tid.directions << shift),
+            num_branches=shift + base.tid.num_branches,
+            num_instructions=pending.tid.num_instructions
+            + base.tid.num_instructions,
+        )

@@ -1,0 +1,108 @@
+"""Trace identifiers (TIDs).
+
+Per §2.2, the deterministic selection criteria guarantee that a trace is
+fully identified by its start address plus the direction (taken/not-taken)
+of each internal conditional branch: direct CTIs have static targets and
+the only indirect CTI allowed inside a trace is a RETURN whose target is
+implied by the in-trace call context.  We pack the directions into an
+integer bit-field for cheap hashing — TIDs are the keys of the trace
+predictor, both filters and the trace cache, so they are created and hashed
+on every committed trace-shaped segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TraceId:
+    """A compact trace identifier: start address + branch-direction string.
+
+    ``directions`` packs the i-th internal conditional branch's direction
+    into bit i (1 = taken); ``num_branches`` disambiguates trailing
+    not-taken branches.  ``num_instructions`` participates in identity:
+    for *branchless* traces (loops closed by unconditional backward jumps)
+    it is the only field distinguishing a joined multi-copy trace from a
+    single iteration — without it a 2-copy trace would be launched against
+    a 1-copy segment and index past the segment's instructions.
+    """
+
+    start: int
+    directions: int
+    num_branches: int
+    num_instructions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_branches < 0:
+            raise ValueError("negative branch count")
+        if self.directions >> self.num_branches:
+            raise ValueError("directions bits beyond num_branches")
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.start, self.directions, self.num_branches,
+             self.num_instructions)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceId):
+            return NotImplemented
+        return (
+            self.start == other.start
+            and self.directions == other.directions
+            and self.num_branches == other.num_branches
+            and self.num_instructions == other.num_instructions
+        )
+
+    def direction(self, index: int) -> bool:
+        """Direction of the ``index``-th internal conditional branch."""
+        if not 0 <= index < self.num_branches:
+            raise IndexError(f"branch index {index} out of {self.num_branches}")
+        return bool((self.directions >> index) & 1)
+
+    def direction_string(self) -> str:
+        """Human-readable T/N string (oldest branch first)."""
+        return "".join(
+            "T" if (self.directions >> i) & 1 else "N"
+            for i in range(self.num_branches)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TID({self.start:#x}/{self.direction_string() or '-'})"
+
+
+class TidBuilder:
+    """Incrementally accumulate the directions of a trace under selection."""
+
+    __slots__ = ("start", "_directions", "_num_branches", "_num_instructions")
+
+    def __init__(self, start: int):
+        self.start = start
+        self._directions = 0
+        self._num_branches = 0
+        self._num_instructions = 0
+
+    def record_instruction(self) -> None:
+        """Count one instruction appended to the trace."""
+        self._num_instructions += 1
+
+    def record_branch(self, taken: bool) -> None:
+        """Record one internal conditional branch direction."""
+        if taken:
+            self._directions |= 1 << self._num_branches
+        self._num_branches += 1
+
+    @property
+    def num_instructions(self) -> int:
+        """Instructions accumulated so far."""
+        return self._num_instructions
+
+    def build(self) -> TraceId:
+        """Freeze into a :class:`TraceId`."""
+        return TraceId(
+            start=self.start,
+            directions=self._directions,
+            num_branches=self._num_branches,
+            num_instructions=self._num_instructions,
+        )

@@ -1,0 +1,237 @@
+"""Declarative branch and memory behaviours for synthetic programs.
+
+A static program annotates every conditional branch, indirect jump and
+memory instruction with a *spec* describing how that site behaves
+dynamically.  Specs are immutable and declarative; the stream walker
+instantiates a fresh mutable *state* per spec at stream start, which makes
+streams replayable and fully deterministic under a fixed seed.
+
+The spec vocabulary is chosen to span the predictability spectrum the paper
+relies on: loop-exit branches (predictable by counters and by gshare),
+biased branches (predictable), short periodic patterns (predictable with
+history) and data-dependent branches (essentially random, the "irregular"
+SpecInt behaviour).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+# --------------------------------------------------------------------------
+# Branch specs
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class LoopBranchSpec:
+    """A loop back-edge: taken ``trip - 1`` times, then not-taken once.
+
+    When ``trip_hi > trip_lo`` the trip count is drawn uniformly from
+    ``[trip_lo, trip_hi]``.  With ``fixed=True`` the draw happens once and
+    every re-entry reuses it (compile-time loop bounds, typical of regular
+    FP/multimedia kernels); otherwise the count is redrawn per entry
+    (data-dependent bounds, typical of irregular integer code).
+    """
+
+    trip_lo: int
+    trip_hi: int
+    fixed: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class BiasedBranchSpec:
+    """Taken with fixed probability ``p_taken``, independently per execution."""
+
+    p_taken: float
+
+
+@dataclass(frozen=True, slots=True)
+class PatternBranchSpec:
+    """Deterministic periodic direction pattern (e.g. TTNT repeating).
+
+    ``period`` directions are drawn once (seeded) and then repeat forever —
+    highly predictable for a history-based predictor.
+    """
+
+    period: int
+    p_taken: float = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class DataDependentBranchSpec:
+    """Effectively random direction — models data-dependent SpecInt branches."""
+
+    p_taken: float = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchSpec:
+    """An indirect jump choosing among ``n_targets`` with Zipf-ish skew."""
+
+    n_targets: int
+    skew: float = 1.0
+
+
+BranchSpec = (
+    LoopBranchSpec | BiasedBranchSpec | PatternBranchSpec | DataDependentBranchSpec
+)
+
+
+class _LoopState:
+    __slots__ = ("spec", "rng", "remaining", "_fixed_trip")
+
+    def __init__(self, spec: LoopBranchSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+        self._fixed_trip = self._draw() if spec.fixed else None
+        self.remaining = self._fixed_trip if spec.fixed else self._draw()
+
+    def _draw(self) -> int:
+        if self.spec.trip_hi > self.spec.trip_lo:
+            return self.rng.randint(self.spec.trip_lo, self.spec.trip_hi)
+        return self.spec.trip_lo
+
+    def next_taken(self) -> bool:
+        """Back-edge is taken while iterations remain; reset on exit."""
+        self.remaining -= 1
+        if self.remaining > 0:
+            return True
+        self.remaining = (
+            self._fixed_trip if self._fixed_trip is not None else self._draw()
+        )
+        return False
+
+
+class _BiasedState:
+    __slots__ = ("p", "rng")
+
+    def __init__(self, spec: BiasedBranchSpec, rng: random.Random):
+        self.p = spec.p_taken
+        self.rng = rng
+
+    def next_taken(self) -> bool:
+        return self.rng.random() < self.p
+
+
+class _PatternState:
+    __slots__ = ("pattern", "index")
+
+    def __init__(self, spec: PatternBranchSpec, rng: random.Random):
+        self.pattern = [rng.random() < spec.p_taken for _ in range(spec.period)]
+        if not any(self.pattern):
+            self.pattern[0] = True
+        self.index = 0
+
+    def next_taken(self) -> bool:
+        taken = self.pattern[self.index]
+        self.index = (self.index + 1) % len(self.pattern)
+        return taken
+
+
+class _DataDependentState:
+    __slots__ = ("p", "rng")
+
+    def __init__(self, spec: DataDependentBranchSpec, rng: random.Random):
+        self.p = spec.p_taken
+        self.rng = rng
+
+    def next_taken(self) -> bool:
+        return self.rng.random() < self.p
+
+
+class _SwitchState:
+    __slots__ = ("weights", "rng", "n")
+
+    def __init__(self, spec: SwitchSpec, rng: random.Random):
+        self.n = spec.n_targets
+        self.weights = [1.0 / (i + 1) ** spec.skew for i in range(spec.n_targets)]
+        self.rng = rng
+
+    def next_index(self) -> int:
+        return self.rng.choices(range(self.n), weights=self.weights, k=1)[0]
+
+
+def make_branch_state(spec: BranchSpec, rng: random.Random):
+    """Instantiate the mutable runtime state for a branch spec."""
+    if isinstance(spec, LoopBranchSpec):
+        return _LoopState(spec, rng)
+    if isinstance(spec, BiasedBranchSpec):
+        return _BiasedState(spec, rng)
+    if isinstance(spec, PatternBranchSpec):
+        return _PatternState(spec, rng)
+    if isinstance(spec, DataDependentBranchSpec):
+        return _DataDependentState(spec, rng)
+    raise TypeError(f"unknown branch spec {spec!r}")
+
+
+def make_switch_state(spec: SwitchSpec, rng: random.Random) -> _SwitchState:
+    """Instantiate the mutable runtime state for an indirect-jump spec."""
+    return _SwitchState(spec, rng)
+
+
+# --------------------------------------------------------------------------
+# Memory specs
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class StrideMemSpec:
+    """Sequential access: ``base + (k * stride) % extent`` on the k-th access.
+
+    Models array streaming (SpecFP / multimedia).  ``extent`` bounds the
+    touched region so the working set is controllable.
+    """
+
+    base: int
+    stride: int
+    extent: int
+
+
+@dataclass(frozen=True, slots=True)
+class RandomMemSpec:
+    """Uniform random access within ``[base, base + extent)``.
+
+    Models pointer-chasing / hash-table behaviour (SpecInt, office apps).
+    """
+
+    base: int
+    extent: int
+
+
+MemSpec = StrideMemSpec | RandomMemSpec
+
+
+class _StrideMemState:
+    __slots__ = ("spec", "offset")
+
+    def __init__(self, spec: StrideMemSpec):
+        self.spec = spec
+        self.offset = 0
+
+    def next_address(self) -> int:
+        addr = self.spec.base + self.offset
+        self.offset = (self.offset + self.spec.stride) % max(self.spec.extent, 1)
+        return addr
+
+
+class _RandomMemState:
+    __slots__ = ("spec", "rng")
+
+    def __init__(self, spec: RandomMemSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+
+    def next_address(self) -> int:
+        # Align to 8 bytes like typical scalar accesses.
+        return self.spec.base + (self.rng.randrange(max(self.spec.extent, 8)) & ~7)
+
+
+def make_mem_state(spec: MemSpec, rng: random.Random):
+    """Instantiate the mutable runtime state for a memory spec."""
+    if isinstance(spec, StrideMemSpec):
+        return _StrideMemState(spec)
+    if isinstance(spec, RandomMemSpec):
+        return _RandomMemState(spec, rng)
+    raise TypeError(f"unknown memory spec {spec!r}")

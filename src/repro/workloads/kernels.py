@@ -1,0 +1,490 @@
+"""Program-skeleton kernels: the building blocks of synthetic applications.
+
+A synthetic application is assembled from *kernels* — loop nests, call
+trees, switch dispatchers and straight-line cold blocks — emitted into a
+:class:`~repro.workloads.program.ProgramBuilder`.  The
+:class:`BodyEmitter` generates straight-line instruction sequences matching
+a profile's instruction mix, and deliberately plants the idioms the dynamic
+optimizer feeds on (constant producers, dead writes, fusable dependent
+pairs, SIMD-pairable independent pairs) at profile-controlled densities.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.opcodes import InstrClass
+from repro.isa.registers import FP_REG_BASE, NUM_FP_REGS
+from repro.workloads.behaviors import (
+    BiasedBranchSpec,
+    BranchSpec,
+    DataDependentBranchSpec,
+    LoopBranchSpec,
+    MemSpec,
+    PatternBranchSpec,
+    RandomMemSpec,
+    StrideMemSpec,
+    SwitchSpec,
+)
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.program import Label, ProgramBuilder
+
+#: Integer registers available to body code (r12-r13 are scratch for
+#: switches; r15 is the stack pointer; r14 reserved for indirect targets).
+BODY_INT_REGS = tuple(range(0, 12))
+SWITCH_REG = 14
+FP_REGS = tuple(range(FP_REG_BASE, FP_REG_BASE + NUM_FP_REGS))
+
+
+class BodyEmitter:
+    """Emit straight-line body instructions matching a profile's mix.
+
+    One emitter is created per kernel so that register rotation and memory
+    sites are kernel-local, giving each kernel its own dependence structure
+    and data region.
+    """
+
+    def __init__(
+        self,
+        builder: ProgramBuilder,
+        profile: WorkloadProfile,
+        rng: random.Random,
+        *,
+        hot: bool,
+    ):
+        self.builder = builder
+        self.profile = profile
+        self.rng = rng
+        self.hot = hot
+        self._dest_cursor = rng.randrange(len(BODY_INT_REGS))
+        self._fp_cursor = rng.randrange(len(FP_REGS))
+        self._recent: list[int] = []
+        #: FP registers whose current value came from a load — reading them
+        #: starts a fresh (short) dependence chain, the way streaming FP
+        #: kernels read array elements rather than long accumulator chains.
+        self._fp_loaded: set[int] = set()
+        # The profile working set is an *application* total; each kernel's
+        # region is its share, so the app footprint matches the profile.
+        if hot:
+            share = max(1, profile.n_hot_kernels)
+            ws = max(4096, profile.hot_ws_bytes // share)
+        else:
+            share = max(1, profile.n_cold_kernels)
+            ws = max(4096, profile.cold_ws_bytes // share)
+        self._region_base = builder.alloc_data(ws)
+        self._region_size = ws
+
+    # -- register selection --------------------------------------------------
+
+    def _next_dest(self) -> int:
+        reg = BODY_INT_REGS[self._dest_cursor]
+        self._dest_cursor = (self._dest_cursor + 1) % len(BODY_INT_REGS)
+        self._remember(reg)
+        return reg
+
+    def _next_fp_dest(self) -> int:
+        reg = FP_REGS[self._fp_cursor]
+        self._fp_cursor = (self._fp_cursor + 1) % len(FP_REGS)
+        self._fp_loaded.discard(reg)
+        return reg
+
+    def _fp_load_dest(self) -> int:
+        reg = FP_REGS[self._fp_cursor]
+        self._fp_cursor = (self._fp_cursor + 1) % len(FP_REGS)
+        self._fp_loaded.add(reg)
+        return reg
+
+    def _remember(self, reg: int) -> None:
+        self._recent.append(reg)
+        if len(self._recent) > 4:
+            self._recent.pop(0)
+
+    def _src(self) -> int:
+        """Mostly-independent sources with some value locality.
+
+        A low recent-value bias keeps multiple dependence chains live in
+        parallel — matching the instruction-level parallelism real compiled
+        loop bodies expose to a 4-wide machine.
+        """
+        if self._recent and self.rng.random() < 0.2:
+            return self.rng.choice(self._recent)
+        return self.rng.choice(BODY_INT_REGS)
+
+    def _fp_src(self) -> int:
+        """Prefer load-produced values: breaks accumulator chains."""
+        if self._fp_loaded and self.rng.random() < 0.85:
+            return self.rng.choice(tuple(self._fp_loaded))
+        return self.rng.choice(FP_REGS)
+
+    # -- memory sites -------------------------------------------------------
+
+    def _mem_spec(self) -> MemSpec:
+        """Create a fresh memory-site spec inside this kernel's region."""
+        if self.rng.random() < self.profile.stride_frac:
+            extent = max(self._region_size // 2, 64)
+            offset = self.rng.randrange(max(self._region_size - extent, 1))
+            return StrideMemSpec(
+                base=self._region_base + offset,
+                stride=self.profile.mem_stride,
+                extent=extent,
+            )
+        return RandomMemSpec(base=self._region_base, extent=self._region_size)
+
+    # -- emission -----------------------------------------------------------
+
+    def emit_body(self, n_instructions: int) -> int:
+        """Emit approximately ``n_instructions`` straight-line instructions.
+
+        Returns the exact number emitted (idiom pairs may overshoot by one).
+        """
+        emitted = 0
+        while emitted < n_instructions:
+            emitted += self._emit_one()
+        return emitted
+
+    def _emit_one(self) -> int:
+        p = self.profile
+        rng = self.rng
+        # Normalised category weights: the profile densities are *relative*
+        # shares, with plain integer code absorbing at least a 15% floor so
+        # over-specified profiles cannot starve any category.
+        weights = (
+            p.const_density,
+            p.dead_write_density,
+            p.fusable_density,
+            p.pairable_density,
+            p.frac_mem,
+            p.frac_fp,
+            p.frac_mul,
+        )
+        plain = max(0.15, 1.0 - sum(weights))
+        roll = rng.random() * (sum(weights) + plain)
+        if roll < p.const_density:
+            self.builder.emit(
+                InstrClass.LOAD_IMM, dest=self._next_dest(), imm=rng.randrange(1, 256)
+            )
+            return 1
+        roll -= p.const_density
+        if roll < p.dead_write_density:
+            return self._emit_dead_write()
+        roll -= p.dead_write_density
+        if roll < p.fusable_density:
+            return self._emit_fusable_pair()
+        roll -= p.fusable_density
+        if roll < p.pairable_density:
+            return self._emit_pairable_pair()
+        roll -= p.pairable_density
+        if roll < p.frac_mem:
+            return self._emit_memory_op()
+        roll -= p.frac_mem
+        if roll < p.frac_fp:
+            return self._emit_fp_op()
+        roll -= p.frac_fp
+        if roll < p.frac_mul:
+            self.builder.emit(
+                InstrClass.INT_MUL, dest=self._next_dest(), src1=self._src(), src2=self._src()
+            )
+            return 1
+        return self._emit_plain_int()
+
+    def _emit_dead_write(self) -> int:
+        """A value produced and overwritten before any read: DCE food."""
+        victim = self._next_dest()
+        self.builder.emit(InstrClass.LOAD_IMM, dest=victim, imm=self.rng.randrange(1024))
+        self.builder.emit(
+            InstrClass.SIMPLE_ALU, dest=victim, src1=self._src(), src2=self._src()
+        )
+        return 2
+
+    def _emit_fusable_pair(self) -> int:
+        """Two dependent single-use ALU ops: micro-op fusion food."""
+        tmp = self._next_dest()
+        dst = self._next_dest()
+        self.builder.emit(InstrClass.SIMPLE_ALU, dest=tmp, src1=self._src(), src2=self._src())
+        self.builder.emit(
+            InstrClass.ALU_IMM, dest=dst, src1=tmp, imm=self.rng.randrange(1, 64)
+        )
+        return 2
+
+    def _emit_pairable_pair(self) -> int:
+        """Two independent identical-kind ops: SIMDification food."""
+        if self.profile.frac_fp > 0 and self.rng.random() < self.profile.frac_fp * 2:
+            d1, d2 = self._next_fp_dest(), self._next_fp_dest()
+            fp_mul = self.rng.random() < 0.5
+            self.builder.emit(
+                InstrClass.FP_ARITH, dest=d1, src1=self._fp_src(), src2=self._fp_src(),
+                fp_mul=fp_mul,
+            )
+            self.builder.emit(
+                InstrClass.FP_ARITH, dest=d2, src1=self._fp_src(), src2=self._fp_src(),
+                fp_mul=fp_mul,
+            )
+        else:
+            d1, d2 = self._next_dest(), self._next_dest()
+            s = [self._src() for _ in range(4)]
+            self.builder.emit(InstrClass.SIMPLE_ALU, dest=d1, src1=s[0], src2=s[1])
+            self.builder.emit(InstrClass.SIMPLE_ALU, dest=d2, src1=s[2], src2=s[3])
+        return 2
+
+    def _emit_memory_op(self) -> int:
+        p, rng = self.profile, self.rng
+        spec = self._mem_spec()
+        base = self._src()
+        if rng.random() < p.frac_complex:
+            iclass = rng.choice(
+                (InstrClass.LOAD_OP, InstrClass.RMW, InstrClass.COMPLEX_ADDR)
+            )
+            self.builder.emit(
+                iclass, dest=self._next_dest(), src1=base, src2=self._src(), mem=spec
+            )
+            return 1
+        if rng.random() < p.frac_store:
+            if p.frac_fp > 0 and rng.random() < p.frac_fp:
+                self.builder.emit(
+                    InstrClass.FP_STORE, src1=base, src2=self._fp_src(), mem=spec
+                )
+            else:
+                self.builder.emit(
+                    InstrClass.STORE, src1=base, src2=self._src(), mem=spec
+                )
+            return 1
+        if p.frac_fp > 0 and rng.random() < p.frac_fp:
+            self.builder.emit(
+                InstrClass.FP_LOAD, dest=self._fp_load_dest(), src1=base, mem=spec
+            )
+        else:
+            self.builder.emit(
+                InstrClass.LOAD, dest=self._next_dest(), src1=base, mem=spec
+            )
+        return 1
+
+    def _emit_fp_op(self) -> int:
+        if self.rng.random() < 0.02:
+            self.builder.emit(
+                InstrClass.FP_DIVIDE,
+                dest=self._next_fp_dest(),
+                src1=self._fp_src(),
+                src2=self._fp_src(),
+            )
+        else:
+            self.builder.emit(
+                InstrClass.FP_ARITH,
+                dest=self._next_fp_dest(),
+                src1=self._fp_src(),
+                src2=self._fp_src(),
+                fp_mul=self.rng.random() < 0.45,
+            )
+        return 1
+
+    def _emit_plain_int(self) -> int:
+        rng = self.rng
+        choice = rng.random()
+        dest = self._next_dest()
+        if choice < 0.45:
+            self.builder.emit(
+                InstrClass.SIMPLE_ALU, dest=dest, src1=self._src(), src2=self._src()
+            )
+        elif choice < 0.65:
+            self.builder.emit(
+                InstrClass.ALU_IMM, dest=dest, src1=self._src(), imm=rng.randrange(1, 128)
+            )
+        elif choice < 0.80:
+            self.builder.emit(
+                InstrClass.LOGIC_OP, dest=dest, src1=self._src(), src2=self._src()
+            )
+        elif choice < 0.90:
+            self.builder.emit(
+                InstrClass.SHIFT_OP, dest=dest, src1=self._src(), imm=rng.randrange(1, 31)
+            )
+        else:
+            self.builder.emit(InstrClass.REG_MOV, dest=dest, src1=self._src())
+        return 1
+
+    # -- control-flow idioms --------------------------------------------------
+
+    def diamond_spec(self) -> BranchSpec:
+        """Draw the behaviour spec of one if/else diamond per the profile."""
+        p, rng = self.profile, self.rng
+        if rng.random() < p.irregular_branch_frac:
+            return DataDependentBranchSpec(p_taken=rng.uniform(0.35, 0.65))
+        if rng.random() < 0.2:
+            # Short periodic patterns, mostly one direction: learnable by a
+            # history predictor even with some aliasing noise.
+            return PatternBranchSpec(period=rng.randint(2, 3), p_taken=0.25)
+        # Biased toward fall-through (the common "error check" shape).
+        return BiasedBranchSpec(p_taken=1.0 - p.diamond_bias)
+
+    def emit_diamond(self, then_size: int = 3, else_size: int = 3) -> None:
+        """Emit a compare + if/else diamond with profile-driven behaviour."""
+        b = self.builder
+        b.emit(InstrClass.COMPARE, src1=self._src(), src2=self._src())
+        else_lbl = b.label("else")
+        join_lbl = b.label("join")
+        b.cond_branch(else_lbl, self.diamond_spec())
+        self.emit_body(then_size)
+        b.jump(join_lbl)
+        b.place(else_lbl)
+        self.emit_body(else_size)
+        b.place(join_lbl)
+
+
+def build_loop_kernel(
+    builder: ProgramBuilder,
+    profile: WorkloadProfile,
+    rng: random.Random,
+    *,
+    hot: bool = True,
+    name: str = "loop",
+) -> Label:
+    """Emit a (possibly nested) loop kernel as a callable procedure.
+
+    The loop back-edge is a backward taken conditional branch — exactly the
+    construct PARROT's trace selection cuts traces at, so each iteration
+    forms one trace and identical consecutive iterations may be joined
+    (implicit unrolling).
+    """
+    entry = builder.place(builder.label(f"{name}_entry"))
+    emitter = BodyEmitter(builder, profile, rng, hot=hot)
+    body_lo, body_hi = profile.hot_body_range if hot else profile.cold_body_range
+    body_size = rng.randint(body_lo, body_hi)
+    n_diamonds = rng.randint(*profile.diamonds_per_body)
+    nested = hot and rng.random() < profile.nested_loop_prob
+
+    # Pre-header: loop-invariant setup.
+    emitter.emit_body(rng.randint(1, 3))
+    head = builder.place(builder.label(f"{name}_head"))
+
+    # The body is split into chunks with diamonds / an inner loop between.
+    n_chunks = max(1, n_diamonds + (1 if nested else 0)) + 1
+    chunk = max(1, body_size // n_chunks)
+    emitter.emit_body(chunk)
+    for _ in range(n_diamonds):
+        emitter.emit_diamond(
+            then_size=rng.randint(2, 5), else_size=rng.randint(2, 5)
+        )
+        emitter.emit_body(chunk)
+    fixed_trips = hot and rng.random() < profile.loop_regularity
+    if nested:
+        # The inner loop dominates the dynamic stream (trips multiply), so
+        # give it a representative, full-size body.  Regular (fixed-bound)
+        # inner loops keep long trips — their rare exits are what keeps FP
+        # codes so predictable; irregular inner loops exit often.
+        inner_head = builder.place(builder.label(f"{name}_inner"))
+        emitter.emit_body(max(4, chunk))
+        builder.emit(InstrClass.COMPARE, src1=rng.choice(BODY_INT_REGS))
+        trip_lo, trip_hi = profile.hot_trip_range
+        if fixed_trips:
+            inner_trips = (max(8, trip_lo // 2), max(12, trip_hi // 2))
+        else:
+            inner_trips = (max(2, trip_lo // 8), max(3, trip_hi // 16))
+        builder.cond_branch(
+            inner_head,
+            LoopBranchSpec(*inner_trips, fixed=fixed_trips),
+        )
+        emitter.emit_body(chunk)
+
+    builder.emit(InstrClass.COMPARE, src1=rng.choice(BODY_INT_REGS))
+    if hot:
+        trips = LoopBranchSpec(*profile.hot_trip_range, fixed=fixed_trips)
+    else:
+        trips = LoopBranchSpec(1, 3)
+    builder.cond_branch(head, trips)
+    builder.ret()
+    return entry
+
+
+def build_switch_kernel(
+    builder: ProgramBuilder,
+    profile: WorkloadProfile,
+    rng: random.Random,
+    *,
+    name: str = "switch",
+) -> Label:
+    """Emit a loop whose body dispatches through an indirect jump.
+
+    Models interpreter/virtual-dispatch hot code: the indirect jump makes
+    every iteration's path differ, producing many distinct TIDs (the
+    SpecInt-style coverage limiter) and exercising the indirect-CTI trace
+    termination rule.
+    """
+    entry = builder.place(builder.label(f"{name}_entry"))
+    emitter = BodyEmitter(builder, profile, rng, hot=True)
+    fanout = rng.randint(*profile.switch_fanout)
+    emitter.emit_body(rng.randint(1, 3))
+    head = builder.place(builder.label(f"{name}_head"))
+    emitter.emit_body(rng.randint(2, 5))
+
+    case_labels = [builder.label(f"{name}_case{i}") for i in range(fanout)]
+    latch = builder.label(f"{name}_latch")
+    builder.indirect_jump(SWITCH_REG, case_labels, SwitchSpec(fanout, skew=2.0))
+    for case_lbl in case_labels:
+        builder.place(case_lbl)
+        emitter.emit_body(rng.randint(2, 6))
+        builder.jump(latch)
+    builder.place(latch)
+    builder.emit(InstrClass.COMPARE, src1=rng.choice(BODY_INT_REGS))
+    builder.cond_branch(head, LoopBranchSpec(*profile.hot_trip_range))
+    builder.ret()
+    return entry
+
+
+def build_call_tree_kernel(
+    builder: ProgramBuilder,
+    profile: WorkloadProfile,
+    rng: random.Random,
+    *,
+    depth: int,
+    name: str = "tree",
+) -> Label:
+    """Emit a call tree whose leaves are small hot loops.
+
+    Exercises CALL/RETURN trace-selection rules (the context counter that
+    achieves procedure inlining inside traces).
+    """
+    if depth <= 0:
+        return build_loop_kernel(builder, profile, rng, hot=True, name=f"{name}_leaf")
+    children = [
+        build_call_tree_kernel(
+            builder, profile, rng, depth=depth - 1, name=f"{name}_{i}"
+        )
+        for i in range(2)
+    ]
+    entry = builder.place(builder.label(f"{name}_entry"))
+    emitter = BodyEmitter(builder, profile, rng, hot=True)
+    emitter.emit_body(rng.randint(2, 4))
+    for child in children:
+        builder.call(child)
+        emitter.emit_body(rng.randint(1, 3))
+    builder.ret()
+    return entry
+
+
+def build_cold_kernel(
+    builder: ProgramBuilder,
+    profile: WorkloadProfile,
+    rng: random.Random,
+    *,
+    name: str = "cold",
+) -> Label:
+    """Emit a rarely-executed straight-line kernel (error paths, init code).
+
+    A fraction of cold kernels issue a software interrupt (system call),
+    exercising the exception trace-termination rule on real streams.
+    """
+    entry = builder.place(builder.label(f"{name}_entry"))
+    emitter = BodyEmitter(builder, profile, rng, hot=False)
+    lo, hi = profile.cold_body_range
+    emitter.emit_body(rng.randint(lo, hi))
+    if rng.random() < 0.25:
+        builder.emit(InstrClass.SOFTWARE_INT)
+    if rng.random() < 0.5:
+        emitter.emit_diamond(then_size=rng.randint(2, 4), else_size=rng.randint(2, 4))
+    if rng.random() < 0.3:
+        # An occasional short cold loop.
+        head = builder.place(builder.label(f"{name}_loop"))
+        emitter.emit_body(rng.randint(2, 5))
+        builder.emit(InstrClass.COMPARE, src1=rng.choice(BODY_INT_REGS))
+        builder.cond_branch(head, LoopBranchSpec(1, 4))
+    emitter.emit_body(rng.randint(2, 6))
+    builder.ret()
+    return entry

@@ -1,0 +1,356 @@
+"""Statistical workload profiles for the five benchmark suites.
+
+The paper evaluates 44 proprietary application traces drawn from SPEC-INT
+2000, SPEC-FP 2000, SysMark-2000 office applications, multimedia codes and
+DotNet runs.  We cannot redistribute those traces; instead each suite is
+characterised by a :class:`WorkloadProfile` whose knobs control exactly the
+stream properties PARROT's results depend on:
+
+* hot/cold skew (few hot loop kernels vs. many rarely-touched cold kernels),
+* basic-block size and branch predictability (regular FP vs. irregular INT),
+* loop trip counts (trace reuse and coverage),
+* instruction mix (FP vs. integer vs. memory; CISC multi-uop forms),
+* optimizer-relevant idiom densities (constants, dead writes, fusable and
+  SIMD-pairable operations),
+* memory working-set size and access pattern (stride vs. random).
+
+Per-application variation is applied on top of the suite profile by
+:mod:`repro.workloads.suite`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+
+SUITE_SPECINT = "SpecInt"
+SUITE_SPECFP = "SpecFP"
+SUITE_OFFICE = "Office"
+SUITE_MULTIMEDIA = "Multimedia"
+SUITE_DOTNET = "DotNet"
+
+ALL_SUITES = (
+    SUITE_SPECINT,
+    SUITE_SPECFP,
+    SUITE_OFFICE,
+    SUITE_MULTIMEDIA,
+    SUITE_DOTNET,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Complete statistical description of one synthetic application."""
+
+    name: str
+    suite: str
+
+    # -- program structure ------------------------------------------------
+    n_hot_kernels: int          #: number of hot loop kernels
+    n_cold_kernels: int         #: number of rarely-executed kernels
+    hot_body_range: tuple[int, int]   #: straight-line instrs per hot loop body
+    hot_trip_range: tuple[int, int]   #: loop trip counts of hot loops
+    nested_loop_prob: float     #: probability a hot kernel nests an inner loop
+    diamonds_per_body: tuple[int, int]  #: if/else diamonds per hot body
+    irregular_branch_frac: float  #: fraction of diamonds that are data-dependent
+    diamond_bias: float         #: taken probability of regular (biased) diamonds
+    n_switch_kernels: int       #: kernels built around indirect jumps
+    switch_fanout: tuple[int, int]  #: indirect-jump target counts
+    call_depth: int             #: depth of the call tree inside kernels
+    p_cold: float               #: per outer iteration, prob. of a cold excursion
+    cold_body_range: tuple[int, int]  #: instrs per cold kernel
+
+    # -- instruction mix ----------------------------------------------------
+    frac_fp: float              #: FP-arithmetic share of body instructions
+    frac_mem: float             #: memory-access share of body instructions
+    frac_store: float           #: store share of memory accesses
+    frac_mul: float             #: integer multiply share
+    frac_complex: float         #: CISC multi-uop memory forms share of mem ops
+
+    # -- optimizer-relevant idiom densities --------------------------------
+    const_density: float        #: immediate-producer density (const-prop food)
+    dead_write_density: float   #: overwritten-before-read writes (DCE food)
+    pairable_density: float     #: adjacent independent same-kind ops (SIMD food)
+    fusable_density: float      #: dependent ALU pairs (fusion food)
+
+    # -- memory behaviour ---------------------------------------------------
+    hot_ws_bytes: int           #: hot-kernel data working set
+    cold_ws_bytes: int          #: cold-code data working set
+    stride_frac: float          #: fraction of memory sites with stride patterns
+    mem_stride: int             #: stride in bytes for streaming sites
+    #: Fraction of hot loops whose trip count is a fixed compile-time bound
+    #: (regular FP/media kernels) rather than redrawn per entry.
+    loop_regularity: float = 0.5
+
+    def derive(self, **overrides) -> "WorkloadProfile":
+        """Return a copy with selected fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    def validate(self) -> None:
+        """Sanity-check ranges; raises ``ValueError`` on nonsense values."""
+        for frac_name in (
+            "nested_loop_prob",
+            "irregular_branch_frac",
+            "diamond_bias",
+            "p_cold",
+            "frac_fp",
+            "frac_mem",
+            "frac_store",
+            "frac_mul",
+            "frac_complex",
+            "const_density",
+            "dead_write_density",
+            "pairable_density",
+            "fusable_density",
+            "stride_frac",
+            "loop_regularity",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {frac_name}={value} outside [0, 1]")
+        if self.n_hot_kernels < 1:
+            raise ValueError(f"{self.name}: needs at least one hot kernel")
+        for range_name in ("hot_body_range", "hot_trip_range", "diamonds_per_body",
+                           "switch_fanout", "cold_body_range"):
+            lo, hi = getattr(self, range_name)
+            if lo > hi or lo < 0:
+                raise ValueError(f"{self.name}: bad range {range_name}=({lo}, {hi})")
+
+
+def specint_profile(name: str = "specint") -> WorkloadProfile:
+    """Irregular integer codes: short trips, branchy bodies, random memory."""
+    return WorkloadProfile(
+        name=name,
+        suite=SUITE_SPECINT,
+        n_hot_kernels=6,
+        n_cold_kernels=24,
+        hot_body_range=(6, 16),
+        hot_trip_range=(6, 32),
+        nested_loop_prob=0.35,
+        diamonds_per_body=(1, 3),
+        irregular_branch_frac=0.06,
+        diamond_bias=0.96,
+        n_switch_kernels=2,
+        switch_fanout=(4, 10),
+        call_depth=2,
+        p_cold=0.08,
+        cold_body_range=(8, 30),
+        frac_fp=0.0,
+        frac_mem=0.30,
+        frac_store=0.35,
+        frac_mul=0.03,
+        frac_complex=0.45,
+        const_density=0.16,
+        dead_write_density=0.13,
+        pairable_density=0.12,
+        fusable_density=0.32,
+        hot_ws_bytes=24 * 1024,
+        cold_ws_bytes=160 * 1024,
+        stride_frac=0.25,
+        mem_stride=8,
+        loop_regularity=0.3,
+    )
+
+
+def specfp_profile(name: str = "specfp") -> WorkloadProfile:
+    """Regular FP codes: long trips, big straight bodies, streaming memory."""
+    return WorkloadProfile(
+        name=name,
+        suite=SUITE_SPECFP,
+        n_hot_kernels=3,
+        n_cold_kernels=10,
+        hot_body_range=(12, 28),
+        hot_trip_range=(64, 512),
+        nested_loop_prob=0.5,
+        diamonds_per_body=(0, 1),
+        irregular_branch_frac=0.04,
+        diamond_bias=0.97,
+        n_switch_kernels=0,
+        switch_fanout=(2, 4),
+        call_depth=1,
+        p_cold=0.02,
+        cold_body_range=(10, 24),
+        frac_fp=0.42,
+        frac_mem=0.34,
+        frac_store=0.30,
+        frac_mul=0.02,
+        frac_complex=0.30,
+        const_density=0.10,
+        dead_write_density=0.08,
+        pairable_density=0.38,
+        fusable_density=0.22,
+        hot_ws_bytes=128 * 1024,
+        cold_ws_bytes=96 * 1024,
+        stride_frac=0.90,
+        mem_stride=8,
+        loop_regularity=0.95,
+    )
+
+
+def office_profile(name: str = "office") -> WorkloadProfile:
+    """Office/Windows codes: large cold footprint, moderate irregularity."""
+    return WorkloadProfile(
+        name=name,
+        suite=SUITE_OFFICE,
+        n_hot_kernels=5,
+        n_cold_kernels=32,
+        hot_body_range=(6, 14),
+        hot_trip_range=(8, 48),
+        nested_loop_prob=0.25,
+        diamonds_per_body=(1, 2),
+        irregular_branch_frac=0.06,
+        diamond_bias=0.96,
+        n_switch_kernels=2,
+        switch_fanout=(3, 8),
+        call_depth=3,
+        p_cold=0.05,
+        cold_body_range=(10, 36),
+        frac_fp=0.02,
+        frac_mem=0.32,
+        frac_store=0.38,
+        frac_mul=0.02,
+        frac_complex=0.40,
+        const_density=0.17,
+        dead_write_density=0.13,
+        pairable_density=0.14,
+        fusable_density=0.28,
+        hot_ws_bytes=40 * 1024,
+        cold_ws_bytes=320 * 1024,
+        stride_frac=0.35,
+        mem_stride=8,
+        loop_regularity=0.5,
+    )
+
+
+def multimedia_profile(name: str = "multimedia") -> WorkloadProfile:
+    """Media kernels: wide SIMD-friendly bodies, streaming data."""
+    return WorkloadProfile(
+        name=name,
+        suite=SUITE_MULTIMEDIA,
+        n_hot_kernels=4,
+        n_cold_kernels=14,
+        hot_body_range=(14, 32),
+        hot_trip_range=(32, 256),
+        nested_loop_prob=0.4,
+        diamonds_per_body=(0, 1),
+        irregular_branch_frac=0.05,
+        diamond_bias=0.95,
+        n_switch_kernels=1,
+        switch_fanout=(3, 6),
+        call_depth=2,
+        p_cold=0.04,
+        cold_body_range=(8, 24),
+        frac_fp=0.22,
+        frac_mem=0.34,
+        frac_store=0.35,
+        frac_mul=0.05,
+        frac_complex=0.35,
+        const_density=0.12,
+        dead_write_density=0.08,
+        pairable_density=0.46,
+        fusable_density=0.26,
+        hot_ws_bytes=96 * 1024,
+        cold_ws_bytes=128 * 1024,
+        stride_frac=0.80,
+        mem_stride=8,
+        loop_regularity=0.85,
+    )
+
+
+def dotnet_profile(name: str = "dotnet") -> WorkloadProfile:
+    """Managed-runtime codes: virtual dispatch, moderate regularity."""
+    return WorkloadProfile(
+        name=name,
+        suite=SUITE_DOTNET,
+        n_hot_kernels=5,
+        n_cold_kernels=18,
+        hot_body_range=(8, 18),
+        hot_trip_range=(16, 96),
+        nested_loop_prob=0.3,
+        diamonds_per_body=(1, 2),
+        irregular_branch_frac=0.05,
+        diamond_bias=0.95,
+        n_switch_kernels=2,
+        switch_fanout=(3, 8),
+        call_depth=3,
+        p_cold=0.05,
+        cold_body_range=(8, 26),
+        frac_fp=0.12,
+        frac_mem=0.30,
+        frac_store=0.34,
+        frac_mul=0.03,
+        frac_complex=0.35,
+        const_density=0.16,
+        dead_write_density=0.11,
+        pairable_density=0.16,
+        fusable_density=0.26,
+        hot_ws_bytes=48 * 1024,
+        cold_ws_bytes=192 * 1024,
+        stride_frac=0.45,
+        mem_stride=8,
+        loop_regularity=0.6,
+    )
+
+
+_SUITE_FACTORIES = {
+    SUITE_SPECINT: specint_profile,
+    SUITE_SPECFP: specfp_profile,
+    SUITE_OFFICE: office_profile,
+    SUITE_MULTIMEDIA: multimedia_profile,
+    SUITE_DOTNET: dotnet_profile,
+}
+
+
+def suite_profile(suite: str, name: str = "") -> WorkloadProfile:
+    """Return the base profile of ``suite`` (optionally renamed)."""
+    try:
+        factory = _SUITE_FACTORIES[suite]
+    except KeyError as exc:
+        raise ValueError(f"unknown suite {suite!r}; known: {ALL_SUITES}") from exc
+    return factory(name or suite.lower())
+
+
+def jitter_profile(base: WorkloadProfile, seed: int) -> WorkloadProfile:
+    """Apply bounded per-application variation on top of a suite profile.
+
+    Structural counts vary by ±1-2, continuous knobs by ±15%, so apps within
+    a suite stay recognisably similar while producing distinct programs.
+    """
+    rng = random.Random(seed)
+
+    def scale(value: float, lo: float = 0.0, hi: float = 1.0) -> float:
+        return min(hi, max(lo, value * rng.uniform(0.85, 1.15)))
+
+    def iscale(value: int, minimum: int = 1) -> int:
+        return max(minimum, round(value * rng.uniform(0.8, 1.2)))
+
+    trip_lo, trip_hi = base.hot_trip_range
+    body_lo, body_hi = base.hot_body_range
+    profile = base.derive(
+        n_hot_kernels=iscale(base.n_hot_kernels),
+        n_cold_kernels=iscale(base.n_cold_kernels, minimum=2),
+        hot_body_range=(iscale(body_lo, 3), iscale(body_hi, 6)),
+        hot_trip_range=(iscale(trip_lo, 2), iscale(trip_hi, 4)),
+        nested_loop_prob=scale(base.nested_loop_prob),
+        irregular_branch_frac=scale(base.irregular_branch_frac),
+        diamond_bias=scale(base.diamond_bias, 0.5, 0.98),
+        p_cold=scale(base.p_cold, 0.0, 0.5),
+        frac_fp=scale(base.frac_fp),
+        frac_mem=scale(base.frac_mem, 0.05, 0.6),
+        const_density=scale(base.const_density),
+        dead_write_density=scale(base.dead_write_density),
+        pairable_density=scale(base.pairable_density),
+        fusable_density=scale(base.fusable_density),
+        hot_ws_bytes=iscale(base.hot_ws_bytes, 4096),
+        stride_frac=scale(base.stride_frac),
+    )
+    # Repair ranges the independent scaling may have inverted.
+    b_lo, b_hi = profile.hot_body_range
+    t_lo, t_hi = profile.hot_trip_range
+    profile = profile.derive(
+        hot_body_range=(min(b_lo, b_hi), max(b_lo, b_hi)),
+        hot_trip_range=(min(t_lo, t_hi), max(t_lo, t_hi)),
+    )
+    profile.validate()
+    return profile

@@ -1,0 +1,271 @@
+"""Static program images and the :class:`ProgramBuilder` assembler.
+
+A :class:`Program` is the synthetic equivalent of a compiled IA32 binary:
+a map from addresses to variable-length macro-instructions, plus the
+declarative behaviour specs (branch directions, indirect-jump target
+distributions, memory-access patterns) that the stream walker interprets to
+produce a dynamic execution.  Programs are built through
+:class:`ProgramBuilder`, a tiny assembler with labels, forward references
+and a data-region allocator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.isa.decoder import decode_template
+from repro.isa.encoding import encoded_length
+from repro.isa.instruction import MacroInstruction
+from repro.isa.opcodes import InstrClass
+from repro.isa.registers import REG_NONE
+from repro.workloads.behaviors import BranchSpec, MemSpec, SwitchSpec
+
+#: Base address of the code segment (mirrors a typical text-segment base).
+CODE_BASE = 0x0040_0000
+#: Base address of the data segment.
+DATA_BASE = 0x1000_0000
+
+
+class Label:
+    """A forward-referenceable code location."""
+
+    __slots__ = ("name", "address")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.address: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = f"{self.address:#x}" if self.address is not None else "unbound"
+        return f"Label({self.name}, {bound})"
+
+
+@dataclass(slots=True)
+class _PendingInstr:
+    """An instruction recorded during building, finalised in :meth:`finish`."""
+
+    address: int
+    length: int
+    iclass: InstrClass
+    dest: int
+    src1: int
+    src2: int
+    imm: int | None
+    fp_mul: bool
+    target: Label | None
+
+
+@dataclass(slots=True)
+class Program:
+    """A finished static program image plus its dynamic behaviour specs."""
+
+    name: str
+    entry: int
+    instructions: dict[int, MacroInstruction]
+    branch_specs: dict[int, BranchSpec]
+    switch_specs: dict[int, SwitchSpec]
+    switch_targets: dict[int, tuple[int, ...]]
+    mem_specs: dict[int, MemSpec]
+    code_bytes: int = 0
+
+    @property
+    def num_static_instructions(self) -> int:
+        """Static instruction count of the image."""
+        return len(self.instructions)
+
+    def instruction_at(self, address: int) -> MacroInstruction:
+        """Look up the instruction at ``address`` or raise ``WorkloadError``."""
+        try:
+            return self.instructions[address]
+        except KeyError as exc:
+            raise WorkloadError(
+                f"{self.name}: no instruction at {address:#x}"
+            ) from exc
+
+    def validate(self) -> None:
+        """Check structural invariants of the image; raise on violation.
+
+        Verifies that every CTI with a static target points at a real
+        instruction, that conditional branches carry behaviour specs, and
+        that every switch has at least one target.
+        """
+        for addr, instr in self.instructions.items():
+            if addr != instr.address:
+                raise WorkloadError(f"{self.name}: keyed at {addr:#x} != {instr.address:#x}")
+            if instr.iclass is InstrClass.COND_BRANCH and addr not in self.branch_specs:
+                raise WorkloadError(f"{self.name}: branch at {addr:#x} has no spec")
+            if instr.taken_target is not None and instr.taken_target not in self.instructions:
+                raise WorkloadError(
+                    f"{self.name}: CTI at {addr:#x} targets unmapped {instr.taken_target:#x}"
+                )
+        for addr, targets in self.switch_targets.items():
+            if not targets:
+                raise WorkloadError(f"{self.name}: switch at {addr:#x} has no targets")
+            if addr not in self.switch_specs:
+                raise WorkloadError(f"{self.name}: switch at {addr:#x} has no spec")
+
+
+class ProgramBuilder:
+    """Incrementally assemble a :class:`Program`.
+
+    Addresses are assigned at emission time from drawn encoded lengths, so
+    the image layout is deterministic under the builder's seed.  CTI targets
+    may be unbound labels; they are resolved when :meth:`finish` runs.
+    """
+
+    def __init__(self, name: str, seed: int, code_base: int = CODE_BASE):
+        self.name = name
+        self.rng = random.Random(seed)
+        self._next_address = code_base
+        self._next_data = DATA_BASE
+        self._pending: list[_PendingInstr] = []
+        self._branch_specs: dict[int, BranchSpec] = {}
+        self._switch_specs: dict[int, SwitchSpec] = {}
+        self._switch_targets: dict[int, list[Label]] = {}
+        self._mem_specs: dict[int, MemSpec] = {}
+        self._labels: list[Label] = []
+        self._finished = False
+
+    # -- layout ------------------------------------------------------------
+
+    @property
+    def here(self) -> int:
+        """Address the next emitted instruction will occupy."""
+        return self._next_address
+
+    def label(self, name: str = "") -> Label:
+        """Create a new (unplaced) label."""
+        label = Label(name or f"L{len(self._labels)}")
+        self._labels.append(label)
+        return label
+
+    def place(self, label: Label) -> Label:
+        """Bind ``label`` to the current address."""
+        if label.address is not None:
+            raise WorkloadError(f"label {label.name} placed twice")
+        label.address = self._next_address
+        return label
+
+    def alloc_data(self, size: int, align: int = 64) -> int:
+        """Reserve ``size`` bytes of data space; returns the base address."""
+        if size <= 0:
+            raise WorkloadError(f"data allocation of {size} bytes")
+        base = (self._next_data + align - 1) & ~(align - 1)
+        self._next_data = base + size
+        return base
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(
+        self,
+        iclass: InstrClass,
+        *,
+        dest: int = REG_NONE,
+        src1: int = REG_NONE,
+        src2: int = REG_NONE,
+        imm: int | None = None,
+        fp_mul: bool = False,
+        target: Label | None = None,
+        mem: MemSpec | None = None,
+    ) -> int:
+        """Emit one instruction; returns its address."""
+        if self._finished:
+            raise WorkloadError("builder already finished")
+        address = self._next_address
+        length = encoded_length(iclass, self.rng)
+        self._pending.append(
+            _PendingInstr(address, length, iclass, dest, src1, src2, imm, fp_mul, target)
+        )
+        if mem is not None:
+            self._mem_specs[address] = mem
+        self._next_address += length
+        return address
+
+    def cond_branch(self, target: Label, spec: BranchSpec) -> int:
+        """Emit a conditional branch with dynamic behaviour ``spec``."""
+        address = self.emit(InstrClass.COND_BRANCH, target=target)
+        self._branch_specs[address] = spec
+        return address
+
+    def jump(self, target: Label) -> int:
+        """Emit an unconditional direct jump."""
+        return self.emit(InstrClass.DIRECT_JUMP, target=target)
+
+    def call(self, target: Label) -> int:
+        """Emit a direct call."""
+        return self.emit(InstrClass.CALL_DIRECT, target=target)
+
+    def ret(self) -> int:
+        """Emit a near return."""
+        return self.emit(InstrClass.RETURN_NEAR)
+
+    def indirect_jump(self, reg: int, targets: list[Label], spec: SwitchSpec) -> int:
+        """Emit an indirect jump choosing among ``targets`` per ``spec``."""
+        if len(targets) != spec.n_targets:
+            raise WorkloadError(
+                f"switch spec expects {spec.n_targets} targets, got {len(targets)}"
+            )
+        address = self.emit(InstrClass.INDIRECT_JUMP, src1=reg)
+        self._switch_specs[address] = spec
+        self._switch_targets[address] = list(targets)
+        return address
+
+    # -- finalisation --------------------------------------------------------
+
+    def finish(self, entry: Label) -> Program:
+        """Resolve labels and freeze the program image."""
+        if self._finished:
+            raise WorkloadError("builder already finished")
+        self._finished = True
+        if entry.address is None:
+            raise WorkloadError(f"entry label {entry.name} never placed")
+        instructions: dict[int, MacroInstruction] = {}
+        for rec in self._pending:
+            taken_target = None
+            if rec.target is not None:
+                if rec.target.address is None:
+                    raise WorkloadError(
+                        f"{self.name}: unresolved label {rec.target.name} "
+                        f"at {rec.address:#x}"
+                    )
+                taken_target = rec.target.address
+            uops = decode_template(
+                rec.iclass,
+                dest=rec.dest,
+                src1=rec.src1,
+                src2=rec.src2,
+                imm=rec.imm,
+                fp_mul=rec.fp_mul,
+            )
+            instructions[rec.address] = MacroInstruction(
+                address=rec.address,
+                length=rec.length,
+                iclass=rec.iclass,
+                uops=uops,
+                taken_target=taken_target,
+            )
+        switch_targets = {
+            addr: tuple(
+                t.address
+                for t in targets
+                if t.address is not None
+            )
+            for addr, targets in self._switch_targets.items()
+        }
+        for addr, targets in switch_targets.items():
+            if len(targets) != len(self._switch_targets[addr]):
+                raise WorkloadError(f"{self.name}: switch at {addr:#x} has unplaced targets")
+        program = Program(
+            name=self.name,
+            entry=entry.address,
+            instructions=instructions,
+            branch_specs=dict(self._branch_specs),
+            switch_specs=dict(self._switch_specs),
+            switch_targets=switch_targets,
+            mem_specs=dict(self._mem_specs),
+            code_bytes=self._next_address - CODE_BASE,
+        )
+        program.validate()
+        return program

@@ -1,0 +1,157 @@
+"""Dynamic instruction streams: the walker and its lookahead wrapper.
+
+The :class:`StreamWalker` interprets a static :class:`~repro.workloads.program.Program`
+— resolving branch directions, indirect targets and memory addresses from
+the program's behaviour specs — and yields an endless sequence of
+:class:`~repro.isa.instruction.DynamicInstruction` records, exactly like the
+execution traces driving the paper's simulator.
+
+The :class:`InstructionStream` wraps a walker with a bounded length and a
+lookahead buffer.  Lookahead is how a trace-driven simulator resolves
+speculation: a predicted trace is correct iff its branch directions match
+the *actual* upcoming stream.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Iterator
+
+from repro.errors import WorkloadError
+from repro.isa.instruction import DynamicInstruction
+from repro.isa.opcodes import InstrClass
+from repro.workloads.behaviors import (
+    make_branch_state,
+    make_mem_state,
+    make_switch_state,
+)
+from repro.workloads.program import Program
+
+
+class StreamWalker:
+    """Deterministically execute a program image, yielding dynamic instructions.
+
+    The walker owns one seeded RNG shared by all behaviour states, so a
+    given ``(program, seed)`` pair always produces the identical stream.
+    """
+
+    def __init__(self, program: Program, seed: int = 0):
+        self.program = program
+        self.rng = random.Random(seed)
+        self._branch_states = {
+            addr: make_branch_state(spec, self.rng)
+            for addr, spec in program.branch_specs.items()
+        }
+        self._switch_states = {
+            addr: make_switch_state(spec, self.rng)
+            for addr, spec in program.switch_specs.items()
+        }
+        self._mem_states = {
+            addr: make_mem_state(spec, self.rng)
+            for addr, spec in program.mem_specs.items()
+        }
+        self._pc = program.entry
+        self._call_stack: list[int] = []
+        self.executed = 0
+
+    def __iter__(self) -> Iterator[DynamicInstruction]:
+        return self
+
+    def __next__(self) -> DynamicInstruction:
+        program = self.program
+        try:
+            instr = program.instructions[self._pc]
+        except KeyError as exc:
+            raise WorkloadError(
+                f"{program.name}: control flowed to unmapped address {self._pc:#x}"
+            ) from exc
+
+        taken = False
+        next_address = instr.fallthrough
+        iclass = instr.iclass
+        if iclass is InstrClass.COND_BRANCH:
+            taken = self._branch_states[instr.address].next_taken()
+            if taken:
+                next_address = instr.taken_target
+        elif iclass is InstrClass.DIRECT_JUMP:
+            taken = True
+            next_address = instr.taken_target
+        elif iclass is InstrClass.CALL_DIRECT:
+            taken = True
+            self._call_stack.append(instr.fallthrough)
+            next_address = instr.taken_target
+        elif iclass is InstrClass.RETURN_NEAR:
+            taken = True
+            if not self._call_stack:
+                raise WorkloadError(
+                    f"{program.name}: return with empty call stack at "
+                    f"{instr.address:#x}"
+                )
+            next_address = self._call_stack.pop()
+        elif iclass is InstrClass.INDIRECT_JUMP:
+            taken = True
+            index = self._switch_states[instr.address].next_index()
+            next_address = program.switch_targets[instr.address][index]
+
+        mem_state = self._mem_states.get(instr.address)
+        mem_addr = mem_state.next_address() if mem_state is not None else None
+
+        self._pc = next_address
+        self.executed += 1
+        return DynamicInstruction(instr, taken, next_address, mem_addr)
+
+
+class InstructionStream:
+    """A bounded dynamic stream with arbitrary lookahead.
+
+    ``peek(i)`` returns the instruction ``i`` positions ahead of the cursor
+    (``peek(0)`` is the next instruction to execute) or ``None`` past the
+    end; ``take()`` consumes and returns the next instruction.
+    """
+
+    def __init__(self, walker: Iterator[DynamicInstruction], limit: int):
+        if limit <= 0:
+            raise WorkloadError(f"stream limit must be positive, got {limit}")
+        self._walker = walker
+        self._remaining = limit
+        self._buffer: deque[DynamicInstruction] = deque()
+        self.consumed = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no instructions remain to consume."""
+        return self._remaining == 0 and not self._buffer
+
+    def _fill(self, count: int) -> None:
+        while len(self._buffer) < count and self._remaining > 0:
+            try:
+                self._buffer.append(next(self._walker))
+            except StopIteration:
+                self._remaining = 0
+                return
+            self._remaining -= 1
+
+    def peek(self, index: int = 0) -> DynamicInstruction | None:
+        """Return the instruction ``index`` ahead of the cursor, if any."""
+        self._fill(index + 1)
+        if index < len(self._buffer):
+            return self._buffer[index]
+        return None
+
+    def take(self) -> DynamicInstruction:
+        """Consume and return the next instruction."""
+        self._fill(1)
+        if not self._buffer:
+            raise WorkloadError("take() on exhausted stream")
+        self.consumed += 1
+        return self._buffer.popleft()
+
+    def take_many(self, count: int) -> list[DynamicInstruction]:
+        """Consume up to ``count`` instructions (fewer at stream end)."""
+        out = []
+        for _ in range(count):
+            if self.exhausted:
+                break
+            out.append(self.take())
+        return out

@@ -1,0 +1,209 @@
+"""Execution-trace files: capture, store and replay dynamic streams.
+
+The paper's simulators are *trace-driven*: they replay recorded execution
+traces of real applications (§3).  This module provides the same workflow
+for this reproduction — capture any dynamic stream (synthetic or
+otherwise) into a compact ``.npz`` trace file, and replay it later without
+the generating program:
+
+    >>> from repro.workloads import application
+    >>> from repro.workloads.tracefile import capture_trace, TraceFile
+    >>> wl = application("swim").build()
+    >>> capture_trace(wl.stream(100_000), "swim.trace.npz")
+    >>> trace = TraceFile.load("swim.trace.npz")
+    >>> result = ParrotSimulator(config).run_stream(
+    ...     trace.stream(), app_name="swim", program=None)
+
+A trace file is self-contained: it stores the static image of every
+*executed* instruction (addresses, lengths, classes, complete uop
+encodings) plus the dynamic record (instruction index, branch outcome,
+successor, effective memory address), so third-party traces can be
+converted into this format and run on all machine models.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.isa.instruction import DynamicInstruction, MacroInstruction, Uop
+from repro.isa.opcodes import InstrClass, UopKind
+from repro.isa.registers import REG_NONE
+from repro.workloads.stream import InstructionStream
+
+#: Trace-file format version (stored in the archive for forward safety).
+FORMAT_VERSION = 1
+
+#: Sentinel for "no memory access" in the mem-address column.
+_NO_MEM = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+#: Sentinel for "no immediate" in the uop imm column.
+_NO_IMM = np.int64(-(1 << 62))
+
+
+def capture_trace(
+    stream: InstructionStream,
+    path: str | pathlib.Path,
+) -> int:
+    """Record ``stream`` into a trace file; returns instructions captured.
+
+    Only the static instructions actually executed are stored, so cold
+    code that never runs costs nothing.
+    """
+    records: list[tuple[int, bool, int, int | None]] = []
+    static_index: dict[int, int] = {}
+    statics: list[MacroInstruction] = []
+    while not stream.exhausted:
+        dyn = stream.take()
+        address = dyn.address
+        index = static_index.get(address)
+        if index is None:
+            index = len(statics)
+            static_index[address] = index
+            statics.append(dyn.instr)
+        records.append((index, dyn.taken, dyn.next_address, dyn.mem_addr))
+    if not records:
+        raise WorkloadError("cannot capture an empty stream")
+
+    # ---- static tables -----------------------------------------------------
+    s_addr = np.array([i.address for i in statics], dtype=np.uint64)
+    s_len = np.array([i.length for i in statics], dtype=np.uint8)
+    s_class = np.array([int(i.iclass) for i in statics], dtype=np.uint8)
+    s_target = np.array(
+        [i.taken_target if i.taken_target is not None else 0 for i in statics],
+        dtype=np.uint64,
+    )
+    s_has_target = np.array(
+        [i.taken_target is not None for i in statics], dtype=np.bool_
+    )
+    # Flattened uop table with per-instruction offsets.
+    uop_rows: list[tuple[int, int, int, int, int]] = []
+    uop_offsets = [0]
+    for instr in statics:
+        for uop in instr.uops:
+            uop_rows.append(
+                (
+                    int(uop.kind),
+                    uop.dest,
+                    uop.src1,
+                    uop.src2,
+                    uop.imm if uop.imm is not None else int(_NO_IMM),
+                )
+            )
+        uop_offsets.append(len(uop_rows))
+
+    # ---- dynamic arrays ------------------------------------------------------
+    d_index = np.array([r[0] for r in records], dtype=np.uint32)
+    d_taken = np.array([r[1] for r in records], dtype=np.bool_)
+    d_next = np.array([r[2] for r in records], dtype=np.uint64)
+    d_mem = np.array(
+        [r[3] if r[3] is not None else int(_NO_MEM) for r in records],
+        dtype=np.uint64,
+    )
+
+    np.savez_compressed(
+        path,
+        version=np.array([FORMAT_VERSION]),
+        s_addr=s_addr, s_len=s_len, s_class=s_class,
+        s_target=s_target, s_has_target=s_has_target,
+        uops=np.array(uop_rows, dtype=np.int64),
+        uop_offsets=np.array(uop_offsets, dtype=np.int64),
+        d_index=d_index, d_taken=d_taken, d_next=d_next, d_mem=d_mem,
+    )
+    return len(records)
+
+
+class TraceFile:
+    """A loaded execution trace, replayable as an instruction stream."""
+
+    def __init__(self, instructions: list[MacroInstruction],
+                 records: "np.ndarray", taken: "np.ndarray",
+                 next_addresses: "np.ndarray", mem: "np.ndarray"):
+        self.instructions = instructions
+        self._index = records
+        self._taken = taken
+        self._next = next_addresses
+        self._mem = mem
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "TraceFile":
+        """Load a trace file written by :func:`capture_trace`."""
+        with np.load(path) as data:
+            version = int(data["version"][0])
+            if version != FORMAT_VERSION:
+                raise WorkloadError(
+                    f"trace file {path}: format version {version} unsupported"
+                )
+            uop_rows = data["uops"]
+            uop_offsets = data["uop_offsets"]
+            instructions = []
+            for i in range(len(data["s_addr"])):
+                uops = tuple(
+                    Uop(
+                        UopKind(int(kind)),
+                        int(dest), int(src1), int(src2),
+                        None if imm == int(_NO_IMM) else int(imm),
+                    )
+                    for kind, dest, src1, src2, imm in uop_rows[
+                        uop_offsets[i]:uop_offsets[i + 1]
+                    ]
+                )
+                instructions.append(
+                    MacroInstruction(
+                        address=int(data["s_addr"][i]),
+                        length=int(data["s_len"][i]),
+                        iclass=InstrClass(int(data["s_class"][i])),
+                        uops=uops,
+                        taken_target=(
+                            int(data["s_target"][i])
+                            if bool(data["s_has_target"][i])
+                            else None
+                        ),
+                    )
+                )
+            return cls(
+                instructions,
+                data["d_index"].copy(),
+                data["d_taken"].copy(),
+                data["d_next"].copy(),
+                data["d_mem"].copy(),
+            )
+
+    # -- replay ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def _iterate(self):
+        instructions = self.instructions
+        no_mem = int(_NO_MEM)
+        for i in range(len(self._index)):
+            mem = int(self._mem[i])
+            yield DynamicInstruction(
+                instructions[int(self._index[i])],
+                taken=bool(self._taken[i]),
+                next_address=int(self._next[i]),
+                mem_addr=None if mem == no_mem else mem,
+            )
+
+    def stream(self, limit: int | None = None) -> InstructionStream:
+        """Replay the trace as an :class:`InstructionStream`."""
+        n = len(self)
+        if limit is None or limit > n:
+            limit = n
+        return InstructionStream(self._iterate(), limit)
+
+    def touched_data_ranges(self, line_bytes: int = 64) -> list[tuple[int, int]]:
+        """Line-granular data ranges touched by the trace (for prewarming)."""
+        valid = self._mem[self._mem != _NO_MEM]
+        if valid.size == 0:
+            return []
+        lines = np.unique(valid // line_bytes)
+        return [(int(line) * line_bytes, line_bytes) for line in lines]
+
+    def code_addresses(self) -> list[int]:
+        """All static instruction addresses (for prewarming the L1I)."""
+        return [instr.address for instr in self.instructions]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Simulation fixtures are deliberately small (a few thousand instructions)
+so the whole suite stays fast; the benchmark harness covers full-scale
+sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.simulator import ParrotSimulator
+from repro.models.configs import model_config
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import specfp_profile, specint_profile
+from repro.workloads.suite import application
+
+
+@pytest.fixture(scope="session")
+def fp_workload() -> SyntheticWorkload:
+    """A small regular (FP-style) synthetic workload."""
+    return SyntheticWorkload(specfp_profile("test-fp"), seed=7)
+
+
+@pytest.fixture(scope="session")
+def int_workload() -> SyntheticWorkload:
+    """A small irregular (integer-style) synthetic workload."""
+    return SyntheticWorkload(specint_profile("test-int"), seed=11)
+
+
+@pytest.fixture(scope="session")
+def swim_result_ton():
+    """A cached TON run of swim (shared across read-only assertions)."""
+    sim = ParrotSimulator(model_config("TON"))
+    return sim.run(application("swim"), 8000)
+
+
+@pytest.fixture(scope="session")
+def swim_result_n():
+    """A cached N run of swim."""
+    sim = ParrotSimulator(model_config("N"))
+    return sim.run(application("swim"), 8000)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A fresh deterministic RNG per test."""
+    return random.Random(0xDEADBEEF)

@@ -1,0 +1,52 @@
+"""Unit tests: the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "swim"])
+        assert args.model == "TON" and args.length == 20_000
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "swim", "--model", "ZZ"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "TON" in out
+        assert "fig4_11" in out
+        assert "wupwise" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "gzip", "--model", "N", "--length", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "energy" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--models", "N,TN", "--apps", "2",
+                     "--length", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "N IPC" in out and "TN IPC" in out
+
+    def test_figure_table(self, capsys):
+        assert main(["figure", "table3_2"]) == 0
+        assert "rename" in capsys.readouterr().out
+
+    def test_figure_generated(self, capsys):
+        assert main(["figure", "fig4_8", "--apps", "3",
+                     "--length", "1500"]) == 0
+        assert "Coverage" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig9_9"]) == 2
+        assert "unknown figure" in capsys.readouterr().err

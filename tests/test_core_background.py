@@ -1,0 +1,159 @@
+"""Unit tests: background phases — filtering, construction, optimization."""
+
+import pytest
+
+from repro.core.background import BackgroundProcessor
+from repro.core.results import TraceUnitStats
+from repro.core.simulator import segment_stream
+from repro.models.configs import model_config, model_tn, model_ton
+from repro.power.events import EventCounts
+
+
+def _processor(config=None):
+    config = config or model_ton()
+    return BackgroundProcessor(config, EventCounts(), TraceUnitStats())
+
+
+def _segments(workload, n=200, length=4000):
+    return list(segment_stream(workload.stream(length)))[:n]
+
+
+class TestHotFiltering:
+    def test_construction_gated_by_hot_threshold(self, fp_workload):
+        processor = _processor()
+        threshold = processor.config.hot_threshold
+        segments = _segments(fp_workload)
+        tid = segments[0].tid
+        same = [s for s in segments if s.tid == tid][: threshold - 1]
+        for segment in same:
+            processor.after_commit(segment, now=0.0)
+        assert not processor.trace_cache.contains(tid)
+
+    def test_hot_tid_constructed_once(self, fp_workload):
+        processor = _processor()
+        segments = _segments(fp_workload)
+        tid = segments[0].tid
+        same = [s for s in segments if s.tid == tid]
+        if len(same) <= processor.config.hot_threshold:
+            pytest.skip("first TID not hot enough in this prefix")
+        for segment in same:
+            processor.after_commit(segment, now=0.0)
+        assert processor.trace_cache.contains(tid)
+        assert processor.stats.traces_constructed == 1
+
+    def test_construction_charges_energy(self, fp_workload):
+        processor = _processor()
+        for segment in _segments(fp_workload):
+            processor.after_commit(segment, now=0.0)
+        assert processor.events.get("construct_uop") > 0
+        assert processor.events.get("tcache_write") > 0
+        assert processor.events.get("filter_access") > 0
+
+
+class TestBlazingAndOptimization:
+    def _hot_trace(self, processor, fp_workload):
+        segments = _segments(fp_workload, n=400)
+        for segment in segments:
+            processor.after_commit(segment, now=0.0)
+        traces = processor.trace_cache.resident_traces()
+        assert traces
+        return traces[0]
+
+    def test_blazing_triggers_optimization(self, fp_workload):
+        processor = _processor()
+        trace = self._hot_trace(processor, fp_workload)
+        for _ in range(processor.config.blazing_threshold):
+            processor.after_hot_execution(trace, now=0.0)
+        assert processor.stats.traces_optimized == 1
+        assert processor.events.get("optimizer_uop") > 0
+
+    def test_optimized_trace_installed_after_latency(self, fp_workload):
+        processor = _processor()
+        trace = self._hot_trace(processor, fp_workload)
+        for _ in range(processor.config.blazing_threshold):
+            processor.after_hot_execution(trace, now=100.0)
+        # Not yet visible: the optimizer needs ~100 cycles.
+        assert not processor.trace_cache.lookup(trace.tid).optimized
+        processor.after_hot_execution(trace, now=100.0 + 200.0)
+        assert processor.trace_cache.lookup(trace.tid).optimized
+
+    def test_tn_config_never_optimizes(self, fp_workload):
+        processor = _processor(model_tn())
+        trace = self._hot_trace(processor, fp_workload)
+        for _ in range(processor.config.blazing_threshold * 2):
+            processor.after_hot_execution(trace, now=0.0)
+        assert processor.stats.traces_optimized == 0
+
+    def test_already_optimized_trace_not_reoptimized(self, fp_workload):
+        processor = _processor()
+        trace = self._hot_trace(processor, fp_workload)
+        for _ in range(processor.config.blazing_threshold):
+            processor.after_hot_execution(trace, now=0.0)
+        processor.after_hot_execution(trace, now=10_000.0)  # install
+        optimized = processor.trace_cache.lookup(trace.tid)
+        count = processor.stats.traces_optimized
+        for _ in range(processor.config.blazing_threshold * 2):
+            processor.after_hot_execution(optimized, now=20_000.0)
+        assert processor.stats.traces_optimized == count
+
+
+class TestEvictionCoherence:
+    """Regression tests for filter/cache coherence under eviction
+    (found by adversarial review)."""
+
+    def test_evicted_tid_can_be_reconstructed(self, fp_workload):
+        """Eviction must reset the hot counter or the TID never re-heats."""
+        import dataclasses
+        from repro.core.simulator import segment_stream
+        config = dataclasses.replace(model_ton(), tcache_uops=128)
+        processor = _processor(config)
+        segments = _segments(fp_workload, n=600, length=8000)
+        for segment in segments:
+            processor.after_commit(segment, now=0.0)
+        # With a 2-frame cache, many TIDs were evicted.  Feed the stream
+        # again: previously evicted hot TIDs must be able to re-trigger.
+        constructed_before = processor.stats.traces_constructed
+        for segment in segments:
+            processor.after_commit(segment, now=1e6)
+        assert processor.stats.traces_constructed > constructed_before
+
+    def test_dropped_blazing_trigger_retriggers(self, int_workload):
+        """Queue overflow drops a trigger; continued execution re-triggers."""
+        import dataclasses
+        processor = _processor(dataclasses.replace(model_ton(), hot_threshold=2))
+        segments = _segments(int_workload, n=600, length=8000)
+        for segment in segments:
+            processor.after_commit(segment, now=0.0)
+        traces = processor.trace_cache.resident_traces()
+        assert len(traces) >= 5
+        # Fill the optimizer queue (depth 4) with other traces, never
+        # draining (now stays 0 and latency is 100).
+        for trace in traces[:4]:
+            for _ in range(processor.config.blazing_threshold):
+                processor.after_hot_execution(trace, now=0.0)
+        victim = traces[4]
+        for _ in range(processor.config.blazing_threshold):
+            processor.after_hot_execution(victim, now=0.0)
+        assert processor.stats.optimizations_dropped >= 1
+        # Drain the queue, then keep executing the victim: it must
+        # eventually be optimized, not permanently lost.
+        processor.after_hot_execution(victim, now=1e9)
+        before = processor.stats.traces_optimized
+        for _ in range(processor.config.blazing_threshold + 1):
+            processor.after_hot_execution(victim, now=1e9)
+        assert processor.stats.traces_optimized > before
+
+    def test_stale_optimization_not_reinstalled(self, fp_workload):
+        """An optimized trace whose TID was evicted mid-flight is dropped."""
+        processor = _processor()
+        trace = None
+        for segment in _segments(fp_workload, n=400):
+            processor.after_commit(segment, now=0.0)
+        trace = processor.trace_cache.resident_traces()[0]
+        for _ in range(processor.config.blazing_threshold):
+            processor.after_hot_execution(trace, now=0.0)
+        assert processor._pending
+        # Simulate eviction of the TID while the optimizer is busy.
+        processor.trace_cache._traces.pop(trace.tid)
+        processor._drain_ready(now=1e9)
+        assert not processor.trace_cache.contains(trace.tid)

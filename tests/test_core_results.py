@@ -1,0 +1,63 @@
+"""Unit tests: SimulationResult derived metrics."""
+
+import pytest
+
+from repro.core.results import SimulationResult, TraceUnitStats
+from repro.power.energy import EnergyResult
+
+
+def _result(**kwargs):
+    result = SimulationResult(app_name="a", suite="SpecInt", model_name="N")
+    for key, value in kwargs.items():
+        setattr(result, key, value)
+    return result
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        assert _result(instructions=1000, cycles=500.0).ipc == 2.0
+        assert _result(instructions=0, cycles=0.0).ipc == 0.0
+
+    def test_coverage(self):
+        result = _result(instructions=1000, hot_instructions=600)
+        assert result.coverage == 0.6
+        assert _result().coverage == 0.0
+
+    def test_mispredict_rates_per_kinstr(self):
+        result = _result(instructions=2000, cold_branch_mispredicts=10,
+                         trace_mispredictions=4)
+        assert result.cold_mispredicts_per_kinstr == 5.0
+        assert result.trace_mispredicts_per_kinstr == 2.0
+
+    def test_total_energy(self):
+        result = _result()
+        assert result.total_energy == 0.0
+        result.energy = EnergyResult(dynamic=100.0, leakage=50.0)
+        assert result.total_energy == 150.0
+
+    def test_point_conversion(self):
+        result = _result(instructions=100, cycles=50.0)
+        result.energy = EnergyResult(dynamic=10.0, leakage=5.0)
+        point = result.point
+        assert point.ipc == 2.0 and point.energy == 15.0
+
+    def test_reductions_weighted_by_executions(self):
+        stats = TraceUnitStats(
+            hot_executions=4,
+            weighted_uop_reduction=0.8,
+            weighted_dep_reduction=0.4,
+        )
+        result = _result(trace_stats=stats)
+        assert result.uop_reduction == pytest.approx(0.2)
+        assert result.dependency_reduction == pytest.approx(0.1)
+
+    def test_reductions_zero_without_hot_executions(self):
+        assert _result().uop_reduction == 0.0
+
+
+class TestTraceUnitStats:
+    def test_mean_optimized_reuse(self):
+        stats = TraceUnitStats()
+        assert stats.mean_optimized_reuse == 0.0
+        stats.optimized_exec_counts = {1: 10, 2: 20}
+        assert stats.mean_optimized_reuse == 15.0

@@ -1,0 +1,61 @@
+"""Unit tests: figure exporters (Markdown, CSV, full report)."""
+
+import pytest
+
+from repro.experiments.figures import FigureData
+from repro.experiments.report import full_report, to_csv, to_markdown
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture()
+def figure() -> FigureData:
+    fig = FigureData("Figure X", "Demo", unit="percent")
+    fig.series["A/B"] = {"SpecInt": 0.12, "Overall": 0.2}
+    fig.series["C/D"] = {"SpecInt": -0.05, "Overall": 0.0, "Extra": 1.0}
+    fig.notes = "a note"
+    return fig
+
+
+class TestMarkdown:
+    def test_structure(self, figure):
+        md = to_markdown(figure)
+        assert md.startswith("### Figure X: Demo")
+        assert "| group | A/B | C/D |" in md
+        assert "| SpecInt | +12.0% | -5.0% |" in md
+        assert "*a note*" in md
+
+    def test_missing_cells_rendered_as_dash(self, figure):
+        md = to_markdown(figure)
+        assert "| Extra | - | +100.0% |" in md
+
+    def test_rate_unit(self):
+        fig = FigureData("F", "t", unit="rate")
+        fig.series["s"] = {"g": 1.234}
+        assert "1.23" in to_markdown(fig)
+
+
+class TestCsv:
+    def test_header_and_rows(self, figure):
+        csv = to_csv(figure)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "group,A/B,C/D"
+        assert lines[1].startswith("SpecInt,0.12,")
+
+    def test_missing_cells_empty(self, figure):
+        csv = to_csv(figure)
+        extra_row = [l for l in csv.splitlines() if l.startswith("Extra")][0]
+        assert extra_row == "Extra,,1.0"
+
+    def test_roundtrippable_values(self, figure):
+        csv = to_csv(figure)
+        row = [l for l in csv.splitlines() if l.startswith("Overall")][0]
+        assert float(row.split(",")[1]) == 0.2
+
+
+class TestFullReport:
+    def test_contains_every_figure(self):
+        runner = ExperimentRunner(length=2000, max_apps=3)
+        report = full_report(runner)
+        for fragment in ("Figure 4.1", "Figure 4.11", "Headline",
+                         "Table 3.1", "Table 3.2"):
+            assert fragment in report

@@ -1,0 +1,112 @@
+"""Unit tests: gshare + BTB + return-address-stack branch prediction."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.isa.decoder import decode_template
+from repro.isa.instruction import MacroInstruction
+from repro.isa.opcodes import InstrClass
+
+
+def _cti(iclass, address=0x1000, target=0x2000, length=2):
+    return MacroInstruction(
+        address=address, length=length, iclass=iclass,
+        uops=decode_template(iclass, src1=3), taken_target=target,
+    )
+
+
+class TestConstruction:
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BranchPredictor(1000)
+
+
+class TestConditionalDirection:
+    def test_learns_always_taken(self):
+        predictor = BranchPredictor(1024)
+        missed = sum(
+            predictor.update_conditional(0x1000, True) for _ in range(50)
+        )
+        assert missed <= 2  # warms up within a couple of updates
+
+    def test_learns_loop_pattern_with_history(self):
+        """A short repeating pattern is captured through global history."""
+        predictor = BranchPredictor(4096)
+        pattern = [True, True, False]
+        missed = 0
+        for i in range(600):
+            missed += predictor.update_conditional(0x1000, pattern[i % 3])
+        assert missed / 600 < 0.1
+
+    def test_random_branch_mispredicts_heavily(self):
+        predictor = BranchPredictor(1024)
+        rng = random.Random(7)
+        missed = sum(
+            predictor.update_conditional(0x1000, rng.random() < 0.5)
+            for _ in range(2000)
+        )
+        assert missed / 2000 > 0.3
+
+    def test_reset_restores_initial_state(self):
+        predictor = BranchPredictor(1024)
+        for _ in range(100):
+            predictor.update_conditional(0x1000, True)
+        predictor.reset()
+        assert predictor.stats.predictions == 0
+
+
+class TestFullCtiHandling:
+    def test_direct_jump_misses_once_then_hits(self):
+        predictor = BranchPredictor(1024)
+        jump = _cti(InstrClass.DIRECT_JUMP)
+        assert predictor.predict_and_train(jump, True, 0x2000) is True
+        assert predictor.predict_and_train(jump, True, 0x2000) is False
+
+    def test_return_uses_ras(self):
+        predictor = BranchPredictor(1024)
+        call = _cti(InstrClass.CALL_DIRECT, address=0x1000, target=0x5000)
+        ret = _cti(InstrClass.RETURN_NEAR, address=0x5004, target=None)
+        predictor.predict_and_train(call, True, 0x5000)
+        # Return to the call's fall-through: predicted by the RAS.
+        assert predictor.predict_and_train(ret, True, call.fallthrough) is False
+
+    def test_return_mispredicts_on_empty_ras(self):
+        predictor = BranchPredictor(1024)
+        ret = _cti(InstrClass.RETURN_NEAR, target=None)
+        assert predictor.predict_and_train(ret, True, 0x1234) is True
+        assert predictor.stats.return_mispredictions == 1
+
+    def test_nested_calls_unwind_in_order(self):
+        predictor = BranchPredictor(1024)
+        call_a = _cti(InstrClass.CALL_DIRECT, address=0x1000, target=0x5000)
+        call_b = _cti(InstrClass.CALL_DIRECT, address=0x5000, target=0x6000)
+        ret = _cti(InstrClass.RETURN_NEAR, address=0x6000, target=None)
+        predictor.predict_and_train(call_a, True, 0x5000)
+        predictor.predict_and_train(call_b, True, 0x6000)
+        assert predictor.predict_and_train(ret, True, call_b.fallthrough) is False
+        assert predictor.predict_and_train(ret, True, call_a.fallthrough) is False
+
+    def test_indirect_jump_predicts_last_target(self):
+        predictor = BranchPredictor(1024)
+        indirect = _cti(InstrClass.INDIRECT_JUMP, target=None)
+        assert predictor.predict_and_train(indirect, True, 0x7000) is True
+        assert predictor.predict_and_train(indirect, True, 0x7000) is False
+        assert predictor.predict_and_train(indirect, True, 0x8000) is True
+
+    def test_software_interrupt_always_flushes(self):
+        predictor = BranchPredictor(1024)
+        trap = _cti(InstrClass.SOFTWARE_INT, target=None)
+        assert predictor.predict_and_train(trap, False, trap.fallthrough) is True
+
+    def test_stats_aggregate(self):
+        predictor = BranchPredictor(1024)
+        branch = _cti(InstrClass.COND_BRANCH)
+        for _ in range(10):
+            predictor.predict_and_train(branch, True, 0x2000)
+        stats = predictor.stats
+        assert stats.cond_predictions == 10
+        assert stats.predictions == 10
+        assert 0.0 <= stats.misprediction_rate <= 1.0

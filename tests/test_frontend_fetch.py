@@ -1,0 +1,90 @@
+"""Unit tests: cold fetch-group formation and hot trace-fetch pacing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frontend.fetch import FetchParams, form_cold_groups, trace_fetch_cycles
+from repro.isa.decoder import decode_template
+from repro.isa.instruction import DynamicInstruction, MacroInstruction
+from repro.isa.opcodes import InstrClass
+
+PARAMS = FetchParams(width_instrs=4, width_bytes=16, trace_uops=8)
+
+
+def _dyn(address, length=4, iclass=InstrClass.SIMPLE_ALU, taken=False, target=None):
+    instr = MacroInstruction(
+        address=address, length=length, iclass=iclass,
+        uops=decode_template(iclass, dest=0, src1=1, src2=2), taken_target=target,
+    )
+    return DynamicInstruction(instr, taken=taken,
+                              next_address=target if taken else instr.fallthrough)
+
+
+def _straight_run(n, length=4):
+    return [_dyn(0x1000 + i * length, length) for i in range(n)]
+
+
+class TestFetchParams:
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FetchParams(0, 16, 8)
+        with pytest.raises(ConfigurationError):
+            FetchParams(4, 16, 0)
+
+
+class TestColdGroups:
+    def test_width_limit(self):
+        groups = list(form_cold_groups(_straight_run(10, length=2), PARAMS))
+        assert [len(g.instructions) for g in groups] == [4, 4, 2]
+
+    def test_byte_limit(self):
+        # 4 instructions of 6 bytes: only 2 fit in 16 bytes.
+        groups = list(form_cold_groups(_straight_run(4, length=6), PARAMS))
+        assert [len(g.instructions) for g in groups] == [2, 2]
+
+    def test_taken_branch_terminates_group(self):
+        run = _straight_run(2)
+        branch = _dyn(0x2000, iclass=InstrClass.COND_BRANCH, taken=True, target=0x100)
+        run.append(branch)
+        run += _straight_run(2)
+        groups = list(form_cold_groups(run, PARAMS))
+        assert len(groups[0].instructions) == 3
+        assert groups[0].ends_on_taken
+        assert len(groups[1].instructions) == 2
+
+    def test_not_taken_branch_does_not_break(self):
+        run = [
+            _dyn(0x1000),
+            _dyn(0x1004, iclass=InstrClass.COND_BRANCH, taken=False, target=0x100),
+            _dyn(0x1006),
+        ]
+        groups = list(form_cold_groups(run, PARAMS))
+        assert len(groups) == 1
+
+    def test_group_metadata(self):
+        groups = list(form_cold_groups(_straight_run(3), PARAMS))
+        (group,) = groups
+        assert group.start_address == 0x1000
+        assert group.byte_count == 12
+        assert group.num_uops == 3
+
+    def test_empty_input(self):
+        assert list(form_cold_groups([], PARAMS)) == []
+
+    def test_all_instructions_appear_exactly_once(self):
+        run = _straight_run(17, length=5)
+        groups = list(form_cold_groups(run, PARAMS))
+        flattened = [d for g in groups for d in g.instructions]
+        assert flattened == run
+
+
+class TestTraceFetch:
+    @pytest.mark.parametrize(
+        "uops,expected", [(0, 0), (1, 1), (8, 1), (9, 2), (64, 8)]
+    )
+    def test_ceiling_division(self, uops, expected):
+        assert trace_fetch_cycles(uops, PARAMS) == expected
+
+    def test_wide_trace_port_is_faster(self):
+        wide = FetchParams(4, 16, 16)
+        assert trace_fetch_cycles(64, wide) == 4

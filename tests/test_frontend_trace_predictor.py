@@ -1,0 +1,108 @@
+"""Unit tests: next-TID trace predictor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frontend.trace_predictor import TracePredictor
+from repro.trace.tid import TraceId
+
+
+def tid(start: int) -> TraceId:
+    return TraceId(start=start, directions=0, num_branches=0)
+
+
+A, B, C = tid(0x100), tid(0x200), tid(0x300)
+
+
+class TestConstruction:
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TracePredictor(1000)
+
+    def test_bad_history_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TracePredictor(1024, history_length=0)
+
+    def test_bad_penalty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TracePredictor(1024, mispredict_penalty=0)
+
+
+class TestPrediction:
+    def test_unseen_history_predicts_nothing(self):
+        predictor = TracePredictor(1024)
+        assert predictor.predict() is None
+
+    def test_learns_repeating_sequence(self):
+        predictor = TracePredictor(1024, confidence_threshold=2)
+        sequence = [A, B, C] * 20
+        correct = 0
+        for t in sequence:
+            if predictor.predict() == t:
+                correct += 1
+            predictor.train(t)
+        assert correct > 45  # learns after a few periods
+
+    def test_confidence_gates_prediction(self):
+        predictor = TracePredictor(1024, confidence_threshold=2)
+        predictor.train(A)
+        predictor.train(B)  # history now [A, B]; entry for next unseen
+        # After a single sighting of the (A,B)->C transition, confidence 1 < 2.
+        predictor.train(C)
+        # Recreate the same history: predict should still be unconfident.
+        predictor.train(A)
+        predictor.train(B)
+        assert predictor.predict() is None
+
+    def test_loop_body_and_exit_coexist_in_set(self):
+        """Two-way sets let the dominant and the exit TID share a history."""
+        predictor = TracePredictor(1024, confidence_threshold=1)
+        # A A A A B | A A A A B ... history (A,A) maps to both A and B.
+        for _ in range(30):
+            for t in (A, A, A, A, B):
+                predictor.train(t)
+        # Both continuations stay resident: a confident prediction exists
+        # (single-way tables would thrash between A and B and predict None).
+        predictor.train(A)
+        predictor.train(A)
+        assert predictor.predict() in (A, B)
+
+    def test_mispredict_penalty_drains_confidence(self):
+        gentle = TracePredictor(1024, confidence_threshold=2, mispredict_penalty=1)
+        harsh = TracePredictor(1024, confidence_threshold=2, mispredict_penalty=3)
+        for predictor in (gentle, harsh):
+            for _ in range(10):
+                predictor.train(A)  # saturate (A,A)->A
+        # One wrong outcome at the same history context:
+        gentle.train(B)
+        harsh.train(B)
+        # Rebuild identical history (A,A):
+        for predictor in (gentle, harsh):
+            predictor.train(A)
+            predictor.train(A)
+        assert gentle.predict() == A      # conf 3-1=2 >= 2: still confident
+        assert harsh.predict() is None    # conf 3-3=0: must re-earn
+
+    def test_train_reports_acted_mispredictions(self):
+        predictor = TracePredictor(1024, confidence_threshold=1)
+        for _ in range(5):
+            predictor.train(A)
+        assert predictor.train(B) is True
+        assert predictor.stats.mispredictions == 1
+
+    def test_stats_consistency(self):
+        predictor = TracePredictor(1024, confidence_threshold=1)
+        for t in [A, A, B, A, A, B] * 10:
+            predictor.predict()
+            predictor.train(t)
+        stats = predictor.stats
+        assert stats.correct + stats.mispredictions == stats.predictions
+        assert 0.0 <= stats.misprediction_rate <= 1.0
+
+    def test_reset(self):
+        predictor = TracePredictor(1024)
+        for _ in range(10):
+            predictor.train(A)
+        predictor.reset()
+        assert predictor.predict() is None
+        assert predictor.stats.lookups == 1

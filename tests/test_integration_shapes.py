@@ -1,0 +1,114 @@
+"""Integration tests: the paper's qualitative result shapes.
+
+These run a small, fixed grid (5 apps x all models x a few thousand
+instructions) and assert the *orderings and directions* the paper
+establishes.  Magnitudes are asserted loosely — the benchmark harness is
+where the full-scale numbers are produced (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.aggregate import OVERALL, paired_ratio_by_suite
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(length=8000, max_apps=10)
+
+
+def overall(runner, test, base, metric):
+    apps = runner.applications()
+    return paired_ratio_by_suite(
+        runner.results(test, apps), runner.results(base, apps), metric
+    )[OVERALL]
+
+
+class TestPerformanceShapes:
+    def test_widening_helps_performance(self, runner):
+        assert overall(runner, "W", "N", lambda r: r.ipc) > 0.0
+
+    def test_trace_cache_alone_helps_modestly(self, runner):
+        tn_gain = overall(runner, "TN", "N", lambda r: r.ipc)
+        assert -0.02 < tn_gain < 0.15
+
+    def test_optimization_beats_trace_cache_alone(self, runner):
+        ton = overall(runner, "TON", "N", lambda r: r.ipc)
+        tn = overall(runner, "TN", "N", lambda r: r.ipc)
+        assert ton > tn
+
+    def test_tow_is_the_fastest_machine(self, runner):
+        apps = runner.applications()
+        for model in ("N", "W", "TN", "TW", "TON"):
+            assert overall(runner, "TOW", model, lambda r: r.ipc) > 0.0
+
+    def test_ton_is_competitive_with_w(self, runner):
+        """The headline crossover: TON ~ W performance."""
+        delta = overall(runner, "TON", "W", lambda r: r.ipc)
+        assert delta > -0.08
+
+
+class TestEnergyShapes:
+    def test_widening_is_vastly_energy_inefficient(self, runner):
+        increase = overall(runner, "W", "N", lambda r: r.total_energy)
+        assert increase > 0.4  # paper: ~+70%
+
+    def test_parrot_narrow_is_near_baseline_energy(self, runner):
+        delta = overall(runner, "TON", "N", lambda r: r.total_energy)
+        assert abs(delta) < 0.25  # paper: +3%
+
+    def test_ton_massively_cheaper_than_w(self, runner):
+        delta = overall(runner, "TON", "W", lambda r: r.total_energy)
+        assert delta < -0.25  # paper: -39%
+
+    def test_optimizer_saves_energy_on_wide_machine(self, runner):
+        delta = overall(runner, "TOW", "W", lambda r: r.total_energy)
+        assert delta < 0.0  # paper: -18%
+
+
+class TestPowerAwarenessShapes:
+    def test_parrot_improves_cmpw_over_baselines(self, runner):
+        assert overall(runner, "TON", "N", lambda r: r.point.cmpw) > 0.1
+        assert overall(runner, "TOW", "W", lambda r: r.point.cmpw) > 0.1
+
+    def test_ton_dominates_w_on_cmpw(self, runner):
+        assert overall(runner, "TON", "W", lambda r: r.point.cmpw) > 0.3
+
+
+class TestCharacterisationShapes:
+    def test_fp_coverage_exceeds_int_coverage(self, runner):
+        ton = runner.results("TON")
+        fp = [r.coverage for r in ton if r.suite == "SpecFP"]
+        intc = [r.coverage for r in ton if r.suite == "SpecInt"]
+        assert fp and intc
+        assert sum(fp) / len(fp) > sum(intc) / len(intc)
+
+    def test_hot_code_better_predicted_than_cold(self, runner):
+        """Figure 4.7's split: trace mispredict rate below cold-branch rate."""
+        ton = runner.results("TON")
+        trace_rate = sum(r.trace_mispredicts_per_kinstr for r in ton)
+        cold_instr = sum(r.instructions - r.hot_instructions for r in ton)
+        cold_rate_per_k = 1000 * sum(r.cold_branch_mispredicts for r in ton) / cold_instr
+        trace_rate_per_k = trace_rate / len(ton)
+        assert trace_rate_per_k < cold_rate_per_k
+
+    def test_optimizer_reduces_uops_and_dependencies(self, runner):
+        tow = runner.results("TOW")
+        mean_uop = sum(r.uop_reduction for r in tow) / len(tow)
+        mean_dep = sum(r.dependency_reduction for r in tow) / len(tow)
+        assert mean_uop > 0.05          # paper: ~19%
+        assert mean_dep >= 0.0
+
+    def test_optimized_traces_are_reused(self, runner):
+        tow = runner.results("TOW")
+        reuse = [r.trace_stats.mean_optimized_reuse for r in tow
+                 if r.trace_stats.traces_optimized]
+        assert reuse and max(reuse) > 3.0
+
+    def test_frontend_energy_share_shrinks_with_parrot(self, runner):
+        """Figure 4.11's headline: front-end share diminishes N -> TON."""
+        n = runner.results("N")
+        ton = runner.results("TON")
+        share_n = sum(r.energy.component_share("frontend") for r in n) / len(n)
+        share_ton = sum(r.energy.component_share("frontend") for r in ton) / len(ton)
+        assert share_ton < share_n

@@ -1,0 +1,87 @@
+"""Unit tests: macro-instruction decode templates."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.isa.decoder import decode_template, uop_count
+from repro.isa.opcodes import CTI_CLASSES, InstrClass, UopKind
+from repro.isa.registers import FLAGS_REG, REG_NONE, STACK_REG
+
+
+class TestTemplateShapes:
+    def test_uop_counts_match_templates(self):
+        for iclass in InstrClass:
+            uops = decode_template(iclass, dest=0, src1=1, src2=2, imm=4)
+            assert len(uops) == uop_count(iclass), iclass
+
+    def test_simple_alu(self):
+        (uop,) = decode_template(InstrClass.SIMPLE_ALU, dest=3, src1=1, src2=2)
+        assert uop.kind is UopKind.ALU
+        assert uop.dest == 3 and uop.sources() == (1, 2)
+
+    def test_load_imm_is_constant_producer(self):
+        (uop,) = decode_template(InstrClass.LOAD_IMM, dest=5, imm=99)
+        assert uop.kind is UopKind.MOV_IMM
+        assert uop.imm == 99 and uop.sources() == ()
+
+    def test_rmw_decomposes_into_load_alu_store(self):
+        uops = decode_template(InstrClass.RMW, dest=4, src1=6, src2=7)
+        assert [u.kind for u in uops] == [UopKind.LOAD, UopKind.ALU, UopKind.STORE]
+        load, alu, store = uops
+        assert alu.src1 == load.dest          # value flows load -> alu
+        assert store.src2 == alu.dest         # ... -> store data
+        assert store.src1 == load.src1        # same address base
+
+    def test_complex_addr_chains_agu_into_load(self):
+        agu, load = decode_template(InstrClass.COMPLEX_ADDR, dest=2, src1=3, src2=4)
+        assert agu.kind is UopKind.AGU
+        assert load.src1 == agu.dest
+
+    def test_compare_writes_flags(self):
+        (cmp_uop,) = decode_template(InstrClass.COMPARE, src1=1, src2=2)
+        assert cmp_uop.dest == FLAGS_REG
+
+    def test_branch_reads_flags(self):
+        (branch,) = decode_template(InstrClass.COND_BRANCH)
+        assert branch.src1 == FLAGS_REG
+        assert branch.kind is UopKind.BRANCH
+
+    def test_call_adjusts_stack_then_transfers(self):
+        adjust, call = decode_template(InstrClass.CALL_DIRECT)
+        assert adjust.dest == STACK_REG and adjust.imm == -8
+        assert call.kind is UopKind.CALL
+
+    def test_return_adjusts_stack_then_transfers(self):
+        adjust, ret = decode_template(InstrClass.RETURN_NEAR)
+        assert adjust.dest == STACK_REG and adjust.imm == 8
+        assert ret.kind is UopKind.RETURN
+
+    def test_string_op_touches_memory_twice(self):
+        uops = decode_template(InstrClass.STRING_OP, dest=0, src1=1, src2=2)
+        mem_kinds = [u.kind for u in uops if u.is_mem]
+        assert mem_kinds == [UopKind.LOAD, UopKind.STORE]
+
+    def test_fp_arith_selects_multiply_flavour(self):
+        (add,) = decode_template(InstrClass.FP_ARITH, dest=16, src1=17, src2=18)
+        (mul,) = decode_template(
+            InstrClass.FP_ARITH, dest=16, src1=17, src2=18, fp_mul=True
+        )
+        assert add.kind is UopKind.FP_ADD and mul.kind is UopKind.FP_MUL
+
+    def test_cti_classes_end_in_cti_uop(self):
+        for iclass in CTI_CLASSES:
+            uops = decode_template(iclass, src1=1)
+            assert uops[-1].is_cti, iclass
+
+
+class TestDecodeErrors:
+    @pytest.mark.parametrize(
+        "iclass", [InstrClass.ALU_IMM, InstrClass.LOAD_IMM, InstrClass.SHIFT_OP]
+    )
+    def test_immediate_required(self, iclass):
+        with pytest.raises(DecodeError):
+            decode_template(iclass, dest=0, src1=1)
+
+    def test_indirect_jump_needs_target_register(self):
+        with pytest.raises(DecodeError):
+            decode_template(InstrClass.INDIRECT_JUMP, src1=REG_NONE)

@@ -1,0 +1,49 @@
+"""Unit + property tests: variable-length encoding model."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import LENGTH_RANGES, MAX_INSTR_LENGTH, encoded_length, mean_length
+from repro.isa.opcodes import InstrClass
+
+
+class TestLengthRanges:
+    def test_every_class_has_a_range(self):
+        for iclass in InstrClass:
+            assert iclass in LENGTH_RANGES, iclass
+
+    def test_ranges_within_architectural_limit(self):
+        for lo, hi in LENGTH_RANGES.values():
+            assert 1 <= lo <= hi <= MAX_INSTR_LENGTH
+
+    def test_reg_reg_ops_shorter_than_memory_forms(self):
+        # IA32-like: reg-reg ALU encodings are short, memory forms long.
+        assert mean_length(InstrClass.SIMPLE_ALU) < mean_length(InstrClass.RMW)
+
+    def test_immediates_lengthen_encodings(self):
+        assert mean_length(InstrClass.LOAD_IMM) > mean_length(InstrClass.REG_MOV)
+
+
+class TestEncodedLength:
+    @given(st.sampled_from(list(InstrClass)), st.integers(0, 2**31))
+    def test_draw_stays_in_class_range(self, iclass, seed):
+        lo, hi = LENGTH_RANGES[iclass]
+        assert lo <= encoded_length(iclass, random.Random(seed)) <= hi
+
+    def test_deterministic_under_seed(self):
+        draws1 = [encoded_length(InstrClass.LOAD, random.Random(42)) for _ in range(1)]
+        draws2 = [encoded_length(InstrClass.LOAD, random.Random(42)) for _ in range(1)]
+        assert draws1 == draws2
+
+    def test_draws_cover_the_range(self):
+        rng = random.Random(1)
+        lo, hi = LENGTH_RANGES[InstrClass.LOAD]
+        seen = {encoded_length(InstrClass.LOAD, rng) for _ in range(300)}
+        assert min(seen) == lo and max(seen) == hi
+
+    def test_mean_length_matches_range_midpoint(self):
+        lo, hi = LENGTH_RANGES[InstrClass.COMPARE]
+        assert mean_length(InstrClass.COMPARE) == pytest.approx((lo + hi) / 2)

@@ -1,0 +1,117 @@
+"""Unit tests: Uop / MacroInstruction / DynamicInstruction data types."""
+
+from repro.isa.decoder import decode_template
+from repro.isa.instruction import DynamicInstruction, MacroInstruction, Uop, disassemble
+from repro.isa.opcodes import InstrClass, UopKind
+from repro.isa.registers import FLAGS_REG, REG_NONE
+
+
+def _alu(dest=0, src1=1, src2=2, imm=None):
+    return Uop(UopKind.ALU, dest, src1, src2, imm)
+
+
+class TestUop:
+    def test_sources_excludes_sentinels(self):
+        assert _alu().sources() == (1, 2)
+        assert Uop(UopKind.MOV_IMM, 0, imm=5).sources() == ()
+
+    def test_sources_includes_extras(self):
+        uop = _alu()
+        uop.extra_srcs = (3, 4)
+        assert uop.sources() == (1, 2, 3, 4)
+
+    def test_destinations(self):
+        uop = _alu()
+        assert uop.destinations() == (0,)
+        uop.dest2 = 5
+        assert uop.destinations() == (0, 5)
+
+    def test_copy_is_independent(self):
+        uop = _alu(imm=9)
+        clone = uop.copy()
+        clone.dest = 7
+        clone.imm = 1
+        assert uop.dest == 0 and uop.imm == 9
+
+    def test_copy_preserves_all_fields(self):
+        uop = Uop(UopKind.SIMD2, 0, 1, 2, None, origin=3, dest2=4, extra_srcs=(5, 6))
+        clone = uop.copy()
+        assert clone == uop
+
+    def test_is_mem(self):
+        assert Uop(UopKind.LOAD, 0, 1).is_mem
+        assert Uop(UopKind.STORE, REG_NONE, 1, 2).is_mem
+        assert not _alu().is_mem
+
+    def test_is_cti(self):
+        assert Uop(UopKind.BRANCH, REG_NONE, FLAGS_REG).is_cti
+        assert not _alu().is_cti
+
+    def test_latency_and_fu_match_tables(self):
+        uop = Uop(UopKind.FP_MUL, 16, 17, 18)
+        assert uop.latency == 5
+        assert uop.fu_class.name == "FP"
+
+
+class TestMacroInstruction:
+    def _instr(self, iclass=InstrClass.SIMPLE_ALU, address=0x1000, length=3,
+               target=None):
+        return MacroInstruction(
+            address=address,
+            length=length,
+            iclass=iclass,
+            uops=decode_template(iclass, dest=0, src1=1, src2=2, imm=1),
+            taken_target=target,
+        )
+
+    def test_fallthrough(self):
+        assert self._instr(address=0x1000, length=3).fallthrough == 0x1003
+
+    def test_is_cti(self):
+        assert not self._instr().is_cti
+        branch = MacroInstruction(
+            address=0x1000, length=2, iclass=InstrClass.COND_BRANCH,
+            uops=decode_template(InstrClass.COND_BRANCH), taken_target=0x900,
+        )
+        assert branch.is_cti
+
+    def test_num_uops(self):
+        rmw = MacroInstruction(
+            address=0, length=4, iclass=InstrClass.RMW,
+            uops=decode_template(InstrClass.RMW, dest=0, src1=1, src2=2),
+        )
+        assert rmw.num_uops == 3
+
+
+class TestDynamicInstruction:
+    def test_wraps_static(self):
+        instr = MacroInstruction(
+            address=0x2000, length=2, iclass=InstrClass.SIMPLE_ALU,
+            uops=decode_template(InstrClass.SIMPLE_ALU, dest=0, src1=1, src2=2),
+        )
+        dyn = DynamicInstruction(instr, taken=False, next_address=0x2002)
+        assert dyn.address == 0x2000
+        assert not dyn.is_cti
+        assert dyn.mem_addr is None
+
+
+class TestDisassembly:
+    def test_disassemble_produces_one_line_per_instruction(self):
+        instrs = [
+            MacroInstruction(
+                address=0x1000 + i * 3, length=3, iclass=InstrClass.SIMPLE_ALU,
+                uops=decode_template(InstrClass.SIMPLE_ALU, dest=0, src1=1, src2=2),
+            )
+            for i in range(4)
+        ]
+        lines = disassemble(instrs)
+        assert len(lines) == 4
+        assert all(line.num_uops == 1 for line in lines)
+
+    def test_disassemble_annotates_cti_targets(self):
+        branch = MacroInstruction(
+            address=0x1000, length=2, iclass=InstrClass.COND_BRANCH,
+            uops=decode_template(InstrClass.COND_BRANCH), taken_target=0xF00,
+        )
+        (line,) = disassemble([branch])
+        assert "0xf00" in line.comment

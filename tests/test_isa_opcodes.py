@@ -1,0 +1,65 @@
+"""Unit tests: uop/instruction taxonomies (repro.isa.opcodes)."""
+
+from repro.isa.opcodes import (
+    CTI_CLASSES,
+    CTI_KINDS,
+    OPTIMIZER_ONLY_KINDS,
+    UOP_FU,
+    UOP_LATENCY,
+    FuClass,
+    InstrClass,
+    UopKind,
+)
+
+
+class TestUopTables:
+    def test_every_kind_has_latency(self):
+        for kind in UopKind:
+            assert kind in UOP_LATENCY, kind
+
+    def test_every_kind_has_fu_class(self):
+        for kind in UopKind:
+            assert kind in UOP_FU, kind
+
+    def test_latencies_positive(self):
+        assert all(latency >= 1 for latency in UOP_LATENCY.values())
+
+    def test_divide_slower_than_multiply(self):
+        assert UOP_LATENCY[UopKind.DIV] > UOP_LATENCY[UopKind.MUL]
+        assert UOP_LATENCY[UopKind.FP_DIV] > UOP_LATENCY[UopKind.FP_MUL]
+
+    def test_fp_slower_than_int(self):
+        assert UOP_LATENCY[UopKind.FP_ADD] > UOP_LATENCY[UopKind.ALU]
+
+    def test_load_latency_is_l1_hit(self):
+        assert UOP_LATENCY[UopKind.LOAD] == 3
+
+    def test_memory_kinds_use_memory_units(self):
+        assert UOP_FU[UopKind.LOAD] is FuClass.MEM_LOAD
+        assert UOP_FU[UopKind.STORE] is FuClass.MEM_STORE
+
+    def test_ctis_execute_on_branch_unit(self):
+        for kind in CTI_KINDS:
+            assert UOP_FU[kind] is FuClass.BRANCH
+
+
+class TestKindSets:
+    def test_cti_kinds_complete(self):
+        assert UopKind.BRANCH in CTI_KINDS
+        assert UopKind.RETURN in CTI_KINDS
+        assert UopKind.SYSCALL in CTI_KINDS
+        assert UopKind.ALU not in CTI_KINDS
+
+    def test_optimizer_only_kinds_are_not_ctis(self):
+        # Asserts replace branches but are not themselves control transfers.
+        assert not OPTIMIZER_ONLY_KINDS & CTI_KINDS
+
+    def test_packed_kinds_are_optimizer_only(self):
+        assert UopKind.SIMD2 in OPTIMIZER_ONLY_KINDS
+        assert UopKind.FUSED_ALU in OPTIMIZER_ONLY_KINDS
+
+    def test_cti_classes(self):
+        assert InstrClass.COND_BRANCH in CTI_CLASSES
+        assert InstrClass.CALL_DIRECT in CTI_CLASSES
+        assert InstrClass.LOAD not in CTI_CLASSES
+        assert InstrClass.RMW not in CTI_CLASSES

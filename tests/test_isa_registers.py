@@ -1,0 +1,58 @@
+"""Unit tests: architectural register description (repro.isa.registers)."""
+
+import pytest
+
+from repro.isa.registers import (
+    FLAGS_REG,
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_NONE,
+    STACK_REG,
+    is_fp_reg,
+    is_int_reg,
+    is_valid_reg,
+    register_name,
+)
+
+
+class TestRegisterLayout:
+    def test_register_spaces_disjoint(self):
+        ints = {r for r in range(NUM_ARCH_REGS) if is_int_reg(r)}
+        fps = {r for r in range(NUM_ARCH_REGS) if is_fp_reg(r)}
+        assert not ints & fps
+        assert FLAGS_REG not in ints | fps
+
+    def test_counts(self):
+        assert NUM_ARCH_REGS == NUM_INT_REGS + NUM_FP_REGS + 1
+
+    def test_stack_register_is_integer(self):
+        assert is_int_reg(STACK_REG)
+
+    def test_flags_is_last(self):
+        assert FLAGS_REG == NUM_ARCH_REGS - 1
+        assert is_valid_reg(FLAGS_REG)
+
+    def test_sentinel_not_valid(self):
+        assert not is_valid_reg(REG_NONE)
+        assert not is_valid_reg(NUM_ARCH_REGS)
+
+
+class TestRegisterNames:
+    @pytest.mark.parametrize(
+        "reg,expected",
+        [
+            (0, "r0"),
+            (NUM_INT_REGS - 1, f"r{NUM_INT_REGS - 1}"),
+            (FP_REG_BASE, "f0"),
+            (FLAGS_REG, "flags"),
+            (REG_NONE, "--"),
+        ],
+    )
+    def test_names(self, reg, expected):
+        assert register_name(reg) == expected
+
+    def test_names_unique_over_valid_registers(self):
+        names = [register_name(r) for r in range(NUM_ARCH_REGS)]
+        assert len(set(names)) == len(names)

@@ -1,0 +1,114 @@
+"""Unit + property tests: set-associative LRU cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import Cache, CacheGeometry
+
+
+def _small_cache(assoc=2, sets=4, line=64) -> Cache:
+    return Cache("t", CacheGeometry(assoc * sets * line, assoc, line))
+
+
+class TestGeometry:
+    def test_derived_quantities(self):
+        geo = CacheGeometry(32 * 1024, 4, 64)
+        assert geo.num_sets == 128
+        assert geo.num_lines == 512
+
+    @pytest.mark.parametrize(
+        "size,assoc,line",
+        [(1000, 2, 64),      # size not divisible
+         (0, 1, 64),          # zero size
+         (1024, 0, 64),       # zero assoc
+         (1024, 2, 60)],      # line not power of two
+    )
+    def test_invalid_geometry_rejected(self, size, assoc, line):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size, assoc, line)
+
+    def test_non_pow2_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(3 * 2 * 64, 2, 64)  # 3 sets
+
+
+class TestAccessBehaviour:
+    def test_miss_then_hit(self):
+        cache = _small_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_same_line_offsets_hit(self):
+        cache = _small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x103F) is True     # same 64B line
+        assert cache.access(0x1040) is False    # next line
+
+    def test_lru_eviction_order(self):
+        cache = _small_cache(assoc=2, sets=1)
+        a, b, c = 0x0, 0x40, 0x80  # all map to the single set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)        # refresh a; b is now LRU
+        cache.access(c)        # evicts b
+        assert cache.probe(a) and cache.probe(c)
+        assert not cache.probe(b)
+        assert cache.stats.evictions == 1
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = _small_cache(assoc=2, sets=4)
+        for i in range(100):
+            cache.access(i * 64)
+        assert cache.occupancy == 8
+
+    def test_probe_has_no_side_effects(self):
+        cache = _small_cache()
+        cache.probe(0x5000)
+        assert cache.stats.accesses == 0
+        assert not cache.probe(0x5000)
+
+    def test_flush_and_reset(self):
+        cache = _small_cache()
+        cache.access(0x1000)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.probe(0x1000)   # contents survive stat reset
+        cache.flush()
+        assert not cache.probe(0x1000)
+
+    def test_miss_rate(self):
+        cache = _small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == pytest.approx(1 / 3)
+        assert Cache("e", CacheGeometry(512, 2, 64)).stats.miss_rate == 0.0
+
+
+class TestCacheProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    def test_occupancy_never_exceeds_lines(self, addresses):
+        cache = _small_cache(assoc=2, sets=2)
+        for address in addresses:
+            cache.access(address)
+        assert cache.occupancy <= cache.geometry.num_lines
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = _small_cache()
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=2, max_size=200))
+    def test_immediate_reaccess_always_hits(self, addresses):
+        cache = _small_cache()
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address) is True

@@ -1,0 +1,89 @@
+"""Unit tests: the L1I/L1D/L2/DRAM hierarchy."""
+
+import pytest
+
+from repro.memory.cache import CacheGeometry
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+@pytest.fixture()
+def hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy()
+
+
+class TestLoadPath:
+    def test_cold_load_pays_full_stack(self, hierarchy):
+        config = hierarchy.config
+        latency = hierarchy.load_latency(0x10000)
+        assert latency == (
+            config.l1_latency + config.l2_latency + config.memory_latency
+        )
+        assert hierarchy.events.memory_accesses == 1
+
+    def test_warm_load_is_l1_hit(self, hierarchy):
+        hierarchy.load_latency(0x10000)
+        assert hierarchy.load_latency(0x10000) == hierarchy.config.l1_latency
+        assert hierarchy.events.l1d_misses == 1
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        hierarchy.load_latency(0x10000)
+        # Thrash L1D (32KB, 8-way): touch > 32KB of conflicting lines.
+        for i in range(1, 1200):
+            hierarchy.load_latency(0x10000 + i * 64)
+        latency = hierarchy.load_latency(0x10000)
+        assert latency == hierarchy.config.l1_latency + hierarchy.config.l2_latency
+
+    def test_store_counts_without_latency(self, hierarchy):
+        hierarchy.store_access(0x2000)
+        assert hierarchy.events.l1d_accesses == 1
+        hierarchy.store_access(0x2000)
+        assert hierarchy.events.l1d_misses == 1
+
+
+class TestFetchPath:
+    def test_fetch_hit_costs_nothing_extra(self, hierarchy):
+        hierarchy.fetch_latency(0x400000)
+        assert hierarchy.fetch_latency(0x400000) == 0
+
+    def test_fetch_miss_pays_l2(self, hierarchy):
+        first = hierarchy.fetch_latency(0x400000)
+        assert first == hierarchy.config.l2_latency + hierarchy.config.memory_latency
+        assert hierarchy.events.l1i_misses == 1
+
+
+class TestPrewarm:
+    def test_prewarm_installs_code_and_data(self, hierarchy):
+        hierarchy.prewarm(
+            code_addresses=[0x400000, 0x400040],
+            data_ranges=[(0x10000, 4096)],
+        )
+        # Code is in L1I.
+        assert hierarchy.fetch_latency(0x400000) == 0
+        # Data is in L2 (L1 miss, L2 hit).
+        assert hierarchy.load_latency(0x10000) == (
+            hierarchy.config.l1_latency + hierarchy.config.l2_latency
+        )
+
+    def test_prewarm_charges_no_events(self, hierarchy):
+        hierarchy.prewarm(code_addresses=[0x400000], data_ranges=[(0, 8192)])
+        events = hierarchy.events
+        assert events.l1i_accesses == 0
+        assert events.l2_accesses == 0
+        assert events.memory_accesses == 0
+
+    def test_reset_flushes_everything(self, hierarchy):
+        hierarchy.prewarm(code_addresses=[0x400000])
+        hierarchy.reset()
+        assert hierarchy.fetch_latency(0x400000) > 0
+
+
+class TestConfig:
+    def test_l2_mbytes(self):
+        assert HierarchyConfig().l2_mbytes == 1.0
+        big = HierarchyConfig(l2=CacheGeometry(4 * 1024 * 1024, 8, 64))
+        assert big.l2_mbytes == 4.0
+
+    def test_custom_latencies_respected(self):
+        config = HierarchyConfig(l1_latency=2, l2_latency=9, memory_latency=77)
+        hierarchy = MemoryHierarchy(config)
+        assert hierarchy.load_latency(0) == 2 + 9 + 77

@@ -1,0 +1,108 @@
+"""Unit tests: the seven machine models of Tables 3.1/3.2."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.config import MachineConfig
+from repro.models.configs import (
+    MODEL_NAMES,
+    all_models,
+    model_config,
+    model_tos,
+)
+from repro.pipeline.resources import narrow_core_params
+
+
+class TestModelRegistry:
+    def test_seven_models(self):
+        assert len(MODEL_NAMES) == 7
+        assert len(all_models()) == 7
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            model_config("X")
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_all_models_construct(self, name):
+        config = model_config(name)
+        assert config.name == name
+
+
+class TestConfigurationSpace:
+    def test_baselines_have_no_trace_cache(self):
+        assert not model_config("N").has_trace_cache
+        assert not model_config("W").has_trace_cache
+
+    def test_t_models_have_trace_cache_without_optimizer(self):
+        for name in ("TN", "TW"):
+            config = model_config(name)
+            assert config.has_trace_cache and not config.optimize_traces
+
+    def test_to_models_optimize(self):
+        for name in ("TON", "TOW", "TOS"):
+            config = model_config(name)
+            assert config.has_trace_cache and config.optimize_traces
+
+    def test_width_dimension(self):
+        assert model_config("N").core.rename_width == 4
+        assert model_config("W").core.rename_width == 8
+        assert model_config("TON").core.rename_width == 4
+        assert model_config("TOW").core.rename_width == 8
+
+    def test_predictor_sizes_match_section_4_2(self):
+        """N: 4K-entry branch predictor; TON: 2K branch + 2K trace (§4.2)."""
+        assert model_config("N").bpred_entries == 4096
+        ton = model_config("TON")
+        assert ton.bpred_entries == 2048
+        assert ton.tpred_entries == 2048
+
+    def test_only_tos_is_split(self):
+        for name in MODEL_NAMES:
+            config = model_config(name)
+            assert config.is_split == (name == "TOS")
+
+    def test_tos_cold_profile_is_narrow(self):
+        tos = model_tos()
+        assert tos.cold_profile.rename_width == 4
+        assert tos.core.rename_width == 8
+
+    def test_wide_machines_have_larger_area(self):
+        assert model_config("W").core.area > model_config("N").core.area
+        assert model_config("TOS").extra_area > model_config("TOW").extra_area
+
+    def test_trace_models_account_trace_unit_area(self):
+        assert model_config("TN").extra_area > model_config("N").extra_area
+
+
+class TestMachineConfigValidation:
+    def test_optimizer_without_trace_cache_rejected(self):
+        from repro.frontend.fetch import FetchParams
+        with pytest.raises(ConfigurationError):
+            MachineConfig(
+                name="bad", description="", core=narrow_core_params(),
+                fetch=FetchParams(4, 16, 8),
+                has_trace_cache=False, optimize_traces=True,
+            )
+
+    def test_split_without_trace_cache_rejected(self):
+        from repro.frontend.fetch import FetchParams
+        from repro.pipeline.resources import ExecProfile
+        with pytest.raises(ConfigurationError):
+            MachineConfig(
+                name="bad", description="", core=narrow_core_params(),
+                fetch=FetchParams(4, 16, 8), has_trace_cache=False,
+                cold_profile=ExecProfile.from_params(narrow_core_params()),
+            )
+
+    def test_bad_thresholds_rejected(self):
+        from repro.frontend.fetch import FetchParams
+        with pytest.raises(ConfigurationError):
+            MachineConfig(
+                name="bad", description="", core=narrow_core_params(),
+                fetch=FetchParams(4, 16, 8), hot_threshold=0,
+            )
+
+    def test_structure_sizes_derived(self):
+        sizes = model_config("TON").structure_sizes
+        assert sizes.bpred_entries == 2048
+        assert sizes.tcache_uops == 16 * 1024

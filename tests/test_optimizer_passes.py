@@ -1,0 +1,297 @@
+"""Unit tests: individual optimizer passes on hand-built uop sequences."""
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import FLAGS_REG, REG_NONE
+from repro.optimizer.passes import (
+    ConstantPropagation,
+    CriticalPathScheduling,
+    DeadCodeElimination,
+    LogicSimplify,
+    MicroOpFusion,
+    Simdify,
+    VirtualRenaming,
+)
+from repro.optimizer.verify import check_equivalence
+
+
+def u(kind, dest=REG_NONE, src1=REG_NONE, src2=REG_NONE, imm=None, origin=0):
+    return Uop(kind, dest, src1, src2, imm, origin)
+
+
+class TestConstantPropagation:
+    def test_folds_constant_alu(self):
+        uops = [
+            u(UopKind.MOV_IMM, dest=1, imm=5),
+            u(UopKind.MOV_IMM, dest=2, imm=7),
+            u(UopKind.ALU, dest=3, src1=1, src2=2),
+        ]
+        out = ConstantPropagation().run([x.copy() for x in uops])
+        assert out[2].kind is UopKind.MOV_IMM
+        assert out[2].imm == 12
+        assert check_equivalence(uops, out).equivalent
+
+    def test_merges_known_operand_into_immediate(self):
+        uops = [
+            u(UopKind.MOV_IMM, dest=1, imm=5),
+            u(UopKind.ALU, dest=3, src1=2, src2=1),   # r2 unknown
+        ]
+        out = ConstantPropagation().run([x.copy() for x in uops])
+        assert out[1].src2 == REG_NONE and out[1].imm == 5
+        assert check_equivalence(uops, out).equivalent
+
+    def test_copy_propagation_rewrites_consumer(self):
+        uops = [
+            u(UopKind.MOV, dest=1, src1=4),
+            u(UopKind.ALU, dest=2, src1=1, src2=5),
+        ]
+        out = ConstantPropagation().run([x.copy() for x in uops])
+        assert out[1].src1 == 4
+        assert check_equivalence(uops, out).equivalent
+
+    def test_copy_invalidated_by_source_redefinition(self):
+        uops = [
+            u(UopKind.MOV, dest=1, src1=4),
+            u(UopKind.ALU, dest=4, src1=5, src2=6),   # r4 changes
+            u(UopKind.ALU, dest=2, src1=1, src2=5),   # must still read r1
+        ]
+        out = ConstantPropagation().run([x.copy() for x in uops])
+        assert out[2].src1 == 1
+        assert check_equivalence(uops, out).equivalent
+
+    def test_knownness_killed_by_load(self):
+        uops = [
+            u(UopKind.MOV_IMM, dest=1, imm=5),
+            u(UopKind.LOAD, dest=1, src1=2, origin=0),
+            u(UopKind.ALU, dest=3, src1=1, src2=1),
+        ]
+        out = ConstantPropagation().run([x.copy() for x in uops])
+        assert out[2].kind is UopKind.ALU  # not folded
+        assert check_equivalence(uops, out).equivalent
+
+
+class TestLogicSimplify:
+    def test_add_zero_becomes_move(self):
+        uops = [u(UopKind.ALU, dest=1, src1=2, imm=0)]
+        out = LogicSimplify().run([x.copy() for x in uops])
+        assert out[0].kind is UopKind.MOV
+        assert check_equivalence(uops, out).equivalent
+
+    def test_xor_self_becomes_zero(self):
+        uops = [u(UopKind.LOGIC, dest=1, src1=3, src2=3)]
+        out = LogicSimplify().run([x.copy() for x in uops])
+        assert out[0].kind is UopKind.MOV_IMM and out[0].imm == 0
+        assert check_equivalence(uops, out).equivalent
+
+    def test_shift_zero_becomes_move(self):
+        uops = [u(UopKind.SHIFT, dest=1, src1=2, imm=0)]
+        out = LogicSimplify().run([x.copy() for x in uops])
+        assert out[0].kind is UopKind.MOV
+        assert check_equivalence(uops, out).equivalent
+
+    def test_self_move_becomes_nop(self):
+        uops = [u(UopKind.MOV, dest=1, src1=1)]
+        out = LogicSimplify().run([x.copy() for x in uops])
+        assert out[0].kind is UopKind.NOP
+
+    def test_real_add_untouched(self):
+        uops = [u(UopKind.ALU, dest=1, src1=2, imm=3)]
+        out = LogicSimplify().run([x.copy() for x in uops])
+        assert out[0].kind is UopKind.ALU
+
+
+class TestDeadCode:
+    def test_overwritten_value_removed(self):
+        uops = [
+            u(UopKind.MOV_IMM, dest=1, imm=5),     # dead: overwritten below
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+        ]
+        out = DeadCodeElimination().run([x.copy() for x in uops])
+        assert len(out) == 1
+        assert check_equivalence(uops, out).equivalent
+
+    def test_read_keeps_value_alive(self):
+        uops = [
+            u(UopKind.MOV_IMM, dest=1, imm=5),
+            u(UopKind.ALU, dest=2, src1=1, src2=3),  # reads r1
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+        ]
+        out = DeadCodeElimination().run([x.copy() for x in uops])
+        assert len(out) == 3
+
+    def test_live_out_values_kept(self):
+        """Last writes are architecturally visible: never removed."""
+        uops = [u(UopKind.MOV_IMM, dest=1, imm=5)]
+        out = DeadCodeElimination().run([x.copy() for x in uops])
+        assert len(out) == 1
+
+    def test_stores_never_removed(self):
+        uops = [
+            u(UopKind.STORE, src1=1, src2=2, origin=0),
+            u(UopKind.ALU, dest=2, src1=3, src2=4),
+        ]
+        out = DeadCodeElimination().run([x.copy() for x in uops])
+        assert any(x.kind is UopKind.STORE for x in out)
+
+    def test_nops_always_removed(self):
+        uops = [u(UopKind.NOP), u(UopKind.ALU, dest=1, src1=2, src2=3)]
+        out = DeadCodeElimination().run([x.copy() for x in uops])
+        assert all(x.kind is not UopKind.NOP for x in out)
+
+
+class TestFusion:
+    def test_fuses_single_use_pair(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+            u(UopKind.ALU, dest=4, src1=1, imm=7),
+            u(UopKind.ALU, dest=1, src1=5, src2=6),  # redefines r1
+        ]
+        fusion = MicroOpFusion()
+        out = fusion.run([x.copy() for x in uops])
+        assert fusion.applied == 1
+        assert len(out) == 2
+        assert out[0].kind is UopKind.FUSED_ALU
+        assert check_equivalence(uops, out).equivalent
+
+    def test_no_fusion_when_value_live_out(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),  # r1 never redefined
+            u(UopKind.ALU, dest=4, src1=1, imm=7),
+        ]
+        out = MicroOpFusion().run([x.copy() for x in uops])
+        assert len(out) == 2
+
+    def test_no_fusion_with_two_readers(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+            u(UopKind.ALU, dest=4, src1=1, imm=7),
+            u(UopKind.ALU, dest=5, src1=1, imm=9),
+            u(UopKind.ALU, dest=1, src1=5, src2=6),
+        ]
+        out = MicroOpFusion().run([x.copy() for x in uops])
+        assert len(out) == 4
+
+    def test_no_fusion_past_source_clobber(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+            u(UopKind.ALU, dest=2, src1=5, src2=6),  # clobbers producer src
+            u(UopKind.ALU, dest=4, src1=1, imm=7),
+            u(UopKind.ALU, dest=1, src1=5, src2=6),
+        ]
+        out = MicroOpFusion().run([x.copy() for x in uops])
+        assert all(x.kind is not UopKind.FUSED_ALU for x in out)
+
+    def test_too_many_register_sources_rejected(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+            u(UopKind.ALU, dest=4, src1=1, src2=5),  # 3 reg srcs combined
+            u(UopKind.ALU, dest=1, src1=6, src2=7),
+        ]
+        out = MicroOpFusion().run([x.copy() for x in uops])
+        assert all(x.kind is not UopKind.FUSED_ALU for x in out)
+
+
+class TestSimdify:
+    def test_packs_independent_adds(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+            u(UopKind.ALU, dest=4, src1=5, src2=6),
+        ]
+        simd = Simdify()
+        out = simd.run([x.copy() for x in uops])
+        assert simd.applied == 1
+        assert len(out) == 1
+        packed = out[0]
+        assert packed.kind is UopKind.SIMD2
+        assert packed.dest2 == 4 and packed.extra_srcs == (5, 6)
+        assert check_equivalence(uops, out).equivalent
+
+    def test_fp_adds_pack_to_fp_simd(self):
+        uops = [
+            u(UopKind.FP_ADD, dest=16, src1=17, src2=18),
+            u(UopKind.FP_ADD, dest=19, src1=20, src2=21),
+        ]
+        out = Simdify().run([x.copy() for x in uops])
+        assert out[0].kind is UopKind.FP_SIMD2
+        assert check_equivalence(uops, out).equivalent
+
+    def test_dependent_ops_not_packed(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+            u(UopKind.ALU, dest=4, src1=1, src2=6),  # reads r1
+        ]
+        out = Simdify().run([x.copy() for x in uops])
+        assert len(out) == 2
+
+    def test_hoisting_blocked_by_intermediate_clobber(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+            u(UopKind.ALU, dest=5, src1=8, src2=9),   # clobbers partner src
+            u(UopKind.ALU, dest=4, src1=5, src2=6),
+        ]
+        out = Simdify().run([x.copy() for x in uops])
+        # first and third must not pack (third reads r5 written in between)
+        packed = [x for x in out if x.kind is UopKind.SIMD2]
+        assert all(x.dest2 != 4 for x in packed)
+
+    def test_imm_forms_not_packed(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, imm=3),
+            u(UopKind.ALU, dest=4, src1=5, imm=6),
+        ]
+        out = Simdify().run([x.copy() for x in uops])
+        assert len(out) == 2
+
+
+class TestVirtualRenaming:
+    def test_counts_non_final_definitions(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),   # virtual (redefined)
+            u(UopKind.ALU, dest=1, src1=4, src2=5),   # final write of r1
+            u(UopKind.ALU, dest=2, src1=6, src2=7),   # final write of r2
+        ]
+        renamer = VirtualRenaming()
+        renamer.run(uops)
+        assert renamer.virtual_renames == 1
+
+    def test_no_transformation(self):
+        uops = [u(UopKind.ALU, dest=1, src1=2, src2=3)]
+        assert VirtualRenaming().run(uops) is uops
+
+
+class TestScheduling:
+    def test_respects_dependences(self):
+        uops = [
+            u(UopKind.MOV_IMM, dest=1, imm=5),
+            u(UopKind.ALU, dest=2, src1=1, src2=3),
+            u(UopKind.MUL, dest=4, src1=5, src2=6),
+            u(UopKind.ALU, dest=7, src1=4, src2=2),
+        ]
+        out = CriticalPathScheduling().run([x.copy() for x in uops])
+        assert check_equivalence(uops, out).equivalent
+
+    def test_hoists_long_latency_chain_head(self):
+        """The MUL chain head should be scheduled before independent fillers."""
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+            u(UopKind.ALU, dest=5, src1=6, src2=7),
+            u(UopKind.MUL, dest=8, src1=9, src2=10),
+            u(UopKind.MUL, dest=11, src1=8, src2=10),
+        ]
+        out = CriticalPathScheduling().run([x.copy() for x in uops])
+        kinds = [x.kind for x in out]
+        assert kinds[0] is UopKind.MUL
+
+    def test_memory_order_preserved(self):
+        uops = [
+            u(UopKind.STORE, src1=1, src2=2, origin=0),
+            u(UopKind.LOAD, dest=3, src1=4, origin=1),
+            u(UopKind.STORE, src1=5, src2=6, origin=2),
+        ]
+        out = CriticalPathScheduling().run([x.copy() for x in uops])
+        mem = [(x.kind, x.origin) for x in out if x.is_mem]
+        assert mem == [(UopKind.STORE, 0), (UopKind.LOAD, 1), (UopKind.STORE, 2)]
+
+    def test_short_sequences_untouched(self):
+        uops = [u(UopKind.ALU, dest=1, src1=2, src2=3)]
+        assert CriticalPathScheduling().run(uops) is uops

@@ -1,0 +1,174 @@
+"""Unit + integration tests: promotion, pass manager, dependency graph."""
+
+import pytest
+
+from repro.core.simulator import segment_stream
+from repro.errors import OptimizationError
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import FLAGS_REG, REG_NONE
+from repro.optimizer.asserts import promote_control
+from repro.optimizer.dependency_graph import build_dependency_graph
+from repro.optimizer.pipeline import OptimizerConfig, TraceOptimizer
+from repro.trace.tid import TraceId
+from repro.trace.trace import build_trace
+
+
+def u(kind, dest=REG_NONE, src1=REG_NONE, src2=REG_NONE, imm=None, origin=0):
+    return Uop(kind, dest, src1, src2, imm, origin)
+
+
+class TestPromotion:
+    def test_branches_become_asserts_with_tid_directions(self):
+        uops = [
+            u(UopKind.BRANCH, src1=FLAGS_REG),
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+            u(UopKind.BRANCH, src1=FLAGS_REG),
+        ]
+        tid = TraceId(0x100, directions=0b01, num_branches=2)
+        out, stats = promote_control(uops, tid)
+        asserts = [x for x in out if x.kind in (UopKind.ASSERT_T, UopKind.ASSERT_NT)]
+        assert [a.kind for a in asserts] == [UopKind.ASSERT_T, UopKind.ASSERT_NT]
+        assert stats.branches_promoted == 2
+
+    def test_direct_control_eliminated(self):
+        uops = [
+            u(UopKind.JUMP),
+            u(UopKind.CALL, src1=15),
+            u(UopKind.RETURN, src1=15),
+            u(UopKind.ALU, dest=1, src1=2, src2=3),
+        ]
+        tid = TraceId(0x100, 0, 0)
+        out, stats = promote_control(uops, tid)
+        assert len(out) == 1
+        assert stats.jumps_eliminated == 1
+        assert stats.calls_eliminated == 1
+        assert stats.returns_eliminated == 1
+
+    def test_indirect_jump_keeps_target_assert(self):
+        uops = [u(UopKind.IND_JUMP, src1=5)]
+        out, stats = promote_control(uops, TraceId(0x100, 0, 0))
+        assert out[0].kind is UopKind.ASSERT_T
+        assert stats.indirects_asserted == 1
+
+    def test_branch_count_mismatch_rejected(self):
+        uops = [u(UopKind.BRANCH, src1=FLAGS_REG)]
+        with pytest.raises(OptimizationError):
+            promote_control(uops, TraceId(0x100, 0, 0))
+
+    def test_missing_branch_rejected(self):
+        uops = [u(UopKind.ALU, dest=1, src1=2, src2=3)]
+        with pytest.raises(OptimizationError):
+            promote_control(uops, TraceId(0x100, 0b1, 1))
+
+
+class TestDependencyGraph:
+    def test_raw_edge(self):
+        uops = [u(UopKind.ALU, dest=1, src1=2, src2=3),
+                u(UopKind.ALU, dest=4, src1=1, src2=5)]
+        graph = build_dependency_graph(uops)
+        assert 0 in graph.preds[1]
+
+    def test_waw_and_war_edges(self):
+        uops = [
+            u(UopKind.ALU, dest=1, src1=2, src2=3),   # 0: writes r1
+            u(UopKind.ALU, dest=4, src1=1, src2=5),   # 1: reads r1
+            u(UopKind.ALU, dest=1, src1=6, src2=7),   # 2: rewrites r1
+        ]
+        graph = build_dependency_graph(uops)
+        assert 0 in graph.preds[2]  # WAW
+        assert 1 in graph.preds[2]  # WAR
+
+    def test_memory_edges(self):
+        uops = [
+            u(UopKind.STORE, src1=1, src2=2, origin=0),
+            u(UopKind.LOAD, dest=3, src1=4, origin=1),
+            u(UopKind.STORE, src1=5, src2=6, origin=2),
+        ]
+        graph = build_dependency_graph(uops)
+        assert 0 in graph.preds[1]  # load after store
+        assert 1 in graph.preds[2]  # store after load
+
+    def test_loads_may_reorder_with_loads(self):
+        uops = [
+            u(UopKind.LOAD, dest=1, src1=2, origin=0),
+            u(UopKind.LOAD, dest=3, src1=4, origin=1),
+        ]
+        graph = build_dependency_graph(uops)
+        assert 0 not in graph.preds[1]
+
+    def test_heights_latency_weighted(self):
+        uops = [u(UopKind.MUL, dest=1, src1=2, src2=3),
+                u(UopKind.ALU, dest=4, src1=1, src2=5)]
+        graph = build_dependency_graph(uops)
+        assert graph.heights[0] == 5   # MUL(4) + ALU(1)
+        assert graph.critical_path() == 5
+
+
+class TestTraceOptimizer:
+    def _first_trace(self, workload, min_uops=10):
+        for segment in segment_stream(workload.stream(4000)):
+            if segment.uop_count >= min_uops:
+                return build_trace(segment.tid, segment.instructions)
+        raise AssertionError("no segment large enough")
+
+    def test_optimizes_real_trace(self, int_workload):
+        trace = self._first_trace(int_workload)
+        optimized, report = TraceOptimizer().optimize(trace)
+        assert optimized.optimized
+        assert optimized.tid == trace.tid
+        assert optimized.num_uops <= trace.num_uops
+        assert report.uops_before == trace.original_uop_count
+        assert report.uops_after == optimized.num_uops
+        assert 0.0 <= report.uop_reduction < 1.0
+        optimized.validate()
+
+    def test_original_trace_unmodified(self, int_workload):
+        trace = self._first_trace(int_workload)
+        uops_before = [u.copy() for u in trace.uops]
+        TraceOptimizer().optimize(trace)
+        assert trace.uops == uops_before
+        assert not trace.optimized
+
+    def test_generic_only_level(self, int_workload):
+        trace = self._first_trace(int_workload)
+        config = OptimizerConfig(enable_core_specific=False)
+        optimized, report = TraceOptimizer(config).optimize(trace)
+        assert optimized.optimization_level == 1
+        assert all(
+            x.kind not in (UopKind.SIMD2, UopKind.FP_SIMD2, UopKind.FUSED_ALU)
+            for x in optimized.uops
+        )
+
+    def test_core_specific_beats_generic(self, fp_workload):
+        """Core-specific passes add reduction on top of generic ones."""
+        generic = TraceOptimizer(OptimizerConfig(enable_core_specific=False))
+        full = TraceOptimizer()
+        total_generic = total_full = 0
+        for segment in list(segment_stream(fp_workload.stream(6000)))[:50]:
+            if segment.uop_count < 8:
+                continue
+            trace = build_trace(segment.tid, segment.instructions)
+            _, r1 = generic.optimize(trace)
+            _, r2 = full.optimize(trace)
+            total_generic += r1.uops_before - r1.uops_after
+            total_full += r2.uops_before - r2.uops_after
+        assert total_full > total_generic
+
+    def test_disabled_optimizer_rejected(self, int_workload):
+        trace = self._first_trace(int_workload)
+        config = OptimizerConfig(enable_generic=False, enable_core_specific=False)
+        with pytest.raises(OptimizationError):
+            TraceOptimizer(config).optimize(trace)
+
+    def test_virtual_renames_recorded(self, fp_workload):
+        trace = self._first_trace(fp_workload, min_uops=20)
+        optimized, report = TraceOptimizer().optimize(trace)
+        assert optimized.virtual_renames == report.virtual_renames >= 0
+
+    def test_aggregate_counters(self, int_workload):
+        optimizer = TraceOptimizer()
+        for segment in list(segment_stream(int_workload.stream(3000)))[:10]:
+            optimizer.optimize(build_trace(segment.tid, segment.instructions))
+        assert optimizer.traces_optimized == 10
+        assert optimizer.total_uops_out <= optimizer.total_uops_in

@@ -1,0 +1,156 @@
+"""Property-based tests: the optimizer preserves trace semantics.
+
+Strategy: generate random—but structurally valid—trace uop sequences
+(register dataflow, memory operations, flag-writing compares followed by
+branches), build the matching TID, run the full optimizer, and check:
+
+* architectural equivalence (final register state + ordered stores),
+* structural validity of the result (origins, capacity),
+* monotonicity (optimization never increases uop count).
+
+This is the library's strongest correctness net: each Hypothesis example
+is an arbitrary trace the hardware optimizer must not miscompile.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import FLAGS_REG, NUM_INT_REGS, REG_NONE
+from repro.optimizer.asserts import promote_control
+from repro.optimizer.pipeline import OptimizerConfig, TraceOptimizer
+from repro.optimizer.verify import check_equivalence, interpret
+from repro.trace.tid import TraceId
+from repro.trace.trace import Trace, critical_path_length
+
+_REGS = st.integers(0, NUM_INT_REGS - 2)
+_IMMS = st.integers(0, 255)
+
+
+@st.composite
+def _uop(draw, origin):
+    choice = draw(st.integers(0, 9))
+    if choice == 0:
+        return Uop(UopKind.MOV_IMM, draw(_REGS), imm=draw(_IMMS), origin=origin)
+    if choice == 1:
+        return Uop(UopKind.MOV, draw(_REGS), draw(_REGS), origin=origin)
+    if choice == 2:
+        return Uop(UopKind.ALU, draw(_REGS), draw(_REGS), REG_NONE,
+                   draw(_IMMS), origin=origin)
+    if choice == 3:
+        return Uop(UopKind.LOGIC, draw(_REGS), draw(_REGS), draw(_REGS),
+                   origin=origin)
+    if choice == 4:
+        return Uop(UopKind.SHIFT, draw(_REGS), draw(_REGS), REG_NONE,
+                   draw(st.integers(0, 31)), origin=origin)
+    if choice == 5:
+        return Uop(UopKind.LOAD, draw(_REGS), draw(_REGS), origin=origin)
+    if choice == 6:
+        return Uop(UopKind.STORE, REG_NONE, draw(_REGS), draw(_REGS),
+                   origin=origin)
+    if choice == 7:
+        return Uop(UopKind.CMP, FLAGS_REG, draw(_REGS), draw(_REGS),
+                   origin=origin)
+    if choice == 8:
+        return Uop(UopKind.MUL, draw(_REGS), draw(_REGS), draw(_REGS),
+                   origin=origin)
+    return Uop(UopKind.ALU, draw(_REGS), draw(_REGS), draw(_REGS),
+               origin=origin)
+
+
+@st.composite
+def random_trace(draw):
+    """A structurally valid trace: value uops with occasional branches."""
+    n = draw(st.integers(2, 40))
+    uops = []
+    directions = 0
+    num_branches = 0
+    for i in range(n):
+        uops.append(draw(_uop(i)))
+        # Occasionally insert a conditional branch after a compare.
+        if draw(st.booleans()) and draw(st.integers(0, 4)) == 0:
+            uops.append(
+                Uop(UopKind.CMP, FLAGS_REG, draw(_REGS), draw(_REGS), origin=i)
+            )
+            uops.append(Uop(UopKind.BRANCH, REG_NONE, FLAGS_REG, origin=i))
+            if draw(st.booleans()):
+                directions |= 1 << num_branches
+            num_branches += 1
+        if len(uops) >= 60:
+            break
+    tid = TraceId(0x40_0000, directions, num_branches, n)
+    trace = Trace(
+        tid=tid,
+        uops=uops,
+        num_instructions=n,
+        original_uop_count=len(uops),
+        original_critical_path=critical_path_length(uops),
+        critical_path=critical_path_length(uops),
+    )
+    return trace
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(random_trace())
+    def test_full_optimizer_preserves_semantics(self, trace):
+        optimized, report = TraceOptimizer().optimize(trace)
+        baseline, _ = promote_control(trace.uops, trace.tid)
+        result = check_equivalence(baseline, optimized.uops)
+        assert result.equivalent, result.reason
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_trace())
+    def test_generic_only_preserves_semantics(self, trace):
+        config = OptimizerConfig(enable_core_specific=False)
+        optimized, _ = TraceOptimizer(config).optimize(trace)
+        baseline, _ = promote_control(trace.uops, trace.tid)
+        result = check_equivalence(baseline, optimized.uops)
+        assert result.equivalent, result.reason
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_trace())
+    def test_optimization_never_grows_traces(self, trace):
+        optimized, report = TraceOptimizer().optimize(trace)
+        assert optimized.num_uops <= trace.num_uops
+        assert report.uop_reduction >= 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_trace())
+    def test_optimized_trace_is_structurally_valid(self, trace):
+        optimized, _ = TraceOptimizer().optimize(trace)
+        optimized.validate()
+        # No raw control uops survive promotion.
+        from repro.isa.opcodes import CTI_KINDS
+        assert all(u.kind not in CTI_KINDS for u in optimized.uops)
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_trace())
+    def test_idempotence_of_interpretation(self, trace):
+        """The reference interpreter itself is deterministic."""
+        state1 = interpret(trace.uops)
+        state2 = interpret(trace.uops)
+        assert state1.registers == state2.registers
+        assert state1.stores == state2.stores
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_trace())
+    def test_store_count_preserved(self, trace):
+        optimized, _ = TraceOptimizer().optimize(trace)
+        original_stores = sum(
+            1 for u in trace.uops if u.kind is UopKind.STORE
+        )
+        optimized_stores = sum(
+            1 for u in optimized.uops if u.kind is UopKind.STORE
+        )
+        assert original_stores == optimized_stores
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_trace())
+    def test_critical_path_never_worsens_much(self, trace):
+        """Packing may merge chains but must not blow up the critical path."""
+        optimized, report = TraceOptimizer().optimize(trace)
+        # Fusion replaces two 1-cycle ops with one 2-cycle op: path-neutral.
+        # Allow slack of one fused latency for boundary effects.
+        assert optimized.critical_path <= trace.original_critical_path + 2

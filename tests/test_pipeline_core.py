@@ -1,0 +1,231 @@
+"""Unit tests: the cycle-level out-of-order timing core."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import FuClass, UopKind
+from repro.isa.registers import REG_NONE
+from repro.pipeline.core import TimingCore
+from repro.pipeline.resources import (
+    CoreParams,
+    ExecProfile,
+    narrow_core_params,
+    wide_core_params,
+)
+
+
+def _core(**overrides) -> TimingCore:
+    params = narrow_core_params()
+    if overrides:
+        import dataclasses
+        params = dataclasses.replace(params, **overrides)
+    return TimingCore(params)
+
+
+def _alu(dest=0, src1=REG_NONE, src2=REG_NONE):
+    return Uop(UopKind.ALU, dest, src1, src2, 1)
+
+
+class TestCoreParams:
+    def test_rob_must_cover_window(self):
+        with pytest.raises(ConfigurationError):
+            CoreParams("bad", 4, 4, 4, rob_size=16, window_size=32)
+
+    def test_widths_positive(self):
+        with pytest.raises(ConfigurationError):
+            CoreParams("bad", 0, 4, 4, rob_size=64, window_size=32)
+
+    def test_wide_core_doubles_widths(self):
+        narrow, wide = narrow_core_params(), wide_core_params()
+        assert wide.rename_width == 2 * narrow.rename_width
+        assert wide.area > narrow.area
+
+    def test_exec_profile_from_params(self):
+        profile = ExecProfile.from_params(narrow_core_params())
+        assert profile.rename_width == 4
+        assert FuClass.INT in profile.fu_counts
+
+
+class TestThroughput:
+    def test_independent_int_uops_bound_by_int_units(self):
+        """Independent ALU uops saturate the 3 integer units, not rename."""
+        core = _core()
+        for i in range(250):
+            group = core.begin_fetch_group()
+            for j in range(4):
+                core.run_uop(_alu(dest=(i * 4 + j) % 12), group)
+        ipc = core.uops_executed / (core.cycles - core.params.front_depth)
+        assert 2.7 < ipc <= 3.1
+
+    def test_mixed_fu_uops_sustain_rename_width(self):
+        """A mix spread across FU classes reaches the 4-wide rename limit."""
+        kinds = [UopKind.ALU, UopKind.ALU, UopKind.FP_ADD, UopKind.LOAD]
+        core = _core()
+        for i in range(250):
+            group = core.begin_fetch_group()
+            for j, kind in enumerate(kinds):
+                dest = 16 + (i + j) % 8 if kind is UopKind.FP_ADD else (i * 4 + j) % 12
+                core.run_uop(Uop(kind, dest), group,
+                             mem_latency=3 if kind is UopKind.LOAD else 0)
+        ipc = core.uops_executed / (core.cycles - core.params.front_depth)
+        assert 3.5 < ipc <= 4.05
+
+    def test_serial_chain_runs_at_one_per_cycle(self):
+        """A fully serial dependence chain cannot exceed 1 uop/cycle."""
+        core = _core()
+        for i in range(200):
+            group = core.begin_fetch_group()
+            core.run_uop(_alu(dest=0, src1=0), group)
+        assert core.uops_executed / core.cycles < 1.1
+
+    def test_wider_profile_raises_throughput(self):
+        def run(params):
+            core = TimingCore(params)
+            for i in range(200):
+                group = core.begin_fetch_group()
+                for j in range(8):
+                    core.run_uop(_alu(dest=(i * 8 + j) % 12), group)
+            return core.uops_executed / core.cycles
+
+        assert run(wide_core_params()) > run(narrow_core_params()) * 1.4
+
+    def test_fu_contention_limits_issue(self):
+        """FP uops bound by the 2 FP units of the narrow core."""
+        core = _core()
+        for i in range(200):
+            group = core.begin_fetch_group()
+            for j in range(4):
+                core.run_uop(Uop(UopKind.FP_ADD, 16 + (i * 4 + j) % 8), group)
+        fp_per_cycle = core.uops_executed / core.cycles
+        assert fp_per_cycle <= 2.05
+
+
+class TestLatencyAndDependences:
+    def test_dependent_completion_respects_latency(self):
+        core = _core()
+        group = core.begin_fetch_group()
+        t1 = core.run_uop(Uop(UopKind.MUL, 1, 2, 3), group)   # latency 4
+        t2 = core.run_uop(Uop(UopKind.ALU, 4, 1, REG_NONE), group)
+        assert t2 >= t1 + 1  # consumer issues after producer completes
+
+    def test_independent_uop_unaffected_by_long_latency(self):
+        core = _core()
+        group = core.begin_fetch_group()
+        core.run_uop(Uop(UopKind.DIV, 1, 2, 3), group)        # latency 20
+        t2 = core.run_uop(_alu(dest=5), group)
+        assert t2 < 20 + core.params.front_depth
+
+    def test_mem_latency_overrides_default(self):
+        core = _core()
+        group = core.begin_fetch_group()
+        t_load = core.run_uop(Uop(UopKind.LOAD, 1, 2), group, mem_latency=100)
+        t_use = core.run_uop(Uop(UopKind.ALU, 3, 1, REG_NONE), group)
+        assert t_use > t_load >= 100
+
+    def test_extra_sources_wake_up_correctly(self):
+        core = _core()
+        group = core.begin_fetch_group()
+        slow = core.run_uop(Uop(UopKind.DIV, 5, 1, 2), group)
+        packed = Uop(UopKind.SIMD2, 6, 3, 4, dest2=7, extra_srcs=(5,))
+        t = core.run_uop(packed, group)
+        assert t > slow
+
+    def test_dest2_updates_register_readiness(self):
+        core = _core()
+        group = core.begin_fetch_group()
+        packed = Uop(UopKind.SIMD2, 6, 1, 2, dest2=7, extra_srcs=(3, 4))
+        t_packed = core.run_uop(packed, group)
+        t_use = core.run_uop(Uop(UopKind.ALU, 8, 7, REG_NONE), group)
+        assert t_use >= t_packed + 1
+
+
+class TestStructuralLimits:
+    def test_rob_occupancy_stalls_dispatch(self):
+        """A load miss at the ROB head backs up dispatch ~rob_size later."""
+        core = _core(rob_size=48, window_size=32)
+        group = core.begin_fetch_group()
+        core.run_uop(Uop(UopKind.LOAD, 1, 2), group, mem_latency=500)
+        last = 0.0
+        for i in range(100):
+            group = core.begin_fetch_group()
+            last = core.run_uop(_alu(dest=3 + i % 8), group)
+        assert last > 500  # dispatch waited for the head to commit
+
+    def test_fetch_redirect_stalls_following_uops(self):
+        core = _core()
+        group = core.begin_fetch_group()
+        t_branch = core.run_uop(Uop(UopKind.BRANCH, REG_NONE, 24), group)
+        core.redirect_fetch(t_branch + 1)
+        group2 = core.begin_fetch_group()
+        assert group2 > t_branch
+
+    def test_stall_fetch_advances_clock(self):
+        core = _core()
+        before = core.begin_fetch_group()
+        core.stall_fetch(37)
+        assert core.begin_fetch_group() == before + 38
+
+    def test_state_switch_penalises_in_flight_values(self):
+        core = _core()
+        group = core.begin_fetch_group()
+        t_slow = core.run_uop(Uop(UopKind.DIV, 1, 2, 3), group)
+        core.apply_state_switch(5)
+        t_use = core.run_uop(Uop(UopKind.ALU, 4, 1, REG_NONE), group)
+        assert t_use >= t_slow + 5
+
+
+class TestAccounting:
+    def test_events_counted_per_uop(self):
+        core = _core()
+        group = core.begin_fetch_group()
+        core.run_uop(Uop(UopKind.ALU, 1, 2, 3), group)
+        core.flush_events()
+        events = core.events
+        assert events.get("rename_uop") == 1
+        assert events.get("issue_uop") == 1
+        assert events.get("regfile_read") == 2
+        assert events.get("regfile_write") == 1
+        assert events.get("exec_int") == 1
+
+    def test_flush_events_is_single_shot(self):
+        core = _core()
+        group = core.begin_fetch_group()
+        core.run_uop(_alu(dest=1), group)
+        core.flush_events()
+        with pytest.raises(Exception):
+            core.flush_events()
+
+    def test_cycles_monotone(self):
+        core = _core()
+        last = 0.0
+        for i in range(100):
+            group = core.begin_fetch_group()
+            core.run_uop(_alu(dest=i % 12), group)
+            assert core.cycles >= last
+            last = core.cycles
+
+    def test_invariants_hold_after_mixed_run(self, rng):
+        core = _core()
+        kinds = [UopKind.ALU, UopKind.LOAD, UopKind.MUL, UopKind.FP_ADD,
+                 UopKind.STORE, UopKind.BRANCH]
+        for i in range(500):
+            group = core.begin_fetch_group()
+            for _ in range(rng.randrange(1, 5)):
+                kind = rng.choice(kinds)
+                core.run_uop(
+                    Uop(kind, rng.randrange(12), rng.randrange(12),
+                        rng.randrange(12)),
+                    group,
+                    mem_latency=3 if kind is UopKind.LOAD else 0,
+                )
+        core.check_invariants()
+
+    def test_slot_pruning_preserves_correct_timing(self):
+        """Pruning old issue slots must not let past cycles be reused."""
+        core = _core()
+        for i in range(20000):
+            group = core.begin_fetch_group()
+            core.run_uop(_alu(dest=i % 12), group)
+        core.check_invariants()
+        assert core.cycles >= 20000  # one group per cycle minimum

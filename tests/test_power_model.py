@@ -1,0 +1,183 @@
+"""Unit tests: event counting, tag matrix, leakage, energy, CMPW metrics."""
+
+import pytest
+
+from repro.pipeline.resources import narrow_core_params, wide_core_params
+from repro.power.energy import COMPONENT_OF_EVENT, COMPONENTS, EnergyModel
+from repro.power.events import ALL_EVENTS, EventCounts
+from repro.power.leakage import calibrate_p_max, leakage_energy
+from repro.power.metrics import (
+    PerformanceEnergyPoint,
+    cmpw_improvement,
+    energy_increase,
+    ipc_improvement,
+)
+from repro.power.tags import EnergyCalibration, StructureSizes, build_tag_matrix
+
+
+class TestEventCounts:
+    def test_add_and_get(self):
+        events = EventCounts()
+        events.add("rename_uop")
+        events.add("rename_uop", 2)
+        assert events.get("rename_uop") == 3
+        assert events.get("unknown") == 0
+
+    def test_merge(self):
+        a, b = EventCounts(), EventCounts()
+        a.add("issue_uop", 5)
+        b.add("issue_uop", 7)
+        b.add("exec_fp", 1)
+        a.merge(b)
+        assert a.get("issue_uop") == 12
+        assert a.get("exec_fp") == 1
+
+    def test_as_dict_snapshot(self):
+        events = EventCounts()
+        events.add("l2_access", 3)
+        snapshot = events.as_dict()
+        events.add("l2_access", 1)
+        assert snapshot["l2_access"] == 3
+
+
+class TestTagMatrix:
+    def test_every_canonical_event_tagged(self):
+        tags = build_tag_matrix(
+            EnergyCalibration(), narrow_core_params(), StructureSizes()
+        )
+        for event in ALL_EVENTS:
+            assert event in tags or event == "rename_virtual", event
+        assert "rename_virtual" in tags
+
+    def test_wide_machine_pays_more_per_uop(self):
+        calib, sizes = EnergyCalibration(), StructureSizes()
+        narrow = build_tag_matrix(calib, narrow_core_params(), sizes)
+        wide = build_tag_matrix(calib, wide_core_params(), sizes)
+        for event in ("rename_uop", "issue_uop", "regfile_read",
+                      "decode_instr", "mispredict_flush", "core_cycle"):
+            assert wide[event] > narrow[event], event
+
+    def test_rename_scaling_superlinear(self):
+        calib, sizes = EnergyCalibration(), StructureSizes()
+        narrow = build_tag_matrix(calib, narrow_core_params(), sizes)
+        wide = build_tag_matrix(calib, wide_core_params(), sizes)
+        assert wide["rename_uop"] / narrow["rename_uop"] > 2.0
+
+    def test_virtual_rename_is_a_discount(self):
+        tags = build_tag_matrix(
+            EnergyCalibration(), narrow_core_params(), StructureSizes()
+        )
+        assert tags["rename_virtual"] < 0
+        assert abs(tags["rename_virtual"]) < tags["rename_uop"]
+
+    def test_smaller_predictor_is_cheaper(self):
+        calib = EnergyCalibration()
+        big = build_tag_matrix(calib, narrow_core_params(),
+                               StructureSizes(bpred_entries=4096))
+        small = build_tag_matrix(calib, narrow_core_params(),
+                                 StructureSizes(bpred_entries=2048))
+        assert small["bpred_lookup"] < big["bpred_lookup"]
+
+    def test_memory_hierarchy_ordering(self):
+        tags = build_tag_matrix(
+            EnergyCalibration(), narrow_core_params(), StructureSizes()
+        )
+        assert tags["l1d_read"] < tags["l2_access"] < tags["memory_access"]
+
+
+class TestLeakage:
+    def test_paper_formula(self):
+        calib = EnergyCalibration(p_max=10.0)
+        # LE = P_MAX x (0.05 M + 0.4 K) x CYC
+        le = leakage_energy(calib, l2_mbytes=2.0, core_area=1.5, cycles=1000)
+        assert le == pytest.approx(10.0 * (0.05 * 2.0 + 0.4 * 1.5) * 1000)
+
+    def test_leakage_scales_with_cycles(self):
+        calib = EnergyCalibration()
+        short = leakage_energy(calib, l2_mbytes=1, core_area=1, cycles=100)
+        long = leakage_energy(calib, l2_mbytes=1, core_area=1, cycles=200)
+        assert long == pytest.approx(2 * short)
+
+    def test_calibrate_p_max(self):
+        assert calibrate_p_max([(100.0, 10.0), (500.0, 100.0)]) == 10.0
+
+    def test_calibrate_p_max_empty_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_p_max([])
+
+
+class TestEnergyModel:
+    def _events(self):
+        events = EventCounts()
+        events.add("rename_uop", 100)
+        events.add("exec_int", 100)
+        events.add("l1d_read", 30)
+        events.add("decode_instr", 80)
+        events.add("core_cycle", 50)
+        return events
+
+    def test_total_is_dynamic_plus_leakage(self):
+        model = EnergyModel(narrow_core_params())
+        result = model.evaluate(self._events(), cycles=50)
+        assert result.total == pytest.approx(result.dynamic + result.leakage)
+        assert result.dynamic > 0 and result.leakage > 0
+
+    def test_breakdown_sums_to_total(self):
+        model = EnergyModel(narrow_core_params())
+        result = model.evaluate(self._events(), cycles=50)
+        assert sum(result.by_component.values()) == pytest.approx(result.total)
+
+    def test_component_shares_sum_to_one(self):
+        model = EnergyModel(narrow_core_params())
+        result = model.evaluate(self._events(), cycles=50)
+        total_share = sum(
+            result.component_share(c) for c in COMPONENTS
+        )
+        assert total_share == pytest.approx(1.0)
+
+    def test_unknown_events_ignored(self):
+        model = EnergyModel(narrow_core_params())
+        events = self._events()
+        events.add("totally_unknown_event", 1e9)
+        with_unknown = model.evaluate(events, cycles=50)
+        without = model.evaluate(self._events(), cycles=50)
+        assert with_unknown.total == pytest.approx(without.total)
+
+    def test_extra_area_raises_leakage(self):
+        base = EnergyModel(narrow_core_params())
+        extra = EnergyModel(narrow_core_params(), extra_area=0.5)
+        events = self._events()
+        assert extra.evaluate(events, 50).leakage > base.evaluate(events, 50).leakage
+
+    def test_component_mapping_covers_tagged_events(self):
+        model = EnergyModel(narrow_core_params())
+        for event in model.tags:
+            assert event in COMPONENT_OF_EVENT, event
+
+
+class TestMetrics:
+    def test_derived_quantities(self):
+        point = PerformanceEnergyPoint(instructions=1000, cycles=500, energy=2000)
+        assert point.ipc == 2.0
+        assert point.epi == 2.0
+        assert point.power == 4.0
+        assert point.cmpw == pytest.approx(2.0**3 / 4.0)
+
+    def test_cmpw_favours_performance_cubed(self):
+        """Doubling IPC at double power still wins 4x on CMPW."""
+        base = PerformanceEnergyPoint(1000, 1000, 1000)
+        fast = PerformanceEnergyPoint(1000, 500, 1000)  # 2x IPC, 2x power
+        assert cmpw_improvement(fast, base) == pytest.approx(3.0)  # 4x - 1
+
+    def test_improvement_helpers(self):
+        base = PerformanceEnergyPoint(1000, 1000, 1000)
+        test = PerformanceEnergyPoint(1000, 800, 1100)
+        assert ipc_improvement(test, base) == pytest.approx(0.25)
+        assert energy_increase(test, base) == pytest.approx(0.10)
+
+    @pytest.mark.parametrize("field", ["instructions", "cycles", "energy"])
+    def test_nonpositive_rejected(self, field):
+        kwargs = dict(instructions=1, cycles=1.0, energy=1.0)
+        kwargs[field] = 0
+        with pytest.raises(ValueError):
+            PerformanceEnergyPoint(**kwargs)

@@ -1,0 +1,65 @@
+"""Property-based tests: energy-model monotonicity and scaling laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.resources import narrow_core_params, wide_core_params
+from repro.power.energy import EnergyModel
+from repro.power.events import ALL_EVENTS, EventCounts
+
+# rename_virtual is a *discount* tag, only ever produced alongside the full
+# renames it discounts; an arbitrary set containing it alone is unphysical.
+_COUNTABLE = [e for e in ALL_EVENTS if e != "rename_virtual"]
+
+
+@st.composite
+def event_counts(draw):
+    events = EventCounts()
+    for event in draw(st.lists(st.sampled_from(_COUNTABLE), max_size=20)):
+        events.add(event, draw(st.integers(1, 1000)))
+    return events
+
+
+class TestEnergyProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(event_counts(), st.integers(1, 100000))
+    def test_energy_nonnegative(self, events, cycles):
+        result = EnergyModel(narrow_core_params()).evaluate(events, cycles)
+        assert result.leakage > 0
+        # rename_virtual is a discount but can never be counted without the
+        # full renames it discounts, so raw dynamic stays >= its magnitude
+        # in any physically-produced event set; with arbitrary sets we only
+        # require the total to be positive.
+        assert result.total > 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(event_counts(), st.sampled_from(_COUNTABLE), st.integers(1, 500))
+    def test_more_events_never_cheaper(self, events, extra_event, count):
+        if extra_event == "rename_virtual":
+            return  # the one deliberate discount
+        model = EnergyModel(narrow_core_params())
+        base = model.evaluate(events, 1000).dynamic
+        events.add(extra_event, count)
+        assert model.evaluate(events, 1000).dynamic >= base
+
+    @settings(max_examples=50, deadline=None)
+    @given(event_counts(), st.integers(1, 50000), st.integers(1, 50000))
+    def test_leakage_monotone_in_cycles(self, events, c1, c2):
+        model = EnergyModel(narrow_core_params())
+        lo, hi = sorted((c1, c2))
+        assert model.evaluate(events, lo).leakage <= model.evaluate(events, hi).leakage
+
+    @settings(max_examples=50, deadline=None)
+    @given(event_counts(), st.integers(100, 10000))
+    def test_wide_machine_never_cheaper_for_same_work(self, events, cycles):
+        narrow = EnergyModel(narrow_core_params()).evaluate(events, cycles)
+        wide = EnergyModel(wide_core_params()).evaluate(events, cycles)
+        assert wide.total >= narrow.total
+
+    @settings(max_examples=50, deadline=None)
+    @given(event_counts(), st.integers(100, 10000))
+    def test_breakdown_always_sums_to_total(self, events, cycles):
+        result = EnergyModel(narrow_core_params()).evaluate(events, cycles)
+        assert abs(sum(result.by_component.values()) - result.total) < 1e-6 * max(
+            result.total, 1.0
+        )

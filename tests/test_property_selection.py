@@ -1,0 +1,102 @@
+"""Property-based tests: trace selection over arbitrary synthetic programs.
+
+For randomly parameterised workloads, selection must always produce a
+partition that (a) exactly covers the committed stream, (b) respects the
+64-uop frame capacity, (c) is reproducible, and (d) assigns path-unique
+TIDs.  These are the invariants the whole PARROT machine rests on: the
+trace cache and predictor key on TIDs being deterministic path names.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simulator import segment_stream
+from repro.trace.trace import TRACE_CAPACITY_UOPS
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import jitter_profile, suite_profile
+from repro.workloads.profiles import ALL_SUITES
+
+
+@st.composite
+def workload(draw):
+    suite = draw(st.sampled_from(ALL_SUITES))
+    seed = draw(st.integers(0, 5000))
+    profile = jitter_profile(suite_profile(suite, f"prop-{suite}"), seed)
+    return SyntheticWorkload(profile, seed=seed)
+
+
+class TestSelectionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(workload(), st.integers(200, 3000))
+    def test_partition_exactly_covers_stream(self, wl, length):
+        segments = list(segment_stream(wl.stream(length)))
+        assert sum(s.num_instructions for s in segments) == length
+        flat = [d for s in segments for d in s.instructions]
+        for prev, nxt in zip(flat, flat[1:]):
+            assert nxt.address == prev.next_address
+
+    @settings(max_examples=25, deadline=None)
+    @given(workload())
+    def test_capacity_respected(self, wl):
+        for segment in segment_stream(wl.stream(2000)):
+            assert segment.uop_count <= TRACE_CAPACITY_UOPS
+            assert segment.uop_count == sum(
+                d.instr.num_uops for d in segment.instructions
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(workload())
+    def test_selection_reproducible(self, wl):
+        tids1 = [s.tid for s in segment_stream(wl.stream(1500))]
+        tids2 = [s.tid for s in segment_stream(wl.stream(1500))]
+        assert tids1 == tids2
+
+    @settings(max_examples=20, deadline=None)
+    @given(workload())
+    def test_tids_name_unique_paths(self, wl):
+        """Among *complete* segments, a TID names exactly one path.
+
+        Incomplete tail segments (stream truncation artefacts) are
+        excluded: they never reached a termination condition, carry
+        ``complete=False``, and the machine keeps them out of all
+        TID-keyed structures.
+        """
+        paths: dict = {}
+        for segment in segment_stream(wl.stream(2500)):
+            if not segment.complete:
+                continue
+            path = tuple(
+                (d.address, d.taken) for d in segment.instructions
+            )
+            if segment.tid in paths:
+                assert paths[segment.tid] == path
+            else:
+                paths[segment.tid] = path
+
+    @settings(max_examples=20, deadline=None)
+    @given(workload())
+    def test_at_most_one_incomplete_tail(self, wl):
+        segments = list(segment_stream(wl.stream(1200)))
+        incomplete = [s for s in segments if not s.complete]
+        assert len(incomplete) <= 1
+        if incomplete:
+            assert segments[-1] is incomplete[0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(workload())
+    def test_tid_starts_match_segment_starts(self, wl):
+        for segment in segment_stream(wl.stream(1500)):
+            assert segment.tid.start == segment.instructions[0].address
+
+    @settings(max_examples=20, deadline=None)
+    @given(workload())
+    def test_branch_counts_match_directions(self, wl):
+        from repro.isa.opcodes import InstrClass
+        for segment in segment_stream(wl.stream(1500)):
+            branches = [
+                d for d in segment.instructions
+                if d.instr.iclass is InstrClass.COND_BRANCH
+            ]
+            assert segment.tid.num_branches == len(branches)
+            for i, dyn in enumerate(branches):
+                assert segment.tid.direction(i) == dyn.taken

@@ -1,0 +1,115 @@
+"""Property-based tests: timing-core invariants under arbitrary uop streams.
+
+The one-pass timing model must uphold, for *any* uop sequence:
+
+* monotone non-decreasing commit times (in-order commit),
+* completion after issue after dispatch for every uop,
+* throughput never exceeding the machine's rename width,
+* determinism (same stream, same cycles),
+* internal invariants (no negative clocks).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import NUM_ARCH_REGS, REG_NONE
+from repro.pipeline.core import TimingCore
+from repro.pipeline.resources import narrow_core_params
+
+_KINDS = [
+    UopKind.ALU, UopKind.MOV, UopKind.MOV_IMM, UopKind.LOGIC, UopKind.MUL,
+    UopKind.LOAD, UopKind.STORE, UopKind.FP_ADD, UopKind.BRANCH, UopKind.CMP,
+]
+
+
+@st.composite
+def uop_stream(draw):
+    n = draw(st.integers(1, 120))
+    rng = random.Random(draw(st.integers(0, 2**31)))
+    stream = []
+    for _ in range(n):
+        kind = rng.choice(_KINDS)
+        uop = Uop(
+            kind,
+            rng.randrange(NUM_ARCH_REGS) if rng.random() < 0.8 else REG_NONE,
+            rng.randrange(NUM_ARCH_REGS) if rng.random() < 0.8 else REG_NONE,
+            rng.randrange(NUM_ARCH_REGS) if rng.random() < 0.5 else REG_NONE,
+        )
+        mem_latency = 0
+        if kind is UopKind.LOAD:
+            mem_latency = rng.choice([3, 3, 3, 15, 165])
+        group_break = rng.random() < 0.3
+        stream.append((uop, mem_latency, group_break))
+    return stream
+
+
+def _run(stream):
+    core = TimingCore(narrow_core_params())
+    group = core.begin_fetch_group()
+    completions = []
+    for uop, mem_latency, group_break in stream:
+        if group_break:
+            group = core.begin_fetch_group()
+        completions.append(core.run_uop(uop, group, mem_latency))
+    return core, completions
+
+
+class TestTimingProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(uop_stream())
+    def test_invariants_and_determinism(self, stream):
+        core1, completions1 = _run(stream)
+        core2, completions2 = _run(stream)
+        core1.check_invariants()
+        assert completions1 == completions2
+        assert core1.cycles == core2.cycles
+
+    @settings(max_examples=100, deadline=None)
+    @given(uop_stream())
+    def test_cycles_cover_all_completions(self, stream):
+        core, completions = _run(stream)
+        # Every uop must commit at or before the final cycle count.
+        assert core.cycles >= max(completions)
+
+    @settings(max_examples=100, deadline=None)
+    @given(uop_stream())
+    def test_throughput_bounded_by_rename_width(self, stream):
+        core, _ = _run(stream)
+        params = core.params
+        # n uops cannot retire in fewer than n / rename_width cycles
+        # (minus the pipeline-fill offset).
+        active_cycles = core.cycles - params.front_depth
+        assert len(stream) <= (active_cycles + 2) * params.rename_width
+
+    @settings(max_examples=100, deadline=None)
+    @given(uop_stream())
+    def test_dependent_reads_never_beat_their_producer(self, stream):
+        core = TimingCore(narrow_core_params())
+        group = core.begin_fetch_group()
+        last_write: dict[int, float] = {}
+        for uop, mem_latency, group_break in stream:
+            if group_break:
+                group = core.begin_fetch_group()
+            produced_after = max(
+                (last_write.get(src, 0.0) for src in uop.sources()),
+                default=0.0,
+            )
+            completion = core.run_uop(uop, group, mem_latency)
+            # A consumer cannot complete before its producers completed.
+            assert completion > produced_after or produced_after == 0.0
+            for dest in uop.destinations():
+                last_write[dest] = completion
+
+    @settings(max_examples=50, deadline=None)
+    @given(uop_stream(), st.integers(1, 40))
+    def test_redirects_only_push_time_forward(self, stream, redirect_at):
+        core, _ = _run(stream)
+        before = core.fetch_cycle
+        core.redirect_fetch(before - 10)   # past redirects are no-ops
+        assert core.fetch_cycle == before
+        core.redirect_fetch(before + redirect_at)
+        assert core.fetch_cycle == before + redirect_at

@@ -1,0 +1,78 @@
+"""Unit tests: executable-trace construction and critical-path measurement."""
+
+import pytest
+
+from repro.core.simulator import segment_stream
+from repro.errors import TraceError
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.isa.registers import REG_NONE
+from repro.trace.trace import build_trace, critical_path_length
+from repro.trace.tid import TraceId
+
+
+class TestCriticalPath:
+    def test_serial_chain(self):
+        uops = [
+            Uop(UopKind.ALU, 1, 0, REG_NONE),
+            Uop(UopKind.ALU, 2, 1, REG_NONE),
+            Uop(UopKind.ALU, 3, 2, REG_NONE),
+        ]
+        assert critical_path_length(uops) == 3
+
+    def test_parallel_chains_take_max(self):
+        uops = [
+            Uop(UopKind.MUL, 1, 0, 0),             # latency 4
+            Uop(UopKind.ALU, 2, 0, REG_NONE),      # latency 1
+        ]
+        assert critical_path_length(uops) == 4
+
+    def test_latency_weighted(self):
+        uops = [
+            Uop(UopKind.LOAD, 1, 0),               # 3
+            Uop(UopKind.FP_ADD, 17, 1, 16),        # +4 (reads int? fine, reg-based)
+            Uop(UopKind.ALU, 2, 17, REG_NONE),     # +1
+        ]
+        assert critical_path_length(uops) == 8
+
+    def test_empty(self):
+        assert critical_path_length([]) == 0
+
+    def test_independent_uops_depth_is_max_latency(self):
+        uops = [Uop(UopKind.ALU, i, REG_NONE, REG_NONE) for i in range(5)]
+        assert critical_path_length(uops) == 1
+
+
+class TestBuildTrace:
+    def test_build_from_real_segment(self, int_workload):
+        segment = next(iter(segment_stream(int_workload.stream(500))))
+        trace = build_trace(segment.tid, segment.instructions)
+        assert trace.num_uops == segment.uop_count
+        assert trace.num_instructions == segment.num_instructions
+        assert not trace.optimized
+        assert trace.critical_path == trace.original_critical_path > 0
+
+    def test_origins_map_to_instructions(self, fp_workload):
+        segment = next(iter(segment_stream(fp_workload.stream(500))))
+        trace = build_trace(segment.tid, segment.instructions)
+        for uop in trace.uops:
+            source = segment.instructions[uop.origin]
+            assert uop.kind in {u.kind for u in source.instr.uops}
+
+    def test_uops_are_copies_not_templates(self, fp_workload):
+        segment = next(iter(segment_stream(fp_workload.stream(500))))
+        trace = build_trace(segment.tid, segment.instructions)
+        template_ids = {
+            id(u) for d in segment.instructions for u in d.instr.uops
+        }
+        assert all(id(u) not in template_ids for u in trace.uops)
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(TraceError):
+            build_trace(TraceId(0x100, 0, 0), [])
+
+    def test_reduction_properties_before_optimization(self, int_workload):
+        segment = next(iter(segment_stream(int_workload.stream(500))))
+        trace = build_trace(segment.tid, segment.instructions)
+        assert trace.uop_reduction == 0.0
+        assert trace.dependency_reduction == 0.0

@@ -1,0 +1,170 @@
+"""Unit + property tests: counter filters and the trace cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TraceError
+from repro.isa.instruction import Uop
+from repro.isa.opcodes import UopKind
+from repro.trace.filters import CounterFilter
+from repro.trace.tid import TraceId
+from repro.trace.trace import Trace
+from repro.trace.trace_cache import TraceCache
+
+
+def tid(n: int) -> TraceId:
+    return TraceId(start=0x1000 + n * 0x10, directions=0, num_branches=0)
+
+
+def make_trace(n: int, uops: int = 8) -> Trace:
+    return Trace(
+        tid=tid(n),
+        uops=[Uop(UopKind.ALU, 0, 1, 2, origin=0) for _ in range(uops)],
+        num_instructions=1,
+        original_uop_count=uops,
+    )
+
+
+class TestCounterFilter:
+    def test_triggers_exactly_once_at_threshold(self):
+        filt = CounterFilter(capacity=16, threshold=3)
+        t = tid(1)
+        assert [filt.access(t) for t in [t, t, t, t, t]] == [
+            False, False, True, False, False
+        ]
+        assert filt.stats.triggers == 1
+
+    def test_threshold_one_triggers_immediately(self):
+        filt = CounterFilter(capacity=4, threshold=1)
+        assert filt.access(tid(1)) is True
+
+    def test_eviction_loses_count(self):
+        """Infrequent TIDs are filtered out by capacity pressure."""
+        filt = CounterFilter(capacity=2, threshold=2)
+        filt.access(tid(1))
+        filt.access(tid(2))
+        filt.access(tid(3))       # evicts tid(1) (LRU)
+        assert filt.count(tid(1)) == 0
+        assert filt.access(tid(1)) is False  # restarts from scratch
+        assert filt.stats.evictions >= 1
+
+    def test_lru_refresh_on_access(self):
+        filt = CounterFilter(capacity=2, threshold=10)
+        filt.access(tid(1))
+        filt.access(tid(2))
+        filt.access(tid(1))       # refresh 1; 2 becomes LRU
+        filt.access(tid(3))       # evicts 2
+        assert filt.count(tid(1)) == 2
+        assert filt.count(tid(2)) == 0
+
+    def test_forget(self):
+        filt = CounterFilter(capacity=8, threshold=2)
+        filt.access(tid(1))
+        filt.forget(tid(1))
+        assert filt.count(tid(1)) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CounterFilter(0, 1)
+        with pytest.raises(ConfigurationError):
+            CounterFilter(4, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=300),
+           st.integers(1, 8))
+    def test_size_never_exceeds_capacity(self, accesses, capacity):
+        filt = CounterFilter(capacity, threshold=3)
+        for n in accesses:
+            filt.access(tid(n))
+        assert len(filt) <= capacity
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 10))
+    def test_trigger_requires_threshold_accesses(self, threshold):
+        filt = CounterFilter(capacity=4, threshold=threshold)
+        t = tid(0)
+        triggers = [filt.access(t) for _ in range(threshold * 2)]
+        assert triggers.count(True) == 1
+        assert triggers.index(True) == threshold - 1
+
+
+class TestTraceCache:
+    def test_insert_then_lookup(self):
+        cache = TraceCache(1024)
+        trace = make_trace(1)
+        cache.insert(trace)
+        assert cache.lookup(trace.tid) is trace
+        assert cache.stats.hit_rate == 1.0
+
+    def test_miss_counts(self):
+        cache = TraceCache(1024)
+        assert cache.lookup(tid(9)) is None
+        assert cache.stats.lookups == 1 and cache.stats.hits == 0
+
+    def test_capacity_eviction_is_lru(self):
+        cache = TraceCache(64 * 3)
+        t1, t2, t3, t4 = (make_trace(i, uops=64) for i in range(4))
+        cache.insert(t1)
+        cache.insert(t2)
+        cache.insert(t3)
+        cache.lookup(t1.tid)        # refresh t1; t2 is LRU
+        evicted = cache.insert(t4)
+        assert t2.tid in evicted
+        assert cache.contains(t1.tid) and cache.contains(t4.tid)
+        assert not cache.contains(t2.tid)
+
+    def test_replacement_in_place(self):
+        """Writing an optimized trace replaces the original, same TID."""
+        cache = TraceCache(1024)
+        original = make_trace(1, uops=32)
+        cache.insert(original)
+        optimized = make_trace(1, uops=20)
+        optimized.optimized = True
+        cache.insert(optimized)
+        assert cache.num_traces == 1
+        assert cache.lookup(tid(1)).optimized
+        assert cache.stats.replacements == 1
+        assert cache.used_uops == 20
+
+    def test_used_uops_accounting(self):
+        cache = TraceCache(1024)
+        for i in range(5):
+            cache.insert(make_trace(i, uops=10))
+        assert cache.used_uops == 50
+        assert cache.num_traces == 5
+
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceCache(32)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 64)),
+                    min_size=1, max_size=120))
+    def test_capacity_invariant(self, inserts):
+        cache = TraceCache(512)
+        for n, uops in inserts:
+            cache.insert(make_trace(n, uops=uops))
+        assert cache.used_uops <= 512
+        assert cache.used_uops == sum(
+            t.num_uops for t in cache.resident_traces()
+        )
+
+
+class TestTraceValidation:
+    def test_empty_trace_rejected(self):
+        trace = make_trace(1, uops=1)
+        trace.uops.clear()
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    def test_oversized_trace_rejected(self):
+        trace = make_trace(1, uops=65)
+        with pytest.raises(TraceError, match="frame capacity"):
+            trace.validate()
+
+    def test_bad_origin_rejected(self):
+        trace = make_trace(1, uops=2)
+        trace.uops[0].origin = 5
+        with pytest.raises(TraceError, match="origin"):
+            trace.validate()

@@ -1,0 +1,88 @@
+"""Unit + property tests: trace identifiers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace.tid import TidBuilder, TraceId
+
+
+class TestTraceId:
+    def test_equality_includes_instruction_count(self):
+        """Branchless joined traces are only distinguishable by length."""
+        a = TraceId(0x100, 0b101, 3, num_instructions=10)
+        b = TraceId(0x100, 0b101, 3, num_instructions=99)
+        assert a != b
+        same = TraceId(0x100, 0b101, 3, num_instructions=10)
+        assert a == same and hash(a) == hash(same)
+
+    def test_branchless_join_does_not_alias_single_iteration(self):
+        single = TraceId(0x100, 0, 0, num_instructions=3)
+        joined = TraceId(0x100, 0, 0, num_instructions=6)
+        assert single != joined
+
+    def test_inequality_on_directions(self):
+        assert TraceId(0x100, 0b101, 3) != TraceId(0x100, 0b111, 3)
+
+    def test_inequality_on_branch_count(self):
+        # Trailing not-taken branches must be distinguished.
+        assert TraceId(0x100, 0b1, 1) != TraceId(0x100, 0b1, 2)
+
+    def test_direction_accessor(self):
+        tid = TraceId(0x100, 0b101, 3)
+        assert tid.direction(0) is True
+        assert tid.direction(1) is False
+        assert tid.direction(2) is True
+
+    def test_direction_out_of_range(self):
+        with pytest.raises(IndexError):
+            TraceId(0x100, 0b1, 1).direction(1)
+
+    def test_direction_string(self):
+        assert TraceId(0x100, 0b011, 3).direction_string() == "TTN"
+        assert TraceId(0x100, 0, 0).direction_string() == ""
+
+    def test_negative_branch_count_rejected(self):
+        with pytest.raises(ValueError):
+            TraceId(0x100, 0, -1)
+
+
+class TestTidBuilder:
+    def test_accumulates_in_order(self):
+        builder = TidBuilder(0x400)
+        for direction in (True, False, True, True):
+            builder.record_instruction()
+            builder.record_branch(direction)
+        tid = builder.build()
+        assert tid.start == 0x400
+        assert tid.num_branches == 4
+        assert tid.direction_string() == "TNTT"
+        assert tid.num_instructions == 4
+
+    def test_branchless_trace(self):
+        builder = TidBuilder(0x500)
+        builder.record_instruction()
+        tid = builder.build()
+        assert tid.num_branches == 0 and tid.num_instructions == 1
+
+    @given(st.lists(st.booleans(), max_size=40))
+    def test_roundtrip_directions(self, directions):
+        builder = TidBuilder(0x1000)
+        for direction in directions:
+            builder.record_branch(direction)
+        tid = builder.build()
+        assert [tid.direction(i) for i in range(len(directions))] == directions
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=30),
+           st.lists(st.booleans(), min_size=1, max_size=30))
+    def test_distinct_direction_lists_give_distinct_tids(self, d1, d2):
+        def build(directions):
+            builder = TidBuilder(0x1000)
+            for direction in directions:
+                builder.record_branch(direction)
+            return builder.build()
+
+        if d1 != d2:
+            assert build(d1) != build(d2)
+        else:
+            assert build(d1) == build(d2)

@@ -1,0 +1,119 @@
+"""Unit tests: kernel builders and the body emitter."""
+
+import random
+
+from repro.isa.opcodes import CTI_CLASSES, InstrClass
+from repro.workloads.kernels import (
+    BodyEmitter,
+    build_call_tree_kernel,
+    build_cold_kernel,
+    build_loop_kernel,
+    build_switch_kernel,
+)
+from repro.workloads.profiles import specfp_profile, specint_profile
+from repro.workloads.program import ProgramBuilder
+
+
+def _finish(builder, entry):
+    # Kernels end in RET; give the walker a driver loop for validity.
+    main = builder.place(builder.label("main"))
+    builder.call(entry)
+    builder.jump(main)
+    return builder.finish(main)
+
+
+class TestBodyEmitter:
+    def test_emits_requested_instruction_count(self):
+        builder = ProgramBuilder("t", 1)
+        entry = builder.place(builder.label("e"))
+        emitter = BodyEmitter(builder, specint_profile(), random.Random(2), hot=True)
+        emitted = emitter.emit_body(50)
+        assert emitted >= 50
+        builder.jump(entry)
+        program = builder.finish(entry)
+        body_instrs = [
+            i for i in program.instructions.values()
+            if i.iclass is not InstrClass.DIRECT_JUMP
+        ]
+        assert len(body_instrs) == emitted
+
+    def test_mix_contains_optimizer_idioms(self):
+        builder = ProgramBuilder("t", 3)
+        entry = builder.place(builder.label("e"))
+        emitter = BodyEmitter(builder, specint_profile(), random.Random(2), hot=True)
+        emitter.emit_body(400)
+        builder.jump(entry)
+        program = builder.finish(entry)
+        classes = [i.iclass for i in program.instructions.values()]
+        assert InstrClass.LOAD_IMM in classes          # constant producers
+        assert InstrClass.SIMPLE_ALU in classes        # fusable/pairable
+        assert any(c in classes for c in (InstrClass.LOAD, InstrClass.LOAD_OP,
+                                          InstrClass.RMW, InstrClass.COMPLEX_ADDR))
+
+    def test_fp_profile_emits_fp_operations(self):
+        builder = ProgramBuilder("t", 4)
+        entry = builder.place(builder.label("e"))
+        emitter = BodyEmitter(builder, specfp_profile(), random.Random(2), hot=True)
+        emitter.emit_body(300)
+        builder.jump(entry)
+        program = builder.finish(entry)
+        classes = {i.iclass for i in program.instructions.values()}
+        assert InstrClass.FP_ARITH in classes
+
+    def test_hot_and_cold_regions_scale_with_profile(self):
+        profile = specint_profile()
+        builder = ProgramBuilder("t", 5)
+        hot = BodyEmitter(builder, profile, random.Random(1), hot=True)
+        cold = BodyEmitter(builder, profile, random.Random(1), hot=False)
+        assert hot._region_size <= profile.hot_ws_bytes
+        assert cold._region_size <= profile.cold_ws_bytes
+
+    def test_diamond_emits_compare_and_branch(self):
+        builder = ProgramBuilder("t", 6)
+        entry = builder.place(builder.label("e"))
+        emitter = BodyEmitter(builder, specint_profile(), random.Random(2), hot=True)
+        emitter.emit_diamond()
+        builder.jump(entry)
+        program = builder.finish(entry)
+        classes = [i.iclass for i in program.instructions.values()]
+        assert InstrClass.COMPARE in classes
+        assert InstrClass.COND_BRANCH in classes
+
+
+class TestKernelBuilders:
+    def _classes(self, build, profile_factory=specint_profile, seed=7, **kwargs):
+        builder = ProgramBuilder("t", seed)
+        entry = build(builder, profile_factory(), random.Random(seed), **kwargs)
+        program = _finish(builder, entry)
+        return program, [i.iclass for i in program.instructions.values()]
+
+    def test_loop_kernel_has_backward_branch(self):
+        program, classes = self._classes(build_loop_kernel)
+        backward = [
+            i for i in program.instructions.values()
+            if i.iclass is InstrClass.COND_BRANCH
+            and i.taken_target is not None and i.taken_target <= i.address
+        ]
+        assert backward, "loop kernel must contain a backward branch"
+        assert InstrClass.RETURN_NEAR in classes
+
+    def test_switch_kernel_has_indirect_jump(self):
+        program, classes = self._classes(build_switch_kernel)
+        assert InstrClass.INDIRECT_JUMP in classes
+        assert program.switch_specs
+
+    def test_call_tree_contains_nested_calls(self):
+        program, classes = self._classes(build_call_tree_kernel, depth=2)
+        calls = classes.count(InstrClass.CALL_DIRECT)
+        assert calls >= 4  # two levels of two children plus the driver
+
+    def test_cold_kernel_returns(self):
+        _, classes = self._classes(build_cold_kernel)
+        assert InstrClass.RETURN_NEAR in classes
+
+    def test_kernels_terminate_with_return_before_next(self):
+        # Every kernel is a procedure: a RET must appear before the driver.
+        program, _ = self._classes(build_loop_kernel)
+        addresses = sorted(program.instructions)
+        kinds = [program.instructions[a].iclass for a in addresses]
+        assert InstrClass.RETURN_NEAR in kinds

@@ -1,0 +1,138 @@
+"""Unit tests: suite profiles, per-app jitter, and the 44-app roster."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    ALL_SUITES,
+    SUITE_SPECFP,
+    SUITE_SPECINT,
+    WorkloadProfile,
+    jitter_profile,
+    specfp_profile,
+    specint_profile,
+    suite_profile,
+)
+from repro.workloads.suite import (
+    ALL_APPS,
+    DOTNET_APPS,
+    KILLER_APPS,
+    MULTIMEDIA_APPS,
+    OFFICE_APPS,
+    SPECFP_APPS,
+    SPECINT_APPS,
+    app_seed,
+    application,
+    benchmark_suite,
+    killer_applications,
+)
+
+
+class TestProfiles:
+    def test_all_suites_have_factories(self):
+        for suite in ALL_SUITES:
+            profile = suite_profile(suite)
+            assert isinstance(profile, WorkloadProfile)
+            profile.validate()
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite_profile("Gaming")
+
+    def test_fp_more_regular_than_int(self):
+        fp, intp = specfp_profile(), specint_profile()
+        assert fp.irregular_branch_frac < intp.irregular_branch_frac
+        assert fp.hot_trip_range[1] > intp.hot_trip_range[1]
+        assert fp.loop_regularity > intp.loop_regularity
+        assert fp.stride_frac > intp.stride_frac
+
+    def test_int_has_no_fp_work(self):
+        assert specint_profile().frac_fp == 0.0
+
+    def test_derive_overrides_fields(self):
+        base = specfp_profile()
+        derived = base.derive(n_hot_kernels=9)
+        assert derived.n_hot_kernels == 9
+        assert derived.frac_fp == base.frac_fp
+
+    def test_validate_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="outside"):
+            specfp_profile().derive(frac_mem=1.5).validate()
+
+    def test_validate_rejects_inverted_range(self):
+        with pytest.raises(ValueError, match="bad range"):
+            specfp_profile().derive(hot_body_range=(9, 3)).validate()
+
+
+class TestJitter:
+    def test_jitter_is_deterministic(self):
+        base = specint_profile()
+        assert jitter_profile(base, 42) == jitter_profile(base, 42)
+
+    def test_jitter_varies_with_seed(self):
+        base = specint_profile()
+        variants = {jitter_profile(base, s).n_hot_kernels for s in range(30)}
+        assert len(variants) > 1
+
+    def test_jitter_output_is_valid(self):
+        base = specfp_profile()
+        for seed in range(50):
+            jitter_profile(base, seed).validate()
+
+    def test_jitter_preserves_suite(self):
+        base = specfp_profile()
+        assert jitter_profile(base, 7).suite == SUITE_SPECFP
+
+
+class TestSuiteRoster:
+    def test_exactly_44_applications(self):
+        assert len(ALL_APPS) == 44
+        assert len(set(ALL_APPS)) == 44
+
+    def test_suite_sizes_match_paper(self):
+        assert len(SPECINT_APPS) == 11
+        assert len(SPECFP_APPS) == 11
+        assert len(OFFICE_APPS) == 6
+        assert len(MULTIMEDIA_APPS) == 11
+        assert len(DOTNET_APPS) == 5
+
+    def test_killer_apps_exist(self):
+        assert set(KILLER_APPS) <= set(ALL_APPS)
+        killers = killer_applications()
+        assert [k.name for k in killers] == list(KILLER_APPS)
+
+    def test_application_lookup(self):
+        app = application("swim")
+        assert app.suite == SUITE_SPECFP
+        assert app.profile.name == "swim"
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(KeyError):
+            application("doom")
+
+    def test_app_seed_stable(self):
+        assert app_seed("gcc") == app_seed("gcc")
+        assert app_seed("gcc") != app_seed("gzip")
+
+    def test_full_roster(self):
+        apps = benchmark_suite()
+        assert len(apps) == 44
+
+    def test_suite_filter(self):
+        apps = benchmark_suite(suites=(SUITE_SPECINT,))
+        assert len(apps) == 11
+        assert all(a.suite == SUITE_SPECINT for a in apps)
+
+    def test_max_apps_is_balanced_across_suites(self):
+        apps = benchmark_suite(max_apps=10)
+        assert len(apps) == 10
+        suites = {a.suite for a in apps}
+        assert len(suites) == 5  # round-robin touches every suite
+
+    def test_build_is_cached(self):
+        app = application("swim")
+        assert app.build() is app.build()
+
+    def test_killer_overrides_applied(self):
+        wupwise = application("wupwise")
+        generic_fp = application("ammp")
+        assert wupwise.profile.hot_trip_range[1] > generic_fp.profile.hot_trip_range[1]

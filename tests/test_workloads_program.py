@@ -1,0 +1,140 @@
+"""Unit tests: ProgramBuilder assembly and Program invariants."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.opcodes import InstrClass
+from repro.workloads.behaviors import BiasedBranchSpec, StrideMemSpec, SwitchSpec
+from repro.workloads.program import CODE_BASE, ProgramBuilder
+
+
+def _builder() -> ProgramBuilder:
+    return ProgramBuilder("test", seed=1)
+
+
+class TestBuilding:
+    def test_addresses_are_contiguous(self):
+        b = _builder()
+        entry = b.place(b.label("entry"))
+        a1 = b.emit(InstrClass.SIMPLE_ALU, dest=0, src1=1, src2=2)
+        a2 = b.emit(InstrClass.SIMPLE_ALU, dest=1, src1=2, src2=3)
+        b.jump(entry)
+        program = b.finish(entry)
+        i1 = program.instructions[a1]
+        assert a2 == a1 + i1.length
+        assert program.entry == CODE_BASE
+
+    def test_forward_label_resolution(self):
+        b = _builder()
+        entry = b.place(b.label("entry"))
+        later = b.label("later")
+        b.jump(later)
+        b.emit(InstrClass.SIMPLE_ALU, dest=0, src1=1, src2=2)
+        target = b.place(later)
+        b.jump(entry)
+        program = b.finish(entry)
+        jump = program.instructions[program.entry]
+        assert jump.taken_target == target.address
+
+    def test_cond_branch_records_spec(self):
+        b = _builder()
+        entry = b.place(b.label("entry"))
+        spec = BiasedBranchSpec(0.3)
+        address = b.cond_branch(entry, spec)
+        program = b.finish(entry)
+        assert program.branch_specs[address] is spec
+
+    def test_mem_spec_attached(self):
+        b = _builder()
+        entry = b.place(b.label("entry"))
+        spec = StrideMemSpec(base=b.alloc_data(256), stride=8, extent=256)
+        address = b.emit(InstrClass.LOAD, dest=0, src1=1, mem=spec)
+        b.jump(entry)
+        program = b.finish(entry)
+        assert program.mem_specs[address] is spec
+
+    def test_switch_targets_resolved(self):
+        b = _builder()
+        entry = b.place(b.label("entry"))
+        cases = [b.label(f"c{i}") for i in range(3)]
+        address = b.indirect_jump(5, cases, SwitchSpec(3))
+        for case in cases:
+            b.place(case)
+            b.jump(entry)
+        program = b.finish(entry)
+        assert len(program.switch_targets[address]) == 3
+        assert all(t in program.instructions for t in program.switch_targets[address])
+
+    def test_data_allocation_is_disjoint_and_aligned(self):
+        b = _builder()
+        r1 = b.alloc_data(1000)
+        r2 = b.alloc_data(500)
+        assert r1 % 64 == 0 and r2 % 64 == 0
+        assert r2 >= r1 + 1000
+
+    def test_code_bytes_counted(self):
+        b = _builder()
+        entry = b.place(b.label("entry"))
+        b.emit(InstrClass.SIMPLE_ALU, dest=0, src1=1, src2=2)
+        b.jump(entry)
+        program = b.finish(entry)
+        assert program.code_bytes == sum(
+            i.length for i in program.instructions.values()
+        )
+
+
+class TestBuilderErrors:
+    def test_unplaced_label_rejected(self):
+        b = _builder()
+        entry = b.place(b.label("entry"))
+        b.jump(b.label("nowhere"))
+        with pytest.raises(WorkloadError, match="unresolved label"):
+            b.finish(entry)
+
+    def test_unplaced_entry_rejected(self):
+        b = _builder()
+        b.place(b.label("x"))
+        b.emit(InstrClass.SIMPLE_ALU, dest=0, src1=1, src2=2)
+        with pytest.raises(WorkloadError, match="never placed"):
+            b.finish(b.label("entry"))
+
+    def test_double_placement_rejected(self):
+        b = _builder()
+        label = b.place(b.label("entry"))
+        with pytest.raises(WorkloadError, match="placed twice"):
+            b.place(label)
+
+    def test_finish_twice_rejected(self):
+        b = _builder()
+        entry = b.place(b.label("entry"))
+        b.jump(entry)
+        b.finish(entry)
+        with pytest.raises(WorkloadError):
+            b.finish(entry)
+
+    def test_emit_after_finish_rejected(self):
+        b = _builder()
+        entry = b.place(b.label("entry"))
+        b.jump(entry)
+        b.finish(entry)
+        with pytest.raises(WorkloadError):
+            b.emit(InstrClass.SIMPLE_ALU, dest=0, src1=1, src2=2)
+
+    def test_switch_spec_arity_checked(self):
+        b = _builder()
+        b.place(b.label("entry"))
+        with pytest.raises(WorkloadError, match="expects 3 targets"):
+            b.indirect_jump(5, [b.label("one")], SwitchSpec(3))
+
+    def test_zero_byte_allocation_rejected(self):
+        with pytest.raises(WorkloadError):
+            _builder().alloc_data(0)
+
+
+class TestProgramValidation:
+    def test_validate_passes_on_wellformed_program(self, fp_workload):
+        fp_workload.program.validate()  # should not raise
+
+    def test_instruction_lookup_error(self, fp_workload):
+        with pytest.raises(WorkloadError, match="no instruction"):
+            fp_workload.program.instruction_at(0x1)

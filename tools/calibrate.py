@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Calibration harness: print the paper's anchor metrics for quick tuning.
+
+Runs a balanced subset of the suite across the six main models and prints
+the geometric-mean relationships the paper reports, next to the paper's
+values.  Used while tuning workload profiles and energy tags; the
+benchmark suite regenerates the full figures.
+
+Usage:  python tools/calibrate.py [--apps N] [--length L]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from collections import defaultdict
+
+from repro.core import ParrotSimulator
+from repro.experiments.aggregate import geomean
+from repro.models import model_config
+from repro.workloads import benchmark_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--apps", type=int, default=15)
+    parser.add_argument("--length", type=int, default=20000)
+    parser.add_argument("--models", type=str, default="N,W,TN,TW,TON,TOW")
+    args = parser.parse_args()
+
+    models = args.models.split(",")
+    apps = benchmark_suite(max_apps=args.apps)
+    results: dict[str, dict[str, object]] = defaultdict(dict)
+    t0 = time.time()
+    for model_name in models:
+        sim = ParrotSimulator(model_config(model_name))
+        for app in apps:
+            results[model_name][app.name] = sim.run(app, args.length)
+    print(f"ran {len(models)}x{len(apps)} in {time.time()-t0:.0f}s\n")
+
+    def ratio(model, base, metric):
+        vals = []
+        for app in apps:
+            r1, r0 = results[model][app.name], results[base][app.name]
+            vals.append(getattr(r1.point, metric) / getattr(r0.point, metric))
+        return geomean(vals) - 1.0
+
+    anchors = [
+        ("IPC   TN/N", ratio("TN", "N", "ipc"), "+2%"),
+        ("IPC   TW/W", ratio("TW", "W", "ipc"), "+7%"),
+        ("IPC  TON/N", ratio("TON", "N", "ipc"), "+17%"),
+        ("IPC  TOW/W", ratio("TOW", "W", "ipc"), "+25%"),
+        ("IPC    W/N", ratio("W", "N", "ipc"), "~+15%"),
+        ("IPC  TON/W", ratio("TON", "W", "ipc"), "slightly >0"),
+        ("IPC  TOW/N", ratio("TOW", "N", "ipc"), "+45%"),
+        ("E      W/N", ratio("W", "N", "energy"), "~+70%"),
+        ("E     TN/N", ratio("TN", "N", "energy"), "~+0-2%"),
+        ("E     TW/N", ratio("TW", "N", "energy"), "+12%"),
+        ("E    TON/N", ratio("TON", "N", "energy"), "+3%"),
+        ("E    TOW/W", ratio("TOW", "W", "energy"), "-18%"),
+        ("E    TON/W", ratio("TON", "W", "energy"), "-39%"),
+        ("CMPW TON/N", ratio("TON", "N", "cmpw"), "+32%"),
+        ("CMPW TOW/W", ratio("TOW", "W", "cmpw"), "+92%"),
+        ("CMPW TOW/N", ratio("TOW", "N", "cmpw"), "+51%"),
+        ("CMPW TON/W", ratio("TON", "W", "cmpw"), "+67%"),
+    ]
+    for label, value, target in anchors:
+        print(f"  {label}: {value:+7.1%}   (paper: {target})")
+
+    # Characterisation
+    print("\nper-suite coverage / misc (TON):")
+    by_suite = defaultdict(list)
+    for app in apps:
+        by_suite[app.suite].append(results["TON"][app.name])
+    for suite, rs in by_suite.items():
+        cov = geomean([max(r.coverage, 1e-9) for r in rs])
+        uop = sum(r.uop_reduction for r in rs) / len(rs)
+        print(f"  {suite:11s} cov={cov:.2f} uopred={uop:.2f}")
+    print("\nN-model IPC and mispredicts:")
+    for app in apps:
+        r = results["N"][app.name]
+        t = results["TON"][app.name]
+        print(f"  {app.name:14s} {app.suite:11s} IPC={r.ipc:5.2f} "
+              f"bmisp/1k={r.cold_mispredicts_per_kinstr:5.1f} "
+              f"TONcov={t.coverage:.2f} TONuopred={t.uop_reduction:.2f}")
+
+
+if __name__ == "__main__":
+    main()
