@@ -4,12 +4,18 @@ One memoised :class:`ExperimentRunner` serves every figure — the grid of
 (application x model) simulations is run once per session and each
 benchmark measures regenerating its table/figure from it.
 
-Scale is environment-controlled:
+Scale is environment-controlled (one :class:`repro.experiments.Scale`):
 
 * ``REPRO_BENCH_APPS``   — number of applications (balanced across suites),
   or ``all`` for the full 44-app roster (default: 15);
 * ``REPRO_BENCH_LENGTH`` — instructions simulated per application
-  (default: 20000).
+  (default: 20000);
+* ``REPRO_BENCH_JOBS``   — worker processes for grid evaluation
+  (default: all cores);
+* ``REPRO_BENCH_CACHE``  — set to ``0`` to bypass the persistent result
+  store in ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``); with the
+  store enabled, a repeated benchmark session re-reads its grid from disk
+  instead of re-simulating.
 
 Every benchmark writes its regenerated table to ``benchmarks/output/`` so
 the numbers recorded in EXPERIMENTS.md can be reproduced verbatim.
@@ -28,7 +34,7 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    """The session-wide memoised simulation grid."""
+    """The session-wide memoised (and disk-persisted) simulation grid."""
     return ExperimentRunner.from_environment()
 
 

@@ -33,7 +33,7 @@ Package map:
 """
 
 from repro.core.config import MachineConfig
-from repro.core.results import SimulationResult, TraceUnitStats
+from repro.core.results import SCHEMA_VERSION, SimulationResult, TraceUnitStats
 from repro.core.simulator import ParrotSimulator, segment_stream
 from repro.errors import (
     ConfigurationError,
@@ -45,6 +45,7 @@ from repro.errors import (
     TraceError,
     WorkloadError,
 )
+from repro.experiments.engine import ExperimentEngine, ResultStore, Scale
 from repro.experiments.runner import ExperimentRunner
 from repro.models.configs import MODEL_NAMES, all_models, model_config
 from repro.workloads.suite import (
@@ -62,6 +63,7 @@ __all__ = [
     "Application",
     "ConfigurationError",
     "DecodeError",
+    "ExperimentEngine",
     "ExperimentError",
     "ExperimentRunner",
     "KILLER_APPS",
@@ -70,6 +72,9 @@ __all__ = [
     "OptimizationError",
     "ParrotSimulator",
     "ReproError",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "Scale",
     "SimulationError",
     "SimulationResult",
     "TraceError",

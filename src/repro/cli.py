@@ -3,9 +3,18 @@
 Examples::
 
     python -m repro run swim --model TON --length 20000
-    python -m repro sweep --models N,TON,TOW --apps 12
-    python -m repro figure fig4_1 --apps all
+    python -m repro sweep --models N,TON,TOW --apps 12 --jobs 4
+    python -m repro figure fig4_1 headline --apps all
+    python -m repro figure fig4_2 --no-cache
+    python -m repro cache info
     python -m repro list
+
+Grid evaluation fans out over ``--jobs`` worker processes (default: all
+cores, or ``REPRO_BENCH_JOBS``) and persists every finished run in the
+result store under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), so
+a repeated sweep or figure re-reads results instead of re-simulating;
+``--no-cache`` bypasses the store for one invocation and ``repro cache
+clear`` empties it.
 """
 
 from __future__ import annotations
@@ -14,10 +23,37 @@ import argparse
 import sys
 
 from repro.core.simulator import ParrotSimulator
+from repro.experiments.engine import ResultStore, Scale
 from repro.experiments.figures import FIGURE_GENERATORS, table3_1, table3_2
 from repro.experiments.runner import ExperimentRunner
 from repro.models.configs import MODEL_NAMES, model_config
 from repro.workloads.suite import ALL_APPS, application, benchmark_suite
+
+_EXAMPLES = """\
+examples:
+  repro run swim --model TON --length 20000
+  repro sweep --models N,TON --apps 15 --jobs 4
+  repro figure fig4_1 headline --apps all
+  repro figure fig4_2 --no-cache
+  repro cache info
+  repro cache clear
+
+environment:
+  REPRO_BENCH_APPS / REPRO_BENCH_LENGTH   default grid scale
+  REPRO_BENCH_JOBS                        default worker count (all cores)
+  REPRO_BENCH_CACHE=0                     disable the result store
+  REPRO_CACHE_DIR                         store location (~/.cache/repro)
+"""
+
+#: Process-wide runner registry: one memoised grid per Scale, so every
+#: figure/sweep command of an invocation (and repeated in-process calls,
+#: e.g. the benchmark harness) shares one set of simulations.
+_RUNNERS: dict[Scale, ExperimentRunner] = {}
+
+
+def reset_runners() -> None:
+    """Drop the shared runner registry (test isolation hook)."""
+    _RUNNERS.clear()
 
 
 def _positive_int(text: str) -> int:
@@ -43,11 +79,41 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         "--length", type=_positive_int, default=20_000,
         help="instructions simulated per application",
     )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes for grid evaluation "
+             "(default: REPRO_BENCH_JOBS or all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent result store",
+    )
+
+
+def _progress(done: int, total: int, label: str, source: str) -> None:
+    end = "\n" if done == total else ""
+    print(f"\r  [{done}/{total}] {label} ({source})   ", end=end,
+          file=sys.stderr, flush=True)
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
-    max_apps = None if args.apps == "all" else int(args.apps)
-    return ExperimentRunner(length=args.length, max_apps=max_apps)
+    """The shared runner for this scale (created on first use)."""
+    scale = Scale.from_args(args)
+    runner = _RUNNERS.get(scale)
+    if runner is None:
+        progress = _progress if sys.stderr.isatty() else None
+        runner = ExperimentRunner.from_scale(scale, progress=progress)
+        _RUNNERS[scale] = runner
+    return runner
+
+
+def _print_engine_summary(runner: ExperimentRunner) -> None:
+    engine = runner.engine
+    line = f"# runs: {engine.simulations_run} simulated"
+    if engine.store is not None:
+        line += (f", {engine.cache_hits} from store"
+                 f" ({engine.store.root})")
+    print(line, file=sys.stderr)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -74,33 +140,67 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Sweep models x applications; print an IPC/energy/CMPW table."""
-    runner = _runner(args)
     models = args.models.split(",")
+    unknown = [m for m in models if m not in MODEL_NAMES]
+    if unknown:
+        print(f"unknown model(s) {', '.join(unknown)}; known: "
+              f"{', '.join(MODEL_NAMES)}", file=sys.stderr)
+        return 2
+    runner = _runner(args)
     apps = runner.applications()
+    grid = runner.grid(models, apps)
     print(f"{'app':16}{'suite':12}" + "".join(
         f"{m + ' IPC':>10}{m + ' E':>12}" for m in models
     ))
-    for app in apps:
+    for index, app in enumerate(apps):
         row = f"{app.name:16}{app.suite:12}"
         for model in models:
-            result = runner.result(model, app)
+            result = grid[model][index]
             row += f"{result.ipc:>10.2f}{result.total_energy:>12.0f}"
         print(row)
+    _print_engine_summary(runner)
     return 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    """Regenerate one paper figure (or a table)."""
-    if args.name in ("table3_1", "table3_2"):
-        print(table3_1() if args.name == "table3_1" else table3_2())
-        return 0
-    generator = FIGURE_GENERATORS.get(args.name)
-    if generator is None:
-        print(f"unknown figure {args.name!r}; known: "
-              f"{', '.join(FIGURE_GENERATORS)}, table3_1, table3_2",
+    """Regenerate one or more paper figures/tables on one shared runner."""
+    tables = {"table3_1": table3_1, "table3_2": table3_2}
+    unknown = [
+        name for name in args.names
+        if name not in FIGURE_GENERATORS and name not in tables
+    ]
+    if unknown:
+        print(f"unknown figure(s) {', '.join(repr(n) for n in unknown)}; "
+              f"known: {', '.join(FIGURE_GENERATORS)}, table3_1, table3_2",
               file=sys.stderr)
         return 2
-    print(generator(_runner(args)).format())
+    runner = None
+    for index, name in enumerate(args.names):
+        if index:
+            print()
+        if name in tables:
+            print(tables[name]())
+            continue
+        if runner is None:
+            runner = _runner(args)
+        print(FIGURE_GENERATORS[name](runner).format())
+    if runner is not None:
+        _print_engine_summary(runner)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent result store."""
+    store = ResultStore()
+    if args.action == "info":
+        info = store.info()
+        print(f"store     {info.path}")
+        print(f"entries   {info.entries}")
+        print(f"size      {info.total_bytes} bytes")
+        print(f"schema    v{info.schema_version}")
+    else:  # clear
+        removed = store.clear()
+        print(f"removed {removed} stored result(s) from {store.root}")
     return 0
 
 
@@ -119,6 +219,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PARROT (ISCA 2004) reproduction: simulate, sweep, figures",
+        epilog=_EXAMPLES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -133,10 +235,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
-    figure.add_argument("name", help="e.g. fig4_1 ... fig4_11, headline, table3_2")
+    figure = sub.add_parser("figure", help="regenerate paper figures/tables")
+    figure.add_argument(
+        "names", nargs="+", metavar="name",
+        help="e.g. fig4_1 ... fig4_11, headline, table3_2",
+    )
     _add_scale_args(figure)
     figure.set_defaults(func=cmd_figure)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result store")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.set_defaults(func=cmd_cache)
 
     lst = sub.add_parser("list", help="list models, applications, figures")
     lst.set_defaults(func=cmd_list)

@@ -3,14 +3,41 @@
 One :class:`SimulationResult` per (application, machine) run, carrying the
 performance, energy and PARROT-characterisation statistics every figure of
 the paper is computed from.
+
+Results round-trip exactly through ``to_dict()``/``from_dict()`` (all
+fields are JSON-representable), which is what the parallel experiment
+engine uses both for worker IPC and for the persistent on-disk result
+store.  ``SCHEMA_VERSION`` stamps every serialized record; bumping it
+invalidates stored results wholesale (the store keys on it), so bump it
+whenever a field is added, removed or reinterpreted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.power.energy import EnergyResult
 from repro.power.metrics import PerformanceEnergyPoint
+from repro.trace.tid import TraceId
+
+#: Version of the serialized result schema (worker IPC + result store).
+SCHEMA_VERSION = 1
+
+
+def _encode_exec_key(key: "TraceId | int") -> str:
+    """One execution-count key as text (JSON objects key on strings)."""
+    if isinstance(key, TraceId):
+        return (f"{key.start}:{key.directions}:{key.num_branches}"
+                f":{key.num_instructions}")
+    return str(key)
+
+
+def _decode_exec_key(text: str) -> "TraceId | int":
+    if ":" in text:
+        start, directions, branches, instructions = map(int, text.split(":"))
+        return TraceId(start, directions, branches, instructions)
+    return int(text)
 
 
 @dataclass(slots=True)
@@ -28,8 +55,9 @@ class TraceUnitStats:
     #: execution-weighted optimizer impact (Figure 4.9)
     weighted_uop_reduction: float = 0.0
     weighted_dep_reduction: float = 0.0
-    #: per-optimized-trace dynamic execution counts (Figure 4.10)
-    optimized_exec_counts: dict[int, int] = field(default_factory=dict)
+    #: per-optimized-trace dynamic execution counts, keyed by the trace's
+    #: :class:`~repro.trace.tid.TraceId` (Figure 4.10)
+    optimized_exec_counts: dict[TraceId, int] = field(default_factory=dict)
 
     @property
     def mean_optimized_reuse(self) -> float:
@@ -38,6 +66,49 @@ class TraceUnitStats:
             return 0.0
         total = sum(self.optimized_exec_counts.values())
         return total / len(self.optimized_exec_counts)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-representable snapshot (exact ``from_dict`` round trip)."""
+        return {
+            "segments": self.segments,
+            "traces_constructed": self.traces_constructed,
+            "traces_optimized": self.traces_optimized,
+            "optimizations_dropped": self.optimizations_dropped,
+            "hot_executions": self.hot_executions,
+            "optimized_executions": self.optimized_executions,
+            "trace_mispredicts": self.trace_mispredicts,
+            "tcache_miss_on_predict": self.tcache_miss_on_predict,
+            "weighted_uop_reduction": self.weighted_uop_reduction,
+            "weighted_dep_reduction": self.weighted_dep_reduction,
+            # JSON objects key on strings; the TraceId keys are packed as
+            # "start:directions:num_branches:num_instructions".
+            "optimized_exec_counts": {
+                _encode_exec_key(tid): count
+                for tid, count in self.optimized_exec_counts.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TraceUnitStats":
+        """Rebuild from a ``to_dict()`` payload."""
+        return cls(
+            segments=payload["segments"],
+            traces_constructed=payload["traces_constructed"],
+            traces_optimized=payload["traces_optimized"],
+            optimizations_dropped=payload["optimizations_dropped"],
+            hot_executions=payload["hot_executions"],
+            optimized_executions=payload["optimized_executions"],
+            trace_mispredicts=payload["trace_mispredicts"],
+            tcache_miss_on_predict=payload["tcache_miss_on_predict"],
+            weighted_uop_reduction=payload["weighted_uop_reduction"],
+            weighted_dep_reduction=payload["weighted_dep_reduction"],
+            optimized_exec_counts={
+                _decode_exec_key(tid): count
+                for tid, count in payload["optimized_exec_counts"].items()
+            },
+        )
 
 
 @dataclass(slots=True)
@@ -122,3 +193,65 @@ class SimulationResult:
         if not stats.hot_executions:
             return 0.0
         return stats.weighted_dep_reduction / stats.hot_executions
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-representable snapshot, stamped with ``SCHEMA_VERSION``.
+
+        The round trip through ``from_dict`` is exact: every field is an
+        int, float, str or a (nested) dict of those, and JSON preserves
+        Python floats bit-for-bit via ``repr``.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "app_name": self.app_name,
+            "suite": self.suite,
+            "model_name": self.model_name,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "uops_cold": self.uops_cold,
+            "uops_hot": self.uops_hot,
+            "uops_wasted": self.uops_wasted,
+            "hot_instructions": self.hot_instructions,
+            "cold_branch_mispredicts": self.cold_branch_mispredicts,
+            "cold_branch_predictions": self.cold_branch_predictions,
+            "trace_predictions": self.trace_predictions,
+            "trace_mispredictions": self.trace_mispredictions,
+            "energy": None if self.energy is None else self.energy.to_dict(),
+            "trace_stats": self.trace_stats.to_dict(),
+            "events": dict(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SimulationResult":
+        """Rebuild from a ``to_dict()`` payload.
+
+        Raises :class:`ValueError` when the payload's schema version does
+        not match :data:`SCHEMA_VERSION` (a stale store record or a
+        mismatched worker).
+        """
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"result schema version {version!r} != {SCHEMA_VERSION}"
+            )
+        energy = payload["energy"]
+        return cls(
+            app_name=payload["app_name"],
+            suite=payload["suite"],
+            model_name=payload["model_name"],
+            instructions=payload["instructions"],
+            cycles=payload["cycles"],
+            uops_cold=payload["uops_cold"],
+            uops_hot=payload["uops_hot"],
+            uops_wasted=payload["uops_wasted"],
+            hot_instructions=payload["hot_instructions"],
+            cold_branch_mispredicts=payload["cold_branch_mispredicts"],
+            cold_branch_predictions=payload["cold_branch_predictions"],
+            trace_predictions=payload["trace_predictions"],
+            trace_mispredictions=payload["trace_mispredictions"],
+            energy=None if energy is None else EnergyResult.from_dict(energy),
+            trace_stats=TraceUnitStats.from_dict(payload["trace_stats"]),
+            events=dict(payload["events"]),
+        )

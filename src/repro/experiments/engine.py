@@ -1,0 +1,467 @@
+"""Parallel experiment engine with a persistent result store.
+
+Every figure and table of the evaluation is a view over the same
+(application x model) grid, and one grid cell — a simulation run — is a
+pure function of (model configuration, application, run length, generator
+seed).  That purity buys two things:
+
+* **fan-out**: cells evaluate in parallel on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with per-run crash
+  retry and a stall timeout (:class:`ExperimentEngine`);
+* **persistence**: finished cells land in a content-keyed on-disk JSON
+  store (:class:`ResultStore`), so a repeated sweep/figure/benchmark
+  invocation re-reads results instead of re-simulating.
+
+The store key is a SHA-256 digest over the full model configuration
+(``repr`` of the frozen :class:`~repro.core.config.MachineConfig`
+dataclass tree), the application name, its generator seed, the run length
+and :data:`~repro.core.results.SCHEMA_VERSION` — any change to a model
+parameter, a workload profile seed or the result schema silently keys to
+fresh entries, so stale records can never be served.
+
+Scale knobs (application count, run length, worker count, cache on/off)
+are unified in the :class:`Scale` dataclass, parsed once from either the
+environment (``REPRO_BENCH_*`` / ``REPRO_CACHE_DIR``) or CLI arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.results import SCHEMA_VERSION, SimulationResult
+from repro.core.simulator import ParrotSimulator
+from repro.errors import ExperimentError
+from repro.models.configs import MODEL_NAMES, model_config
+from repro.workloads.suite import app_seed, application
+
+#: Environment variables controlling benchmark scale and the result store.
+ENV_APPS = "REPRO_BENCH_APPS"
+ENV_LENGTH = "REPRO_BENCH_LENGTH"
+ENV_JOBS = "REPRO_BENCH_JOBS"
+ENV_CACHE = "REPRO_BENCH_CACHE"
+ENV_TIMEOUT = "REPRO_BENCH_TIMEOUT"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+DEFAULT_APPS = 15
+DEFAULT_LENGTH = 20_000
+
+#: One grid cell: (model name, application name).
+Task = tuple[str, str]
+#: Progress callback: (completed, total, "model/app", source) where source
+#: is ``"run"`` for a fresh simulation and ``"store"`` for a disk hit.
+ProgressFn = Callable[[int, int, str, str], None]
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_BENCH_JOBS`` if set, else ``os.cpu_count()``."""
+    raw = os.environ.get(ENV_JOBS, "").strip()
+    if raw:
+        jobs = int(raw)
+        if jobs < 1:
+            raise ValueError(f"{ENV_JOBS} must be >= 1, got {jobs}")
+        return jobs
+    return os.cpu_count() or 1
+
+
+def parse_apps(text: str) -> int | None:
+    """Parse an application-count spec; ``all``/``full``/``44`` -> None."""
+    if str(text).lower() in ("all", "full", "44"):
+        return None
+    count = int(text)
+    if count < 1:
+        raise ValueError(f"application count must be >= 1, got {count}")
+    return count
+
+
+def _env_flag(name: str, default: bool = True) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """The unified scale knobs of one experiment-grid evaluation.
+
+    ``apps`` is the balanced application-subset size (``None`` = the full
+    44-app roster), ``length`` the instructions simulated per application,
+    ``jobs`` the process-pool width, and ``cache`` whether runs are served
+    from / written to the persistent result store.
+    """
+
+    apps: int | None = DEFAULT_APPS
+    length: int = DEFAULT_LENGTH
+    jobs: int = field(default_factory=default_jobs)
+    cache: bool = True
+
+    @classmethod
+    def from_environment(cls) -> "Scale":
+        """Resolve every knob from the ``REPRO_BENCH_*`` variables.
+
+        ``REPRO_BENCH_APPS`` (count or ``all``), ``REPRO_BENCH_LENGTH``,
+        ``REPRO_BENCH_JOBS`` (default: all cores) and ``REPRO_BENCH_CACHE``
+        (``0`` disables the result store).
+        """
+        return cls(
+            apps=parse_apps(os.environ.get(ENV_APPS, str(DEFAULT_APPS))),
+            length=int(os.environ.get(ENV_LENGTH, str(DEFAULT_LENGTH))),
+            jobs=default_jobs(),
+            cache=_env_flag(ENV_CACHE),
+        )
+
+    @classmethod
+    def from_args(cls, args: Any) -> "Scale":
+        """Resolve from parsed CLI arguments (``--apps/--length/--jobs/
+        --no-cache``); unset ``--jobs`` falls back to the environment."""
+        jobs = getattr(args, "jobs", None)
+        no_cache = bool(getattr(args, "no_cache", False))
+        return cls(
+            apps=parse_apps(args.apps),
+            length=args.length,
+            jobs=default_jobs() if jobs is None else jobs,
+            cache=not no_cache and _env_flag(ENV_CACHE),
+        )
+
+
+# -- the persistent result store ---------------------------------------------
+
+
+def config_fingerprint(config: MachineConfig) -> str:
+    """Deterministic text fingerprint of a full machine configuration.
+
+    ``MachineConfig`` is a frozen dataclass of frozen dataclasses and
+    scalars, so its ``repr`` enumerates every parameter in declaration
+    order — any microarchitectural change alters the fingerprint.
+    """
+    return repr(config)
+
+
+def run_key(config: MachineConfig, app_name: str, length: int) -> str:
+    """Content key of one simulation run in the result store."""
+    material = "|".join((
+        f"schema={SCHEMA_VERSION}",
+        f"model={config_fingerprint(config)}",
+        f"app={app_name}",
+        f"seed={app_seed(app_name)}",
+        f"length={length}",
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def default_store_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass(frozen=True, slots=True)
+class StoreInfo:
+    """A snapshot of the result store's contents."""
+
+    path: Path
+    entries: int
+    total_bytes: int
+    schema_version: int = SCHEMA_VERSION
+
+
+class ResultStore:
+    """Content-keyed persistent store of simulation results.
+
+    One JSON file per run, sharded by the first two hex digits of the key
+    (``<root>/<k[:2]>/<k>.json``).  Writes are atomic (temp file +
+    ``os.replace``), so a crashed or parallel writer can never leave a
+    half-written record; unreadable records are treated as misses.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_store_root()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> SimulationResult | None:
+        """The stored result under ``key``, or ``None`` on any miss."""
+        try:
+            payload = json.loads(self._path(key).read_text())
+            result = SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimulationResult) -> None:
+        """Persist ``result`` under ``key`` (atomic, last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": key,
+            "model": result.model_name,
+            "app": result.app_name,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, sort_keys=True))
+        os.replace(tmp, path)
+        self.writes += 1
+
+    def _records(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def info(self) -> StoreInfo:
+        """Entry count and on-disk footprint of the store."""
+        records = self._records()
+        total = 0
+        for record in records:
+            try:
+                total += record.stat().st_size
+            except OSError:
+                pass
+        return StoreInfo(path=self.root, entries=len(records), total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every stored record; returns the number removed."""
+        removed = 0
+        for record in self._records():
+            try:
+                record.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in self.root.glob("*") if self.root.is_dir() else ():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+
+# -- the process-pool engine --------------------------------------------------
+
+
+def simulate_task(model_name: str, app_name: str, length: int) -> dict:
+    """Worker entry point: run one grid cell, return its serialized result.
+
+    Executes in a pool worker; the payload crosses the process boundary as
+    a ``SimulationResult.to_dict()`` dict (the same schema the result
+    store persists), keeping worker IPC and the store on one format.
+    """
+    result = ParrotSimulator(model_config(model_name)).run(
+        application(app_name), length
+    )
+    return result.to_dict()
+
+
+class ExperimentEngine:
+    """Evaluate (application x model) grid cells, in parallel, cached.
+
+    The engine owns the two cross-cutting counters the harness and the
+    acceptance tests read: ``cache_hits`` (runs served from the persistent
+    store) and ``simulations_run`` (runs actually simulated, in-process or
+    in a worker).
+
+    Fault handling in the parallel path:
+
+    * a crashed worker (``BrokenProcessPool``) triggers one pool rebuild
+      and resubmission of the unfinished cells; a second crash raises
+      :class:`~repro.errors.ExperimentError`;
+    * ``timeout`` bounds the wait for the *next* completion — if no run
+      finishes within it the surviving workers are terminated and the
+      grid fails (a deterministic simulator either finishes or is hung).
+    """
+
+    def __init__(
+        self,
+        length: int = DEFAULT_LENGTH,
+        *,
+        jobs: int = 1,
+        store: ResultStore | None = None,
+        timeout: float | None = None,
+        progress: ProgressFn | None = None,
+        task_fn: Callable[[str, str, int], dict] = simulate_task,
+        mp_context: Any | None = None,
+    ):
+        if timeout is None:
+            raw = os.environ.get(ENV_TIMEOUT, "").strip()
+            timeout = float(raw) if raw else None
+        self.length = length
+        self.jobs = max(1, jobs)
+        self.store = store
+        self.timeout = timeout
+        self.progress = progress
+        self.task_fn = task_fn
+        self.mp_context = mp_context
+        self.simulations_run = 0
+        self._simulators: dict[str, ParrotSimulator] = {}
+        self._configs: dict[str, MachineConfig] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Runs served from the persistent store instead of simulated."""
+        return self.store.hits if self.store is not None else 0
+
+    def _config(self, model_name: str) -> MachineConfig:
+        if model_name not in MODEL_NAMES:
+            raise ExperimentError(
+                f"unknown model {model_name!r}; known: {MODEL_NAMES}"
+            )
+        if model_name not in self._configs:
+            self._configs[model_name] = model_config(model_name)
+        return self._configs[model_name]
+
+    def _key(self, task: Task) -> str:
+        model_name, app_name = task
+        return run_key(self._config(model_name), app_name, self.length)
+
+    # -- execution ---------------------------------------------------------
+
+    def run_one(self, model_name: str, app_name: str) -> SimulationResult:
+        """One grid cell: store lookup, else an in-process simulation."""
+        return self.run([(model_name, app_name)])[(model_name, app_name)]
+
+    def run(self, tasks: Sequence[Task]) -> dict[Task, SimulationResult]:
+        """Evaluate ``tasks``; returns ``{(model, app): result}``.
+
+        Store hits are collected first; the remainder is simulated — on
+        the process pool when ``jobs > 1`` and more than one cell is
+        missing, in-process otherwise.
+        """
+        tasks = list(dict.fromkeys(tasks))
+        results: dict[Task, SimulationResult] = {}
+        missing: list[Task] = []
+        for task in tasks:
+            cached = self.store.load(self._key(task)) if self.store else None
+            if cached is not None:
+                results[task] = cached
+                self._report(len(results), len(tasks), task, "store")
+            else:
+                missing.append(task)
+        if missing:
+            if self.jobs > 1 and len(missing) > 1:
+                fresh = self._run_parallel(missing, done=len(results),
+                                           total=len(tasks))
+            else:
+                fresh = self._run_serial(missing, done=len(results),
+                                         total=len(tasks))
+            for task, result in fresh.items():
+                if self.store is not None:
+                    self.store.store(self._key(task), result)
+                results[task] = result
+        return results
+
+    def _report(self, done: int, total: int, task: Task, source: str) -> None:
+        if self.progress is not None:
+            self.progress(done, total, f"{task[0]}/{task[1]}", source)
+
+    def _run_serial(
+        self, tasks: list[Task], *, done: int, total: int
+    ) -> dict[Task, SimulationResult]:
+        results: dict[Task, SimulationResult] = {}
+        for model_name, app_name in tasks:
+            if model_name not in self._simulators:
+                self._simulators[model_name] = ParrotSimulator(
+                    self._config(model_name)
+                )
+            results[(model_name, app_name)] = self._simulators[model_name].run(
+                application(app_name), self.length
+            )
+            self.simulations_run += 1
+            done += 1
+            self._report(done, total, (model_name, app_name), "run")
+        return results
+
+    def _run_parallel(
+        self, tasks: list[Task], *, done: int, total: int
+    ) -> dict[Task, SimulationResult]:
+        for model_name, _ in tasks:
+            self._config(model_name)  # validate names before forking
+        results: dict[Task, SimulationResult] = {}
+        pending = list(tasks)
+        start = done
+        for attempt in (0, 1):
+            try:
+                done = self._pool_pass(pending, results, done=done, total=total)
+                return results
+            except BrokenProcessPool:
+                pending = [t for t in tasks if t not in results]
+                if not pending:
+                    return results
+                if attempt == 1:
+                    raise ExperimentError(
+                        f"worker pool crashed twice; {len(pending)} of "
+                        f"{len(tasks)} runs unfinished"
+                    )
+                done = start + len(results)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _pool_pass(
+        self,
+        tasks: list[Task],
+        results: dict[Task, SimulationResult],
+        *,
+        done: int,
+        total: int,
+    ) -> int:
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=self.mp_context
+        ) as pool:
+            futures: dict[Future, Task] = {
+                pool.submit(self.task_fn, model, app, self.length): (model, app)
+                for model, app in tasks
+            }
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(
+                    pending, timeout=self.timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not finished:
+                    self._terminate(pool)
+                    raise ExperimentError(
+                        f"no simulation finished within {self.timeout}s; "
+                        f"{len(pending)} runs abandoned"
+                    )
+                for future in finished:
+                    task = futures[future]
+                    results[task] = SimulationResult.from_dict(future.result())
+                    self.simulations_run += 1
+                    done += 1
+                    self._report(done, total, task, "run")
+        return done
+
+    @staticmethod
+    def _terminate(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool whose workers are hung (timeout path)."""
+        # Snapshot first: shutdown() drops the executor's process table.
+        processes = dict(getattr(pool, "_processes", None) or {})
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes.values():
+            try:
+                process.terminate()
+            except OSError:  # pragma: no cover - already gone
+                pass

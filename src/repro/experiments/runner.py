@@ -1,63 +1,112 @@
-"""Experiment grid runner with result caching.
+"""Experiment grid runner: memoisation over the parallel engine.
 
 Every figure of the evaluation section is a different view over the same
-(application x model) grid of simulation runs, so the runner memoises
-results: one sweep serves all figures.  Scale is controlled explicitly (or
-via the ``REPRO_BENCH_APPS`` / ``REPRO_BENCH_LENGTH`` environment
-variables for the benchmark harness): the paper simulates 30-100M
-instructions per application; our default is 20k instructions over a
-balanced subset, enough for every qualitative shape, and the full
-44-application roster is one environment variable away.
+(application x model) grid of simulation runs.  The runner keeps the
+in-process memo (one sweep serves all figures within an invocation) and
+delegates execution to the
+:class:`~repro.experiments.engine.ExperimentEngine`, which adds process
+fan-out (``jobs``) and the persistent on-disk result store (``cache``) so
+repeated invocations re-read results instead of re-simulating.
+
+Scale is controlled explicitly or via :class:`~repro.experiments.engine.Scale`
+(the ``REPRO_BENCH_*`` environment variables for the benchmark harness):
+the paper simulates 30-100M instructions per application; our default is
+20k instructions over a balanced subset, enough for every qualitative
+shape, and the full 44-application roster is one knob away.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.results import SimulationResult
-from repro.core.simulator import ParrotSimulator
-from repro.errors import ExperimentError
-from repro.models.configs import MODEL_NAMES, model_config
+from repro.experiments.engine import (
+    DEFAULT_APPS,
+    DEFAULT_LENGTH,
+    ENV_APPS,
+    ENV_LENGTH,
+    ExperimentEngine,
+    ProgressFn,
+    ResultStore,
+    Scale,
+)
 from repro.workloads.suite import Application, application, benchmark_suite
 
-#: Environment variables controlling benchmark scale.
-ENV_APPS = "REPRO_BENCH_APPS"
-ENV_LENGTH = "REPRO_BENCH_LENGTH"
-
-DEFAULT_APPS = 15
-DEFAULT_LENGTH = 20_000
+__all__ = [
+    "DEFAULT_APPS",
+    "DEFAULT_LENGTH",
+    "ENV_APPS",
+    "ENV_LENGTH",
+    "ExperimentRunner",
+    "bench_scale",
+]
 
 
 def bench_scale() -> tuple[int | None, int]:
-    """Resolve (max_apps, instructions) from the environment.
+    """Deprecated: use :meth:`Scale.from_environment` instead.
 
-    ``REPRO_BENCH_APPS=all`` (or 44) selects the full roster.
+    Kept as a shim for callers of the pre-engine API; returns the old
+    ``(max_apps, length)`` pair.
     """
-    apps_raw = os.environ.get(ENV_APPS, str(DEFAULT_APPS))
-    max_apps: int | None
-    if apps_raw.lower() in ("all", "full", "44"):
-        max_apps = None
-    else:
-        max_apps = int(apps_raw)
-    length = int(os.environ.get(ENV_LENGTH, str(DEFAULT_LENGTH)))
-    return max_apps, length
+    warnings.warn(
+        "bench_scale() is deprecated; use Scale.from_environment()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    scale = Scale.from_environment()
+    return scale.apps, scale.length
 
 
 @dataclass
 class ExperimentRunner:
-    """Run and memoise (application, model) simulations."""
+    """Run and memoise (application, model) simulations.
+
+    ``jobs > 1`` evaluates grid batches on a process pool; ``cache=True``
+    adds the persistent result store under ``cache_dir`` (default:
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).  The default
+    construction — serial, no disk store — behaves exactly like the
+    historical in-process runner.
+    """
 
     length: int = DEFAULT_LENGTH
     max_apps: int | None = DEFAULT_APPS
-    _cache: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
-    _simulators: dict[str, ParrotSimulator] = field(default_factory=dict)
+    jobs: int = 1
+    cache: bool = False
+    cache_dir: str | Path | None = None
+    timeout: float | None = None
+    progress: ProgressFn | None = None
+    _memo: dict[tuple[str, str], SimulationResult] = field(
+        default_factory=dict, repr=False
+    )
+    engine: ExperimentEngine = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        store = ResultStore(self.cache_dir) if self.cache else None
+        self.engine = ExperimentEngine(
+            self.length,
+            jobs=self.jobs,
+            store=store,
+            timeout=self.timeout,
+            progress=self.progress,
+        )
+
+    @classmethod
+    def from_scale(cls, scale: Scale, **kwargs) -> "ExperimentRunner":
+        """Build a runner from one :class:`Scale` knob bundle."""
+        return cls(
+            length=scale.length,
+            max_apps=scale.apps,
+            jobs=scale.jobs,
+            cache=scale.cache,
+            **kwargs,
+        )
 
     @classmethod
     def from_environment(cls) -> "ExperimentRunner":
         """Build a runner scaled by the ``REPRO_BENCH_*`` variables."""
-        max_apps, length = bench_scale()
-        return cls(length=length, max_apps=max_apps)
+        return cls.from_scale(Scale.from_environment())
 
     # -- execution --------------------------------------------------------
 
@@ -65,43 +114,57 @@ class ExperimentRunner:
         """The application roster at the configured scale."""
         return benchmark_suite(max_apps=self.max_apps)
 
-    def _simulator(self, model_name: str) -> ParrotSimulator:
-        if model_name not in MODEL_NAMES:
-            raise ExperimentError(
-                f"unknown model {model_name!r}; known: {MODEL_NAMES}"
-            )
-        if model_name not in self._simulators:
-            self._simulators[model_name] = ParrotSimulator(model_config(model_name))
-        return self._simulators[model_name]
-
     def result(self, model_name: str, app: Application | str) -> SimulationResult:
         """Result of one (model, application) run, memoised."""
         if isinstance(app, str):
             app = application(app)
         key = (model_name, app.name)
-        cached = self._cache.get(key)
+        cached = self._memo.get(key)
         if cached is None:
-            cached = self._simulator(model_name).run(app, self.length)
-            self._cache[key] = cached
+            cached = self.engine.run_one(model_name, app.name)
+            self._memo[key] = cached
         return cached
 
     def results(
         self, model_name: str, apps: list[Application] | None = None
     ) -> list[SimulationResult]:
         """Results of one model over the roster (or an explicit app list)."""
-        if apps is None:
-            apps = self.applications()
-        return [self.result(model_name, app) for app in apps]
+        return self.grid([model_name], apps)[model_name]
 
     def grid(
         self, model_names: list[str], apps: list[Application] | None = None
     ) -> dict[str, list[SimulationResult]]:
-        """Results for several models over the same applications."""
+        """Results for several models over the same applications.
+
+        Cells missing from the memo are evaluated in one engine batch, so
+        with ``jobs > 1`` the whole remainder of the grid fans out at once.
+        """
         if apps is None:
             apps = self.applications()
-        return {name: self.results(name, apps) for name in model_names}
+        wanted = [
+            (model, app.name) for model in model_names for app in apps
+        ]
+        missing = [task for task in wanted if task not in self._memo]
+        if missing:
+            self._memo.update(self.engine.run(missing))
+        return {
+            model: [self._memo[(model, app.name)] for app in apps]
+            for model in model_names
+        }
+
+    # -- bookkeeping ------------------------------------------------------
 
     @property
     def runs_cached(self) -> int:
         """Number of memoised simulation runs."""
-        return len(self._cache)
+        return len(self._memo)
+
+    @property
+    def cache_hits(self) -> int:
+        """Runs served from the persistent store (0 without a store)."""
+        return self.engine.cache_hits
+
+    @property
+    def simulations_run(self) -> int:
+        """Runs actually simulated (not served from memo or store)."""
+        return self.engine.simulations_run

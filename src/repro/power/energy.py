@@ -85,6 +85,23 @@ class EnergyResult:
         total = self.total
         return self.by_component.get(component, 0.0) / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-representable snapshot (exact ``from_dict`` round trip)."""
+        return {
+            "dynamic": self.dynamic,
+            "leakage": self.leakage,
+            "by_component": dict(self.by_component),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EnergyResult":
+        """Rebuild from a ``to_dict()`` payload."""
+        return cls(
+            dynamic=payload["dynamic"],
+            leakage=payload["leakage"],
+            by_component=dict(payload["by_component"]),
+        )
+
 
 class EnergyModel:
     """Per-machine energy evaluator (tag matrix + leakage)."""

@@ -55,6 +55,23 @@ class PerformanceEnergyPoint:
         mips = self.ipc
         return mips**3 / self.power
 
+    def to_dict(self) -> dict:
+        """JSON-representable snapshot (exact ``from_dict`` round trip)."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "energy": self.energy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerformanceEnergyPoint":
+        """Rebuild from a ``to_dict()`` payload."""
+        return cls(
+            instructions=payload["instructions"],
+            cycles=payload["cycles"],
+            energy=payload["energy"],
+        )
+
 
 def ipc_improvement(test: PerformanceEnergyPoint, base: PerformanceEnergyPoint) -> float:
     """Relative IPC gain of ``test`` over ``base`` (0.17 = +17%)."""

@@ -18,6 +18,21 @@ from repro.workloads.profiles import specfp_profile, specint_profile
 from repro.workloads.suite import application
 
 
+@pytest.fixture(autouse=True)
+def _isolated_experiment_state(tmp_path, monkeypatch):
+    """Point the result store at a per-test directory and drop shared runners.
+
+    Keeps tests from reading or polluting the user's ``~/.cache/repro``
+    and from observing grid state memoised by an earlier test's CLI call.
+    """
+    from repro import cli
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    cli.reset_runners()
+    yield
+    cli.reset_runners()
+
+
 @pytest.fixture(scope="session")
 def fp_workload() -> SyntheticWorkload:
     """A small regular (FP-style) synthetic workload."""

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import cli
 from repro.cli import build_parser, main
 
 
@@ -18,6 +19,48 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "swim", "--model", "ZZ"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.models == "N,TON"
+        assert args.apps == "15" and args.length == 20_000
+        assert args.jobs is None and args.no_cache is False
+
+    def test_scale_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--apps", "all", "--jobs", "4", "--no-cache"]
+        )
+        assert args.apps == "all" and args.jobs == 4 and args.no_cache
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--apps", "0"), ("--apps", "-3"), ("--apps", "some"),
+        ("--length", "0"), ("--jobs", "0"),
+    ])
+    def test_bad_scale_values_rejected(self, flag, value):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", flag, value])
+
+    def test_figure_accepts_multiple_names(self):
+        args = build_parser().parse_args(["figure", "fig4_1", "headline"])
+        assert args.names == ["fig4_1", "headline"]
+
+    def test_figure_requires_a_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure"])
+
+    def test_cache_actions(self):
+        assert build_parser().parse_args(["cache", "info"]).action == "info"
+        assert build_parser().parse_args(["cache", "clear"]).action == "clear"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "purge"])
+
+    def test_help_documents_new_surface(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "cache" in out
+        assert "REPRO_CACHE_DIR" in out
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -32,11 +75,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "IPC" in out and "energy" in out
 
+    def test_run_unknown_app(self, capsys):
+        assert main(["run", "nonesuch"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
     def test_sweep(self, capsys):
         assert main(["sweep", "--models", "N,TN", "--apps", "2",
                      "--length", "1200"]) == 0
         out = capsys.readouterr().out
         assert "N IPC" in out and "TN IPC" in out
+
+    def test_sweep_unknown_model(self, capsys):
+        assert main(["sweep", "--models", "N,QQ", "--apps", "2"]) == 2
+        assert "unknown model" in capsys.readouterr().err
 
     def test_figure_table(self, capsys):
         assert main(["figure", "table3_2"]) == 0
@@ -50,3 +101,71 @@ class TestCommands:
     def test_figure_unknown(self, capsys):
         assert main(["figure", "fig9_9"]) == 2
         assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure_unknown_name_rejected_before_simulating(self, capsys):
+        # A bad name anywhere in the list fails fast, before any runs.
+        assert main(["figure", "fig4_8", "fig9_9", "--apps", "2"]) == 2
+        assert "fig9_9" in capsys.readouterr().err
+        assert not cli._RUNNERS
+
+    def test_multiple_figures_share_one_runner(self, capsys):
+        assert main(["figure", "table3_1", "fig4_8", "fig4_10",
+                     "--apps", "2", "--length", "1200"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 3.1" in captured.out
+        assert "Coverage" in captured.out
+        assert "Figure 4.10" in captured.out
+        # fig4_8 and fig4_10 both need TOW/TON runs; one shared runner
+        # means each (model, app) cell simulated at most once.
+        [runner] = cli._RUNNERS.values()
+        assert runner.simulations_run == runner.runs_cached
+
+    def test_repeated_invocations_reuse_shared_runner(self, capsys):
+        argv = ["figure", "fig4_8", "--apps", "2", "--length", "1200",
+                "--no-cache"]
+        assert main(argv) == 0
+        [runner] = cli._RUNNERS.values()
+        runs = runner.simulations_run
+        assert runs > 0
+        assert main(argv) == 0
+        assert runner.simulations_run == runs  # memo served everything
+
+
+class TestResultStoreCli:
+    def test_cache_info_empty(self, capsys):
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries   0" in out and "repro-cache" in out
+
+    def test_sweep_populates_store_then_serves_from_it(self, capsys):
+        argv = ["sweep", "--models", "N,TN", "--apps", "2",
+                "--length", "1200", "--jobs", "1"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "4 simulated" in first.err
+
+        cli.reset_runners()  # force a fresh runner: only the disk store left
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "0 simulated, 4 from store" in second.err
+        assert second.out == first.out  # byte-identical table
+
+        assert main(["cache", "info"]) == 0
+        assert "entries   4" in capsys.readouterr().out
+
+    def test_no_cache_bypasses_store(self, capsys):
+        argv = ["sweep", "--models", "N", "--apps", "2", "--length", "1200",
+                "--no-cache"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        assert "entries   0" in capsys.readouterr().out
+
+    def test_cache_clear(self, capsys):
+        assert main(["sweep", "--models", "N", "--apps", "2",
+                     "--length", "1200"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert main(["cache", "info"]) == 0
+        assert "entries   0" in capsys.readouterr().out

@@ -1,0 +1,303 @@
+"""Unit + integration tests: Scale, the result store, the parallel engine."""
+
+import json
+import multiprocessing
+import os
+import pathlib
+import time
+from argparse import Namespace
+
+import pytest
+
+from repro.core.results import SimulationResult
+from repro.errors import ExperimentError
+from repro.experiments import engine as engine_mod
+from repro.experiments.engine import (
+    DEFAULT_APPS,
+    DEFAULT_LENGTH,
+    ExperimentEngine,
+    ResultStore,
+    Scale,
+    config_fingerprint,
+    default_jobs,
+    parse_apps,
+    run_key,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.models.configs import model_config
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+class TestScale:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        scale = Scale()
+        assert scale.apps == DEFAULT_APPS
+        assert scale.length == DEFAULT_LENGTH
+        assert scale.jobs == (os.cpu_count() or 1)
+        assert scale.cache is True
+
+    def test_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_APPS", "all")
+        monkeypatch.setenv("REPRO_BENCH_LENGTH", "1234")
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
+        monkeypatch.setenv("REPRO_BENCH_CACHE", "0")
+        scale = Scale.from_environment()
+        assert scale == Scale(apps=None, length=1234, jobs=3, cache=False)
+
+    def test_from_environment_defaults(self, monkeypatch):
+        for var in ("REPRO_BENCH_APPS", "REPRO_BENCH_LENGTH",
+                    "REPRO_BENCH_JOBS", "REPRO_BENCH_CACHE"):
+            monkeypatch.delenv(var, raising=False)
+        scale = Scale.from_environment()
+        assert scale.apps == DEFAULT_APPS and scale.length == DEFAULT_LENGTH
+        assert scale.jobs >= 1 and scale.cache is True
+
+    def test_from_args(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+        args = Namespace(apps="7", length=5000, jobs=2, no_cache=True)
+        assert Scale.from_args(args) == Scale(
+            apps=7, length=5000, jobs=2, cache=False
+        )
+
+    def test_from_args_jobs_falls_back_to_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "5")
+        monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+        args = Namespace(apps="all", length=100, jobs=None, no_cache=False)
+        assert Scale.from_args(args) == Scale(
+            apps=None, length=100, jobs=5, cache=True
+        )
+
+    def test_env_cache_flag_overrides_cli_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", "0")
+        args = Namespace(apps="2", length=100, jobs=1, no_cache=False)
+        assert Scale.from_args(args).cache is False
+
+    def test_parse_apps(self):
+        assert parse_apps("all") is None
+        assert parse_apps("44") is None
+        assert parse_apps("12") == 12
+        with pytest.raises(ValueError):
+            parse_apps("0")
+        with pytest.raises(ValueError):
+            parse_apps("nope")
+
+    def test_default_jobs_rejects_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+    def test_scale_is_hashable(self):
+        assert Scale(apps=2, length=10, jobs=1, cache=True) in {
+            Scale(apps=2, length=10, jobs=1, cache=True)
+        }
+
+
+class TestRunKey:
+    def test_deterministic(self):
+        config = model_config("TON")
+        assert run_key(config, "swim", 2000) == run_key(config, "swim", 2000)
+
+    def test_sensitive_to_every_input(self, monkeypatch):
+        ton = model_config("TON")
+        base = run_key(ton, "swim", 2000)
+        assert run_key(model_config("N"), "swim", 2000) != base
+        assert run_key(ton, "gzip", 2000) != base
+        assert run_key(ton, "swim", 2001) != base
+        monkeypatch.setattr(engine_mod, "SCHEMA_VERSION", 999)
+        assert run_key(ton, "swim", 2000) != base
+
+    def test_fingerprint_covers_microarchitecture(self):
+        assert "bpred_entries=2048" in config_fingerprint(model_config("TON"))
+        assert config_fingerprint(model_config("TON")) != config_fingerprint(
+            model_config("TOW")
+        )
+
+
+def _dummy_result(model="N", app="gzip", instructions=100):
+    return SimulationResult(
+        app_name=app, suite="SpecInt", model_name=model,
+        instructions=instructions, cycles=50.0,
+    )
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = _dummy_result()
+        store.store("ab" + "0" * 62, result)
+        assert store.load("ab" + "0" * 62) == result
+        assert store.hits == 1 and store.writes == 1
+
+    def test_miss_on_absent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load("cd" + "0" * 62) is None
+        assert store.misses == 1
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ef" + "0" * 62
+        store.store(key, _dummy_result())
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{not json")
+        assert store.load(key) is None
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "01" + "0" * 62
+        store.store(key, _dummy_result())
+        path = tmp_path / key[:2] / f"{key}.json"
+        record = json.loads(path.read_text())
+        record["result"]["schema_version"] = -1
+        path.write_text(json.dumps(record))
+        assert store.load(key) is None
+
+    def test_info_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for index in range(3):
+            store.store(f"{index:02x}" + "0" * 62, _dummy_result())
+        info = store.info()
+        assert info.entries == 3 and info.total_bytes > 0
+        assert info.path == tmp_path
+        assert store.clear() == 3
+        assert store.info().entries == 0
+
+    def test_default_root_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ResultStore().root == tmp_path / "elsewhere"
+
+
+class TestEngine:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentEngine(1000).run_one("QQ", "gzip")
+
+    def test_parallel_matches_serial_exactly(self):
+        tasks = [("N", "gzip"), ("N", "swim"), ("TON", "gzip"), ("TON", "swim")]
+        serial = ExperimentEngine(1200, jobs=1).run(tasks)
+        parallel = ExperimentEngine(1200, jobs=2).run(tasks)
+        assert serial == parallel
+
+    def test_store_serves_second_engine(self, tmp_path):
+        tasks = [("N", "gzip"), ("N", "swim")]
+        first = ExperimentEngine(1200, store=ResultStore(tmp_path))
+        results = first.run(tasks)
+        assert first.simulations_run == 2 and first.cache_hits == 0
+
+        second = ExperimentEngine(1200, store=ResultStore(tmp_path))
+        again = second.run(tasks)
+        assert second.simulations_run == 0 and second.cache_hits == 2
+        assert again == results
+
+    def test_store_keys_on_length(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ExperimentEngine(1200, store=store).run([("N", "gzip")])
+        other = ExperimentEngine(1300, store=ResultStore(tmp_path))
+        other.run([("N", "gzip")])
+        assert other.simulations_run == 1  # different length, no hit
+
+    def test_progress_reporting(self):
+        seen = []
+        engine = ExperimentEngine(
+            1200, progress=lambda *call: seen.append(call)
+        )
+        engine.run([("N", "gzip"), ("N", "swim")])
+        assert [c[:2] for c in seen] == [(1, 2), (2, 2)]
+        assert all(c[3] == "run" for c in seen)
+
+    def test_duplicate_tasks_run_once(self):
+        engine = ExperimentEngine(1200)
+        engine.run([("N", "gzip"), ("N", "gzip")])
+        assert engine.simulations_run == 1
+
+
+# -- fault injection ----------------------------------------------------------
+# Worker functions must be module-level so the pool can pickle them by
+# reference; the tests pin the fork start method so monkeypatched state and
+# environment markers are inherited by the children.
+
+
+def _crash_once_task(model: str, app: str, length: int) -> dict:
+    marker = pathlib.Path(os.environ["REPRO_TEST_CRASH_MARKER"])
+    if not marker.exists():
+        marker.write_text("crashed")
+        os._exit(17)
+    return _dummy_result(model, app, length).to_dict()
+
+
+def _always_crash_task(model: str, app: str, length: int) -> dict:
+    os._exit(17)
+
+
+def _sleepy_task(model: str, app: str, length: int) -> dict:
+    time.sleep(5.0)
+    return _dummy_result(model, app, length).to_dict()  # pragma: no cover
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="needs the fork start method")
+class TestFaultHandling:
+    def _engine(self, task_fn, **kwargs):
+        return ExperimentEngine(
+            100, jobs=2, task_fn=task_fn,
+            mp_context=multiprocessing.get_context("fork"), **kwargs,
+        )
+
+    def test_worker_crash_retried_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_TEST_CRASH_MARKER", str(tmp_path / "marker")
+        )
+        engine = self._engine(_crash_once_task)
+        results = engine.run([("N", "gzip"), ("N", "swim")])
+        assert set(results) == {("N", "gzip"), ("N", "swim")}
+
+    def test_persistent_crash_raises(self):
+        engine = self._engine(_always_crash_task)
+        with pytest.raises(ExperimentError, match="crashed twice"):
+            engine.run([("N", "gzip"), ("N", "swim")])
+
+    def test_stalled_grid_times_out(self):
+        engine = self._engine(_sleepy_task, timeout=0.4)
+        start = time.monotonic()
+        with pytest.raises(ExperimentError, match="finished within"):
+            engine.run([("N", "gzip"), ("N", "swim")])
+        assert time.monotonic() - start < 4.0  # workers were terminated
+
+
+class TestRunnerIntegration:
+    def test_from_scale(self):
+        runner = ExperimentRunner.from_scale(
+            Scale(apps=3, length=1500, jobs=2, cache=False)
+        )
+        assert runner.max_apps == 3 and runner.length == 1500
+        assert runner.jobs == 2 and runner.cache is False
+        assert runner.engine.store is None
+
+    def test_runner_counts_store_hits(self, tmp_path):
+        first = ExperimentRunner(
+            length=1200, max_apps=2, cache=True, cache_dir=tmp_path
+        )
+        first.results("N")
+        assert first.simulations_run == 2 and first.cache_hits == 0
+
+        second = ExperimentRunner(
+            length=1200, max_apps=2, cache=True, cache_dir=tmp_path
+        )
+        assert second.results("N") == first.results("N")
+        assert second.simulations_run == 0 and second.cache_hits == 2
+
+    def test_parallel_runner_grid_matches_serial(self, tmp_path):
+        serial = ExperimentRunner(length=1200, max_apps=2)
+        parallel = ExperimentRunner(
+            length=1200, max_apps=2, jobs=2, cache=True, cache_dir=tmp_path
+        )
+        assert serial.grid(["N", "TON"]) == parallel.grid(["N", "TON"])
+
+    def test_grid_memoises_across_calls(self):
+        runner = ExperimentRunner(length=1200, max_apps=2)
+        runner.grid(["N", "TON"])
+        runs = runner.simulations_run
+        runner.grid(["N", "TON"])
+        runner.results("N")
+        assert runner.simulations_run == runs
+        assert runner.runs_cached == 4

@@ -23,6 +23,7 @@ from repro.experiments.figures import (
     table3_1,
     table3_2,
 )
+from repro.experiments.engine import Scale
 from repro.experiments.runner import ExperimentRunner, bench_scale
 
 
@@ -83,17 +84,44 @@ class TestRunner:
         with pytest.raises(ExperimentError):
             ExperimentRunner().result("QQ", "gzip")
 
-    def test_bench_scale_env(self, monkeypatch):
+    def test_from_environment_uses_scale(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_APPS", "all")
         monkeypatch.setenv("REPRO_BENCH_LENGTH", "1234")
-        max_apps, length = bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "2")
+        monkeypatch.setenv("REPRO_BENCH_CACHE", "0")
+        runner = ExperimentRunner.from_environment()
+        assert runner.max_apps is None and runner.length == 1234
+        assert runner.jobs == 2 and runner.cache is False
+
+    def test_bench_scale_shim_deprecated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_APPS", "all")
+        monkeypatch.setenv("REPRO_BENCH_LENGTH", "1234")
+        with pytest.warns(DeprecationWarning, match="Scale.from_environment"):
+            max_apps, length = bench_scale()
         assert max_apps is None and length == 1234
 
-    def test_bench_scale_default(self, monkeypatch):
-        monkeypatch.delenv("REPRO_BENCH_APPS", raising=False)
-        monkeypatch.delenv("REPRO_BENCH_LENGTH", raising=False)
-        max_apps, length = bench_scale()
-        assert max_apps == 15 and length == 20000
+    def test_bench_scale_shim_matches_scale_defaults(self, monkeypatch):
+        for var in ("REPRO_BENCH_APPS", "REPRO_BENCH_LENGTH"):
+            monkeypatch.delenv(var, raising=False)
+        with pytest.warns(DeprecationWarning):
+            max_apps, length = bench_scale()
+        scale = Scale.from_environment()
+        assert (max_apps, length) == (scale.apps, scale.length) == (15, 20000)
+
+    def test_runner_exposes_engine_counters(self, tmp_path):
+        runner = ExperimentRunner(
+            length=1200, max_apps=2, cache=True, cache_dir=tmp_path
+        )
+        runner.result("N", "gzip")
+        assert runner.simulations_run == 1 and runner.cache_hits == 0
+        runner.result("N", "gzip")  # memo hit: no store read, no run
+        assert runner.simulations_run == 1 and runner.cache_hits == 0
+
+        fresh = ExperimentRunner(
+            length=1200, max_apps=2, cache=True, cache_dir=tmp_path
+        )
+        assert fresh.result("N", "gzip") == runner.result("N", "gzip")
+        assert fresh.simulations_run == 0 and fresh.cache_hits == 1
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,156 @@
+"""Property + integration tests: versioned result serialization.
+
+The parallel engine ships results across process boundaries and persists
+them in the on-disk store as ``to_dict()`` payloads, so the round trip
+must be *exact* — including through an actual JSON encode/decode, which
+is what the store does (JSON preserves Python floats bit-for-bit).
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.results import SCHEMA_VERSION, SimulationResult, TraceUnitStats
+from repro.power.energy import COMPONENTS, EnergyResult
+from repro.power.metrics import PerformanceEnergyPoint
+from repro.trace.tid import TraceId
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+counts = st.integers(min_value=0, max_value=2**40)
+names = st.text(min_size=1, max_size=12)
+
+
+@st.composite
+def trace_ids(draw):
+    num_branches = draw(st.integers(min_value=0, max_value=12))
+    directions = draw(st.integers(min_value=0, max_value=(1 << num_branches) - 1))
+    return TraceId(
+        start=draw(st.integers(min_value=0, max_value=2**40)),
+        directions=directions,
+        num_branches=num_branches,
+        num_instructions=draw(st.integers(min_value=0, max_value=256)),
+    )
+
+trace_stats_st = st.builds(
+    TraceUnitStats,
+    segments=counts,
+    traces_constructed=counts,
+    traces_optimized=counts,
+    optimizations_dropped=counts,
+    hot_executions=counts,
+    optimized_executions=counts,
+    trace_mispredicts=counts,
+    tcache_miss_on_predict=counts,
+    weighted_uop_reduction=finite,
+    weighted_dep_reduction=finite,
+    # Keyed by TraceId in real runs; bare ints appear in hand-built tests
+    # and must survive the round trip too.
+    optimized_exec_counts=st.dictionaries(
+        st.one_of(trace_ids(), st.integers(min_value=0, max_value=2**31)),
+        st.integers(min_value=0, max_value=2**31),
+        max_size=6,
+    ),
+)
+
+energy_st = st.builds(
+    EnergyResult,
+    dynamic=finite,
+    leakage=finite,
+    by_component=st.dictionaries(st.sampled_from(COMPONENTS), finite, max_size=6),
+)
+
+result_st = st.builds(
+    SimulationResult,
+    app_name=names,
+    suite=names,
+    model_name=names,
+    instructions=counts,
+    cycles=finite,
+    uops_cold=counts,
+    uops_hot=counts,
+    uops_wasted=counts,
+    hot_instructions=counts,
+    cold_branch_mispredicts=counts,
+    cold_branch_predictions=counts,
+    trace_predictions=counts,
+    trace_mispredictions=counts,
+    energy=st.one_of(st.none(), energy_st),
+    trace_stats=trace_stats_st,
+    events=st.dictionaries(names, finite, max_size=6),
+)
+
+
+class TestRoundTripProperties:
+    @given(result_st)
+    def test_simulation_result_exact_json_round_trip(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert SimulationResult.from_dict(payload) == result
+
+    @given(trace_stats_st)
+    def test_trace_stats_exact_round_trip(self, stats):
+        payload = json.loads(json.dumps(stats.to_dict()))
+        restored = TraceUnitStats.from_dict(payload)
+        assert restored == stats
+        # JSON stringifies the per-trace keys; from_dict must restore the
+        # original TraceId / int keys, not leave strings behind.
+        assert all(
+            isinstance(tid, (TraceId, int))
+            for tid in restored.optimized_exec_counts
+        )
+
+    @given(energy_st)
+    def test_energy_result_exact_round_trip(self, energy):
+        payload = json.loads(json.dumps(energy.to_dict()))
+        assert EnergyResult.from_dict(payload) == energy
+
+    @given(
+        instructions=st.integers(min_value=1, max_value=2**40),
+        cycles=st.floats(min_value=1e-9, max_value=1e12, allow_nan=False),
+        energy=st.floats(min_value=1e-9, max_value=1e12, allow_nan=False),
+    )
+    def test_performance_energy_point_round_trip(
+        self, instructions, cycles, energy
+    ):
+        point = PerformanceEnergyPoint(
+            instructions=instructions, cycles=cycles, energy=energy
+        )
+        payload = json.loads(json.dumps(point.to_dict()))
+        assert PerformanceEnergyPoint.from_dict(payload) == point
+
+
+class TestSchemaVersioning:
+    def test_payload_is_stamped(self):
+        result = SimulationResult(app_name="a", suite="s", model_name="N")
+        assert result.to_dict()["schema_version"] == SCHEMA_VERSION
+
+    @pytest.mark.parametrize("version", [None, 0, SCHEMA_VERSION + 1, "1"])
+    def test_mismatched_schema_rejected(self, version):
+        payload = SimulationResult(
+            app_name="a", suite="s", model_name="N"
+        ).to_dict()
+        payload["schema_version"] = version
+        with pytest.raises(ValueError, match="schema version"):
+            SimulationResult.from_dict(payload)
+
+    def test_missing_version_rejected(self):
+        payload = SimulationResult(
+            app_name="a", suite="s", model_name="N"
+        ).to_dict()
+        del payload["schema_version"]
+        with pytest.raises(ValueError):
+            SimulationResult.from_dict(payload)
+
+
+class TestRealRunRoundTrip:
+    def test_full_simulation_round_trips_exactly(self, swim_result_ton):
+        payload = json.loads(json.dumps(swim_result_ton.to_dict()))
+        restored = SimulationResult.from_dict(payload)
+        assert restored == swim_result_ton
+        # Derived metrics agree bit-for-bit too.
+        assert restored.ipc == swim_result_ton.ipc
+        assert restored.total_energy == swim_result_ton.total_energy
+        assert restored.point.cmpw == swim_result_ton.point.cmpw
+        assert (restored.trace_stats.mean_optimized_reuse
+                == swim_result_ton.trace_stats.mean_optimized_reuse)
