@@ -1,0 +1,46 @@
+"""Benchmark: single-run hot-path throughput (instructions per second).
+
+The repo's first *performance trajectory* point: one ``repro run``-shaped
+simulation (swim on TON) timed end to end, with throughput recorded in
+``benchmark.extra_info`` so the pytest-benchmark JSON doubles as the
+historical record.  No pass/fail threshold — regressions are caught by
+watching the trajectory, not by a flaky absolute gate.
+
+Reference trajectory on the development machine (swim, TON, 20k):
+
+* pre-optimization seed: ~137k instr/s
+* after the static-structure memoization + batch-executor PR: ~455k instr/s
+
+Scale follows ``REPRO_BENCH_LENGTH`` (default 20000) so CI can run a tiny
+smoke variant of the same benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.simulator import ParrotSimulator
+from repro.models.configs import model_config
+from repro.workloads.suite import application
+
+LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "20000"))
+
+
+def _simulate(app, config, length):
+    return ParrotSimulator(config).run(app, length)
+
+
+def test_single_run_throughput(benchmark):
+    app = application("swim")
+    config = model_config("TON")
+    _simulate(app, config, LENGTH)  # warm decode/plan flyweights + caches
+
+    result = benchmark(_simulate, app, config, LENGTH)
+
+    seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["instructions"] = LENGTH
+    benchmark.extra_info["instructions_per_second"] = round(LENGTH / seconds)
+
+    # Sanity only — the benchmark is a trajectory, not a gate.
+    assert result.ipc > 0
+    assert result.cycles > 0

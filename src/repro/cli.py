@@ -32,6 +32,7 @@ from repro.workloads.suite import ALL_APPS, application, benchmark_suite
 _EXAMPLES = """\
 examples:
   repro run swim --model TON --length 20000
+  repro profile swim TON --length 20000
   repro sweep --models N,TON --apps 15 --jobs 4
   repro figure fig4_1 headline --apps all
   repro figure fig4_2 --no-cache
@@ -138,6 +139,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one simulation: per-phase breakdown + cProfile dump."""
+    from repro.profiling import profile_run
+
+    try:
+        report = profile_run(args.app, args.model, args.length)
+    except KeyError:
+        print(f"unknown application {args.app!r}; run `repro list` to see "
+              f"the {len(ALL_APPS)} available applications", file=sys.stderr)
+        return 2
+    print(report.format(top=args.top))
+    report.stats.dump_stats(args.output)
+    print(f"\ncProfile dump written to {args.output} "
+          f"(inspect with `python -m pstats {args.output}`)")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Sweep models x applications; print an IPC/energy/CMPW table."""
     models = args.models.split(",")
@@ -229,6 +247,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--model", default="TON", choices=MODEL_NAMES)
     run.add_argument("--length", type=_positive_int, default=20_000)
     run.set_defaults(func=cmd_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one simulation (per-phase breakdown + cProfile dump)",
+    )
+    profile.add_argument("app", help="application name")
+    profile.add_argument("model", nargs="?", default="TON",
+                         choices=MODEL_NAMES)
+    profile.add_argument("--length", type=_positive_int, default=20_000)
+    profile.add_argument("--top", type=_positive_int, default=10,
+                         help="functions shown in the self-time table")
+    profile.add_argument("--output", default="repro-profile.pstats",
+                         metavar="FILE", help="cProfile dump destination")
+    profile.set_defaults(func=cmd_profile)
 
     sweep = sub.add_parser("sweep", help="sweep models over applications")
     sweep.add_argument("--models", default="N,TON")

@@ -22,7 +22,10 @@ from repro.power.metrics import PerformanceEnergyPoint
 from repro.trace.tid import TraceId
 
 #: Version of the serialized result schema (worker IPC + result store).
-SCHEMA_VERSION = 1
+#: v2: hot-path rework (batched executors, per-TID plan caches) — results
+#: are parity-checked bit-identical, but stored records predating the
+#: parity gate are retired rather than trusted.
+SCHEMA_VERSION = 2
 
 
 def _encode_exec_key(key: "TraceId | int") -> str:

@@ -30,27 +30,39 @@ from repro.core.config import MachineConfig
 from repro.core.results import SimulationResult, TraceUnitStats
 from repro.errors import SimulationError
 from repro.frontend.branch_predictor import BranchPredictor
-from repro.frontend.fetch import form_cold_groups, trace_fetch_cycles
+from repro.frontend.fetch import plan_cold_groups, trace_fetch_cycles
 from repro.frontend.trace_predictor import TracePredictor
-from repro.isa.opcodes import UopKind
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.pipeline.core import TimingCore
+from repro.pipeline.core import TimingCore, compile_plan_stats, compile_uop_row
 from repro.pipeline.resources import ExecProfile
 from repro.power.energy import EnergyModel
 from repro.power.events import EventCounts
 from repro.trace.selection import TraceSegment, TraceSelector
+from repro.trace.tid import TraceId
 from repro.trace.trace import TRACE_CAPACITY_UOPS, Trace
 from repro.workloads.program import Program
 from repro.workloads.stream import InstructionStream
 from repro.workloads.suite import Application
 
 
+#: Instructions pulled from the walker per bulk step of the segmentation
+#: loop (amortises the per-call overhead of the stream interface).
+_SEGMENT_BATCH = 4096
+
+
 def segment_stream(stream: InstructionStream) -> Iterator[TraceSegment]:
     """Partition a dynamic stream into trace-shaped segments, in order."""
     selector = TraceSelector()
-    while not stream.exhausted:
-        for segment in selector.feed(stream.take()):
-            yield segment
+    advance = selector.advance
+    take_batch = stream.take_batch
+    while True:
+        batch = take_batch(_SEGMENT_BATCH)
+        if not batch:
+            break
+        for dyn in batch:
+            completed = advance(dyn)
+            if completed is not None:
+                yield from completed
     yield from selector.flush()
 
 
@@ -137,6 +149,12 @@ class ParrotSimulator:
             else None
         )
 
+        # Per-run cold fetch-group plan cache.  Grouping depends only on a
+        # segment's instruction path, which a *complete* segment's TID fully
+        # determines; incomplete tail segments can alias a real TID and are
+        # never cached.
+        cold_plans: dict[TraceId, tuple] = {}
+
         last_pipeline = "cold"
         for segment in segment_stream(stream):
             executed_hot = False
@@ -162,13 +180,23 @@ class ParrotSimulator:
                         # Retire-time training: hot-committed CTIs still
                         # update the branch predictor (no fetch-time lookup
                         # was needed), keeping its global history coherent
-                        # for the interleaved cold code.
-                        for dyn in segment.instructions:
-                            if dyn.is_cti:
-                                bpred.predict_and_train(
-                                    dyn.instr, dyn.taken, dyn.next_address
-                                )
-                                events.add("bpred_update")
+                        # for the interleaved cold code.  The CTI positions
+                        # are a static property of the trace, cached on it.
+                        cti_indices = trace._cti_indices
+                        instrs = segment.instructions
+                        if cti_indices is None:
+                            cti_indices = tuple(
+                                i for i, dyn in enumerate(instrs)
+                                if dyn.instr.is_cti
+                            )
+                            trace._cti_indices = cti_indices
+                        for i in cti_indices:
+                            dyn = instrs[i]
+                            bpred.predict_and_train(
+                                dyn.instr, dyn.taken, dyn.next_address
+                            )
+                        if cti_indices:
+                            events.add("bpred_update", len(cti_indices))
                         executed_hot = True
                         last_pipeline = "hot"
                     else:
@@ -187,7 +215,7 @@ class ParrotSimulator:
                     core.stall_fetch(1)
                 core.set_profile(cold_profile)
                 self._execute_cold(
-                    core, hierarchy, bpred, events, result, segment
+                    core, hierarchy, bpred, events, result, segment, cold_plans
                 )
                 last_pipeline = "cold"
 
@@ -229,24 +257,26 @@ class ParrotSimulator:
         # per-resident-uop (a short optimized trace still burns a full
         # frame read).
         events.add("tcache_read", TRACE_CAPACITY_UOPS)
-        instructions = segment.instructions
-        per_cycle = self.config.fetch.trace_uops
-        group_cycle = core.begin_fetch_group()
-        in_group = 0
-        for uop in uops:
-            if in_group >= per_cycle:
-                group_cycle = core.begin_fetch_group()
-                in_group = 0
-            in_group += 1
-            mem_latency = 0
-            kind = uop.kind
-            if kind is UopKind.LOAD:
-                mem_latency = hierarchy.load_latency(
-                    instructions[uop.origin].effective_address
-                )
-            elif kind is UopKind.STORE:
-                hierarchy.store_access(instructions[uop.origin].effective_address)
-            core.run_uop(uop, group_cycle, mem_latency)
+        # Per-trace execution plan, compiled on first hot execution: group
+        # boundaries and uop rows are static per trace (uops never change
+        # once installed; optimization installs a new Trace).  One group of
+        # ``trace_uops`` rows streams from the trace cache per cycle.
+        plan = trace._hot_plan
+        if plan is None:
+            per_cycle = self.config.fetch.trace_uops
+            rows = [compile_uop_row(uop) for uop in uops]
+            groups = [
+                tuple(rows[i:i + per_cycle])
+                for i in range(0, len(rows), per_cycle)
+            ]
+            plan = (groups, *compile_plan_stats(rows))
+            trace._hot_plan = plan
+        core.run_hot_plan(
+            plan,
+            segment.instructions,
+            hierarchy.load_latency,
+            hierarchy.store_access,
+        )
         if trace.optimized and trace.virtual_renames:
             events.add("rename_virtual", trace.virtual_renames)
         trace.exec_count += 1
@@ -316,6 +346,37 @@ class ParrotSimulator:
 
     # -- cold pipeline -------------------------------------------------------------
 
+    @staticmethod
+    def _compile_cold_plan(instructions: list, params) -> tuple:
+        """Compile a segment's cold execution plan: groups of uop rows.
+
+        Returns ``(groups, n_uops, n_reads, n_writes, fu_counts, n_cti)``
+        — the groups plus the segment's static event totals (see
+        :func:`~repro.pipeline.core.compile_plan_stats`).  Each group is
+        ``(start_address, entries)``; each entry is ``(instr_index, rows,
+        is_cti)`` with one :func:`~repro.pipeline.core.compile_uop_row`
+        row per decoded uop.  Everything here is a static function of the
+        segment's instruction path, so complete segments cache the plan
+        per TID.
+        """
+        groups = []
+        all_rows = []
+        n_cti = 0
+        for start_idx, end_idx, start_address in plan_cold_groups(
+            instructions, params
+        ):
+            entries = []
+            for idx in range(start_idx, end_idx):
+                instr = instructions[idx].instr
+                rows = tuple(compile_uop_row(uop) for uop in instr.uops)
+                all_rows.extend(rows)
+                is_cti = instr.is_cti
+                if is_cti:
+                    n_cti += 1
+                entries.append((idx, rows, is_cti))
+            groups.append((start_address, entries))
+        return (groups, *compile_plan_stats(all_rows), n_cti)
+
     def _execute_cold(
         self,
         core: TimingCore,
@@ -324,41 +385,41 @@ class ParrotSimulator:
         events: EventCounts,
         result: SimulationResult,
         segment: TraceSegment,
+        cold_plans: dict[TraceId, tuple],
     ) -> None:
         """Execute a segment on the cold pipeline (icache fetch + decode)."""
-        for group in form_cold_groups(segment.instructions, self.config.fetch):
-            fetch_latency = hierarchy.fetch_latency(group.start_address)
-            group_cycle = core.begin_fetch_group(fetch_latency)
-            events.add("fetch_cycle")
-            events.add("decode_instr", len(group.instructions))
-            for dyn in group.instructions:
-                complete = 0.0
-                mem_latency = 0
-                for uop in dyn.instr.uops:
-                    kind = uop.kind
-                    mem_latency = 0
-                    if kind is UopKind.LOAD:
-                        mem_latency = hierarchy.load_latency(dyn.effective_address)
-                    elif kind is UopKind.STORE:
-                        hierarchy.store_access(dyn.effective_address)
-                    complete = core.run_uop(uop, group_cycle, mem_latency)
-                    result.uops_cold += 1
-                if dyn.is_cti:
-                    result.cold_branch_predictions += 1
-                    events.add("bpred_lookup")
-                    events.add("bpred_update")
-                    mispredicted = bpred.predict_and_train(
-                        dyn.instr, dyn.taken, dyn.next_address
-                    )
-                    if mispredicted:
-                        events.add("mispredict_flush")
-                        result.cold_branch_mispredicts += 1
-                        core.redirect_fetch(complete + 1)
-                        # Any remaining instructions of this fetch group sit
-                        # on the fall-through the front end did not fetch
-                        # (it redirected down the predicted path): they are
-                        # refetched after resolution.
-                        group_cycle = core.begin_fetch_group()
+        instructions = segment.instructions
+        complete_segment = segment.complete
+        plan = cold_plans.get(segment.tid) if complete_segment else None
+        if plan is None:
+            plan = self._compile_cold_plan(instructions, self.config.fetch)
+            if complete_segment:
+                cold_plans[segment.tid] = plan
+
+        n_misp = core.run_cold_plan(
+            plan,
+            instructions,
+            hierarchy.fetch_latency,
+            hierarchy.load_latency,
+            hierarchy.store_access,
+            bpred.predict_and_train,
+        )
+        groups, n_uops, _n_reads, _n_writes, _fu_counts, n_cti = plan
+        # Event totals, batched per segment (guarded: a zero count must not
+        # materialise an event key the per-occurrence form never created).
+        if groups:
+            events.add("fetch_cycle", len(groups))
+        n_instrs = len(instructions)
+        if n_instrs:
+            events.add("decode_instr", n_instrs)
+        result.uops_cold += n_uops
+        if n_cti:
+            result.cold_branch_predictions += n_cti
+            events.add("bpred_lookup", n_cti)
+            events.add("bpred_update", n_cti)
+        if n_misp:
+            result.cold_branch_mispredicts += n_misp
+            events.add("mispredict_flush", n_misp)
 
     # -- finalisation ---------------------------------------------------------------
 

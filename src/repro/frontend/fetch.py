@@ -77,6 +77,45 @@ def form_cold_groups(
         yield FetchGroup(group, start, bytes_used, ends_on_taken=False)
 
 
+def plan_cold_groups(
+    instructions: Sequence[DynamicInstruction], params: FetchParams
+) -> list[tuple[int, int, int]]:
+    """Group boundaries of :func:`form_cold_groups`, as index ranges.
+
+    Returns ``(start_idx, end_idx, start_address)`` per group — the
+    allocation-light form the simulator caches per TID (grouping depends
+    only on static lengths and taken flags, which the TID determines).
+    Boundaries match :func:`form_cold_groups` exactly.
+    """
+    groups: list[tuple[int, int, int]] = []
+    width_instrs = params.width_instrs
+    width_bytes = params.width_bytes
+    count = 0
+    bytes_used = 0
+    start_idx = 0
+    start = 0
+    for idx, dyn in enumerate(instructions):
+        instr = dyn.instr
+        if count and (
+            count >= width_instrs or bytes_used + instr.length > width_bytes
+        ):
+            groups.append((start_idx, idx, start))
+            count = 0
+            bytes_used = 0
+        if not count:
+            start_idx = idx
+            start = instr.address
+        count += 1
+        bytes_used += instr.length
+        if dyn.taken and instr.is_cti:
+            groups.append((start_idx, idx + 1, start))
+            count = 0
+            bytes_used = 0
+    if count:
+        groups.append((start_idx, len(instructions), start))
+    return groups
+
+
 def trace_fetch_cycles(num_uops: int, params: FetchParams) -> int:
     """Number of cycles to stream ``num_uops`` out of the trace cache."""
     if num_uops <= 0:

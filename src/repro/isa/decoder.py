@@ -17,6 +17,14 @@ from repro.isa.opcodes import InstrClass, UopKind
 from repro.isa.registers import FLAGS_REG, REG_NONE, STACK_REG
 
 
+#: Shared decode-template flyweight.  Two static instructions with the same
+#: (class, operands) expand to the same uop tuple; hardware computes that
+#: expansion once per decode — we compute it once per *process*.  Sharing is
+#: safe because templates are immutable by convention: every consumer that
+#: mutates uops (trace construction, the optimizer) copies them first.
+_TEMPLATE_CACHE: dict[tuple, tuple[Uop, ...]] = {}
+
+
 def decode_template(
     iclass: InstrClass,
     *,
@@ -30,8 +38,29 @@ def decode_template(
 
     ``fp_mul`` selects the multiply flavour of :data:`InstrClass.FP_ARITH`.
     Raises :class:`~repro.errors.DecodeError` for unknown classes or operand
-    shapes that the class cannot encode.
+    shapes that the class cannot encode.  Identical expansions are shared
+    (flyweight): callers must treat the returned uops as immutable and copy
+    before mutating, as the trace constructor and optimizer already do.
     """
+    key = (iclass, dest, src1, src2, imm, fp_mul)
+    template = _TEMPLATE_CACHE.get(key)
+    if template is None:
+        template = _expand_template(
+            iclass, dest=dest, src1=src1, src2=src2, imm=imm, fp_mul=fp_mul
+        )
+        _TEMPLATE_CACHE[key] = template
+    return template
+
+
+def _expand_template(
+    iclass: InstrClass,
+    *,
+    dest: int,
+    src1: int,
+    src2: int,
+    imm: int | None,
+    fp_mul: bool,
+) -> tuple[Uop, ...]:
     if iclass is InstrClass.SIMPLE_ALU:
         return (Uop(UopKind.ALU, dest, src1, src2),)
     if iclass is InstrClass.ALU_IMM:
@@ -126,16 +155,18 @@ def decode_template(
     raise DecodeError(f"unknown instruction class {iclass!r}")
 
 
+_UOP_COUNTS = {
+    InstrClass.INT_DIV: 2,
+    InstrClass.LOAD_OP: 2,
+    InstrClass.RMW: 3,
+    InstrClass.COMPLEX_ADDR: 2,
+    InstrClass.CALL_DIRECT: 2,
+    InstrClass.RETURN_NEAR: 2,
+    InstrClass.INDIRECT_JUMP: 2,
+    InstrClass.STRING_OP: 4,
+}
+
+
 def uop_count(iclass: InstrClass) -> int:
     """Number of uops a class decodes into (without building the template)."""
-    counts = {
-        InstrClass.INT_DIV: 2,
-        InstrClass.LOAD_OP: 2,
-        InstrClass.RMW: 3,
-        InstrClass.COMPLEX_ADDR: 2,
-        InstrClass.CALL_DIRECT: 2,
-        InstrClass.RETURN_NEAR: 2,
-        InstrClass.INDIRECT_JUMP: 2,
-        InstrClass.STRING_OP: 4,
-    }
-    return counts.get(iclass, 1)
+    return _UOP_COUNTS.get(iclass, 1)

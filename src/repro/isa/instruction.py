@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.isa.opcodes import (
     CTI_CLASSES,
     CTI_KINDS,
+    FLOW_CODE,
     UOP_FU,
     UOP_LATENCY,
     FuClass,
@@ -129,21 +130,24 @@ class MacroInstruction:
     iclass: InstrClass
     uops: tuple[Uop, ...]
     taken_target: int | None = None
+    # Derived attributes, precomputed once per *static* instruction.  The
+    # walker and the trace selector read them once per *dynamic* occurrence,
+    # where a property call costs more than the value it wraps; identity,
+    # equality and repr intentionally ignore them.
+    #: Number of uops this instruction decodes into (``len(uops)``).
+    num_uops: int = field(init=False, repr=False, compare=False, default=0)
+    #: True when this instruction may transfer control.
+    is_cti: bool = field(init=False, repr=False, compare=False, default=False)
+    #: Address of the sequentially next instruction.
+    fallthrough: int = field(init=False, repr=False, compare=False, default=0)
+    #: Control-flow dispatch code (:data:`~repro.isa.opcodes.FLOW_CODE`).
+    flow_code: int = field(init=False, repr=False, compare=False, default=0)
 
-    @property
-    def is_cti(self) -> bool:
-        """True when this instruction may transfer control."""
-        return self.iclass in CTI_CLASSES
-
-    @property
-    def fallthrough(self) -> int:
-        """Address of the sequentially next instruction."""
-        return self.address + self.length
-
-    @property
-    def num_uops(self) -> int:
-        """Number of uops this instruction decodes into."""
-        return len(self.uops)
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "num_uops", len(self.uops))
+        object.__setattr__(self, "is_cti", self.iclass in CTI_CLASSES)
+        object.__setattr__(self, "fallthrough", self.address + self.length)
+        object.__setattr__(self, "flow_code", FLOW_CODE.get(self.iclass, 0))
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         body = "; ".join(str(u) for u in self.uops)

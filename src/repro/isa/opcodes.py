@@ -189,3 +189,27 @@ CTI_CLASSES = frozenset(
         InstrClass.SOFTWARE_INT,
     }
 )
+
+# Control-flow dispatch codes.  The stream walker and the trace selector
+# both dispatch on the control-flow-relevant instruction classes once per
+# *dynamic* instruction; a chain of enum identity comparisons there costs
+# several attribute loads per instruction.  Each static instruction instead
+# carries one of these plain ints (``MacroInstruction.flow_code``,
+# precomputed at decode), and the hot loops compare small ints.
+FLOW_PLAIN = 0          #: no control transfer (also SOFTWARE_INT in the walker)
+FLOW_COND_BRANCH = 1
+FLOW_DIRECT_JUMP = 2
+FLOW_CALL = 3
+FLOW_RETURN = 4
+FLOW_INDIRECT_JUMP = 5
+FLOW_SOFTWARE_INT = 6
+
+#: InstrClass -> flow code (classes absent from the map are FLOW_PLAIN).
+FLOW_CODE: dict[InstrClass, int] = {
+    InstrClass.COND_BRANCH: FLOW_COND_BRANCH,
+    InstrClass.DIRECT_JUMP: FLOW_DIRECT_JUMP,
+    InstrClass.CALL_DIRECT: FLOW_CALL,
+    InstrClass.RETURN_NEAR: FLOW_RETURN,
+    InstrClass.INDIRECT_JUMP: FLOW_INDIRECT_JUMP,
+    InstrClass.SOFTWARE_INT: FLOW_SOFTWARE_INT,
+}

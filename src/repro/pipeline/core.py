@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from repro.errors import SimulationError
 from repro.isa.instruction import Uop
-from repro.isa.opcodes import UOP_FU, UOP_LATENCY, FuClass
+from repro.isa.opcodes import UOP_FU, UOP_LATENCY, FuClass, UopKind
 from repro.isa.registers import NUM_ARCH_REGS, REG_NONE
 from repro.pipeline.resources import CoreParams, ExecProfile
 from repro.power.events import EventCounts
@@ -41,19 +41,113 @@ from repro.power.events import EventCounts
 _PRUNE_INTERVAL = 8192
 
 
+def compile_uop_row(uop: Uop) -> tuple:
+    """Precompute one uop's planned-execution row.
+
+    The batch executors (:meth:`TimingCore.run_hot_plan`,
+    :meth:`TimingCore.run_cold_plan`) replay these rows instead of reading
+    ``Uop`` attributes and the per-kind latency/FU tables on every dynamic
+    execution.  Row layout::
+
+        (fu, latency, src1, src2, extra_srcs, dest, dest2, mem_code, origin)
+
+    with ``mem_code`` 1 for loads, 2 for stores, 0 otherwise.
+    """
+    kind = uop.kind
+    if kind is UopKind.LOAD:
+        mem_code = 1
+    elif kind is UopKind.STORE:
+        mem_code = 2
+    else:
+        mem_code = 0
+    return (
+        UOP_FU[kind],
+        UOP_LATENCY[kind],
+        uop.src1,
+        uop.src2,
+        uop.extra_srcs,
+        uop.dest,
+        uop.dest2,
+        mem_code,
+        uop.origin,
+    )
+
+
+def compile_plan_stats(rows: list) -> tuple[int, int, int, tuple]:
+    """Static event totals of a sequence of planned uop rows.
+
+    Register reads/writes and per-FU execution counts do not depend on
+    dynamic state, so the batch executors charge them once per executed
+    plan instead of counting inside the per-uop loop.  Returns
+    ``(n_uops, n_src_reads, n_dest_writes, ((fu, count), ...))``.
+    """
+    n_reads = 0
+    n_writes = 0
+    fu_counts: dict[FuClass, int] = {}
+    for fu, _lat, src1, src2, extra, dest, dest2, _mem, _origin in rows:
+        if src1 != REG_NONE:
+            n_reads += 1
+        if src2 != REG_NONE:
+            n_reads += 1
+        if extra:
+            n_reads += len(extra)
+        if dest != REG_NONE:
+            n_writes += 1
+        if dest2 != REG_NONE:
+            n_writes += 1
+        fu_counts[fu] = fu_counts.get(fu, 0) + 1
+    return len(rows), n_reads, n_writes, tuple(fu_counts.items())
+
+
 class TimingCore:
     """One-pass cycle-level timing engine for an OOO execution core."""
+
+    __slots__ = (
+        "params",
+        "events",
+        "profile",
+        "reg_ready",
+        "fetch_cycle",
+        "_last_dispatch",
+        "_disp_cycle",
+        "_disp_used",
+        "_front_depth",
+        "_rob_size",
+        "_win_size",
+        "_rename_width",
+        "_issue_width",
+        "_commit_step",
+        "_fu_counts",
+        "_rob_ring",
+        "_rob_idx",
+        "_win_ring",
+        "_win_idx",
+        "_commit_time",
+        "_issue_slots",
+        "_fu_slots",
+        "uops_executed",
+        "_since_prune",
+        "_n_src_reads",
+        "_n_dest_writes",
+        "_n_exec",
+        "_events_flushed",
+    )
 
     def __init__(self, params: CoreParams, events: EventCounts | None = None):
         self.params = params
         self.events = events if events is not None else EventCounts()
-        self.profile = ExecProfile.from_params(params)
         self.reg_ready = [0] * NUM_ARCH_REGS
 
         self.fetch_cycle = 0
         self._last_dispatch = 0
         self._disp_cycle = 0
         self._disp_used = 0
+
+        # Structural constants, pulled out of ``params`` once: the per-uop
+        # path reads them every call.
+        self._front_depth = params.front_depth
+        self._rob_size = params.rob_size
+        self._win_size = params.window_size
 
         self._rob_ring = [0.0] * params.rob_size
         self._rob_idx = 0
@@ -74,12 +168,18 @@ class TimingCore:
         self._n_dest_writes = 0
         self._n_exec: dict[FuClass, int] = {fu: 0 for fu in FuClass}
         self._events_flushed = False
+        self.set_profile(ExecProfile.from_params(params))
 
     # -- pipeline-selection hooks ------------------------------------------
 
     def set_profile(self, profile: ExecProfile) -> None:
         """Switch execution widths (split-core machines switch per pipeline)."""
         self.profile = profile
+        # Width caches: switches are per-segment at most, reads are per-uop.
+        self._rename_width = profile.rename_width
+        self._issue_width = profile.issue_width
+        self._commit_step = 1.0 / profile.commit_width
+        self._fu_counts = profile.fu_counts
         for fu in profile.fu_counts:
             if fu not in self._fu_slots:
                 self._fu_slots[fu] = {}
@@ -115,11 +215,8 @@ class TimingCore:
         missed (the caller resolves the hierarchy).  Returns the completion
         (writeback) cycle, which the caller uses to resolve branches.
         """
-        profile = self.profile
-        events = self.events
-
         # ---- dispatch: in order, rename-width limited, ROB/window gated.
-        dispatch = group_cycle + self.params.front_depth
+        dispatch = group_cycle + self._front_depth
         if self._last_dispatch > dispatch:
             dispatch = self._last_dispatch
         rob_gate = self._rob_ring[self._rob_idx]
@@ -133,7 +230,7 @@ class TimingCore:
             self._disp_used = 0
         else:
             dispatch = self._disp_cycle
-        if self._disp_used >= profile.rename_width:
+        if self._disp_used >= self._rename_width:
             self._disp_cycle += 1
             self._disp_used = 0
             dispatch = self._disp_cycle
@@ -143,29 +240,32 @@ class TimingCore:
         # ---- operand readiness (wakeup).
         ready = dispatch + 1
         reg_ready = self.reg_ready
+        n_reads = 0
         src = uop.src1
         if src != REG_NONE:
             r = reg_ready[src]
             if r > ready:
                 ready = r
-            self._n_src_reads += 1
+            n_reads = 1
         src = uop.src2
         if src != REG_NONE:
             r = reg_ready[src]
             if r > ready:
                 ready = r
-            self._n_src_reads += 1
+            n_reads += 1
         if uop.extra_srcs:
             for src in uop.extra_srcs:
                 r = reg_ready[src]
                 if r > ready:
                     ready = r
-                self._n_src_reads += 1
+                n_reads += 1
+        if n_reads:
+            self._n_src_reads += n_reads
 
         # ---- issue: first cycle with a free issue slot and functional unit.
         kind = uop.kind
         fu = UOP_FU[kind]
-        issue = self._find_issue_slot(int(ready), fu, profile)
+        issue = self._find_issue_slot(int(ready), fu)
 
         # ---- execute.
         latency = UOP_LATENCY[kind]
@@ -173,22 +273,26 @@ class TimingCore:
             latency = mem_latency
         complete = issue + latency
 
-        if uop.dest != REG_NONE:
-            reg_ready[uop.dest] = complete
+        dest = uop.dest
+        if dest != REG_NONE:
+            reg_ready[dest] = complete
             self._n_dest_writes += 1
-        if uop.dest2 != REG_NONE:
-            reg_ready[uop.dest2] = complete
+        dest = uop.dest2
+        if dest != REG_NONE:
+            reg_ready[dest] = complete
             self._n_dest_writes += 1
 
         # ---- commit: in order at commit width, after completion.
-        commit = self._commit_time + 1.0 / profile.commit_width
+        commit = self._commit_time + self._commit_step
         if complete + 1 > commit:
             commit = complete + 1.0
         self._commit_time = commit
-        self._rob_ring[self._rob_idx] = commit
-        self._rob_idx = (self._rob_idx + 1) % self.params.rob_size
-        self._win_ring[self._win_idx] = issue
-        self._win_idx = (self._win_idx + 1) % self.params.window_size
+        rob_idx = self._rob_idx
+        self._rob_ring[rob_idx] = commit
+        self._rob_idx = (rob_idx + 1) % self._rob_size
+        win_idx = self._win_idx
+        self._win_ring[win_idx] = issue
+        self._win_idx = (win_idx + 1) % self._win_size
 
         # ---- per-uop structural energy events (batched; see flush_events).
         self._n_exec[fu] += 1
@@ -199,7 +303,7 @@ class TimingCore:
             self._prune_slots()
         return complete
 
-    def _find_issue_slot(self, earliest: int, fu: FuClass, profile: ExecProfile) -> int:
+    def _find_issue_slot(self, earliest: int, fu: FuClass) -> int:
         """First cycle at or after ``earliest`` with issue + FU slots free.
 
         The scan is linear from each uop's ready time.  A skip-ahead cursor
@@ -210,24 +314,366 @@ class TimingCore:
         if a profile ever shows otherwise.
         """
         issue_slots = self._issue_slots
-        issue_width = profile.issue_width
+        issue_width = self._issue_width
+        issue_get = issue_slots.get
         if fu is FuClass.NONE:
             cycle = earliest
-            while issue_slots.get(cycle, 0) >= issue_width:
+            while True:
+                used = issue_get(cycle, 0)
+                if used < issue_width:
+                    break
                 cycle += 1
-            issue_slots[cycle] = issue_slots.get(cycle, 0) + 1
+            issue_slots[cycle] = used + 1
             return cycle
         fu_slots = self._fu_slots[fu]
-        fu_width = profile.fu_counts.get(fu, 1)
+        fu_width = self._fu_counts.get(fu, 1)
+        fu_get = fu_slots.get
         cycle = earliest
-        while (
-            issue_slots.get(cycle, 0) >= issue_width
-            or fu_slots.get(cycle, 0) >= fu_width
-        ):
+        while True:
+            used = issue_get(cycle, 0)
+            if used < issue_width:
+                fu_used = fu_get(cycle, 0)
+                if fu_used < fu_width:
+                    break
             cycle += 1
-        issue_slots[cycle] = issue_slots.get(cycle, 0) + 1
-        fu_slots[cycle] = fu_slots.get(cycle, 0) + 1
+        issue_slots[cycle] = used + 1
+        fu_slots[cycle] = fu_used + 1
         return cycle
+
+    def run_hot_plan(
+        self,
+        plan: tuple,
+        instructions: list,
+        load_latency,
+        store_access,
+    ) -> None:
+        """Execute a hot trace's planned uop groups in one pass.
+
+        ``plan`` is ``(groups, n_uops, n_reads, n_writes, fu_counts)``
+        (see :func:`compile_plan_stats`); each group is a sequence of
+        :func:`compile_uop_row` rows, one group streaming from the trace
+        cache per cycle.  ``load_latency``/``store_access`` are the memory
+        hierarchy's bound methods; memory rows bind to the current dynamic
+        execution through their ``origin`` index into ``instructions``.
+
+        Semantically identical to ``begin_fetch_group()`` +
+        :meth:`run_uop` per row — but with the whole per-uop state held in
+        locals and the static event totals charged once per plan, which is
+        worth ~2x on the per-uop path in CPython.  Keep the timing logic
+        in lockstep with :meth:`run_uop` (the reference implementation);
+        the parity suite pins their agreement.
+        """
+        groups, n_uops, n_reads, n_writes, plan_fu_counts = plan
+        # ---- hoist all per-uop state to locals.
+        fetch_cycle = self.fetch_cycle
+        front_depth = self._front_depth
+        rename_width = self._rename_width
+        issue_width = self._issue_width
+        commit_step = self._commit_step
+        fu_counts = self._fu_counts
+        rob_size = self._rob_size
+        win_size = self._win_size
+        last_dispatch = self._last_dispatch
+        disp_cycle = self._disp_cycle
+        disp_used = self._disp_used
+        rob_ring = self._rob_ring
+        rob_idx = self._rob_idx
+        win_ring = self._win_ring
+        win_idx = self._win_idx
+        commit_time = self._commit_time
+        reg_ready = self.reg_ready
+        issue_slots = self._issue_slots
+        issue_get = issue_slots.get
+        fu_slot_map = self._fu_slots
+        none_fu = FuClass.NONE
+        reg_none = REG_NONE
+
+        for rows in groups:
+            fetch_cycle += 1
+            group_cycle = fetch_cycle
+            for (fu, latency, src1, src2, extra, dest, dest2,
+                 mem_code, origin) in rows:
+                mem_latency = 0
+                if mem_code:
+                    dyn = instructions[origin]
+                    addr = dyn.mem_addr
+                    if addr is None:
+                        addr = dyn.instr.address
+                    if mem_code == 1:
+                        mem_latency = load_latency(addr)
+                    else:
+                        store_access(addr)
+
+                # ---- dispatch (mirrors run_uop).
+                dispatch = group_cycle + front_depth
+                if last_dispatch > dispatch:
+                    dispatch = last_dispatch
+                rob_gate = rob_ring[rob_idx]
+                if rob_gate > dispatch:
+                    dispatch = int(rob_gate) + 1
+                win_gate = win_ring[win_idx]
+                if win_gate > dispatch:
+                    dispatch = win_gate
+                if dispatch > disp_cycle:
+                    disp_cycle = dispatch
+                    disp_used = 0
+                else:
+                    dispatch = disp_cycle
+                if disp_used >= rename_width:
+                    disp_cycle += 1
+                    disp_used = 0
+                    dispatch = disp_cycle
+                disp_used += 1
+                last_dispatch = dispatch
+
+                # ---- operand readiness.
+                ready = dispatch + 1
+                if src1 != reg_none:
+                    r = reg_ready[src1]
+                    if r > ready:
+                        ready = r
+                if src2 != reg_none:
+                    r = reg_ready[src2]
+                    if r > ready:
+                        ready = r
+                if extra:
+                    for src in extra:
+                        r = reg_ready[src]
+                        if r > ready:
+                            ready = r
+
+                # ---- issue (mirrors _find_issue_slot).
+                cycle = int(ready)
+                if fu is none_fu:
+                    while True:
+                        used = issue_get(cycle, 0)
+                        if used < issue_width:
+                            break
+                        cycle += 1
+                    issue_slots[cycle] = used + 1
+                else:
+                    fu_slots = fu_slot_map[fu]
+                    fu_width = fu_counts.get(fu, 1)
+                    fu_get = fu_slots.get
+                    while True:
+                        used = issue_get(cycle, 0)
+                        if used < issue_width:
+                            fu_used = fu_get(cycle, 0)
+                            if fu_used < fu_width:
+                                break
+                        cycle += 1
+                    issue_slots[cycle] = used + 1
+                    fu_slots[cycle] = fu_used + 1
+
+                # ---- execute.
+                if mem_latency:
+                    latency = mem_latency
+                complete = cycle + latency
+                if dest != reg_none:
+                    reg_ready[dest] = complete
+                if dest2 != reg_none:
+                    reg_ready[dest2] = complete
+
+                # ---- commit.
+                commit = commit_time + commit_step
+                if complete + 1 > commit:
+                    commit = complete + 1.0
+                commit_time = commit
+                rob_ring[rob_idx] = commit
+                rob_idx = (rob_idx + 1) % rob_size
+                win_ring[win_idx] = cycle
+                win_idx = (win_idx + 1) % win_size
+
+        # ---- write state back; charge the plan's static event totals.
+        self.fetch_cycle = fetch_cycle
+        self._last_dispatch = last_dispatch
+        self._disp_cycle = disp_cycle
+        self._disp_used = disp_used
+        self._rob_idx = rob_idx
+        self._win_idx = win_idx
+        self._commit_time = commit_time
+        self._n_src_reads += n_reads
+        self._n_dest_writes += n_writes
+        n_exec = self._n_exec
+        for fu, count in plan_fu_counts:
+            n_exec[fu] += count
+        self.uops_executed += n_uops
+        self._since_prune += n_uops
+        if self._since_prune >= _PRUNE_INTERVAL:
+            self._prune_slots()
+
+    def run_cold_plan(
+        self,
+        plan: tuple,
+        instructions: list,
+        fetch_latency,
+        load_latency,
+        store_access,
+        predict_and_train,
+    ) -> int:
+        """Execute a cold segment's planned fetch groups in one pass.
+
+        ``plan`` is ``(groups, n_uops, n_reads, n_writes, fu_counts,
+        n_cti)``; each group is ``(start_address, instr_entries)``, each
+        entry ``(index, rows, is_cti)`` with :func:`compile_uop_row` rows.
+        Per group the icache is probed (``fetch_latency``); per CTI the
+        branch predictor trains, and a mispredict redirects fetch past the
+        resolving uop's completion and opens a fresh group.
+
+        Returns the number of mispredicts.  Timing is in lockstep with
+        the per-uop path (see :meth:`run_hot_plan`).
+        """
+        groups, n_uops, n_reads, n_writes, plan_fu_counts, _n_cti = plan
+        fetch_cycle = self.fetch_cycle
+        front_depth = self._front_depth
+        rename_width = self._rename_width
+        issue_width = self._issue_width
+        commit_step = self._commit_step
+        fu_counts = self._fu_counts
+        rob_size = self._rob_size
+        win_size = self._win_size
+        last_dispatch = self._last_dispatch
+        disp_cycle = self._disp_cycle
+        disp_used = self._disp_used
+        rob_ring = self._rob_ring
+        rob_idx = self._rob_idx
+        win_ring = self._win_ring
+        win_idx = self._win_idx
+        commit_time = self._commit_time
+        reg_ready = self.reg_ready
+        issue_slots = self._issue_slots
+        issue_get = issue_slots.get
+        fu_slot_map = self._fu_slots
+        n_misp = 0
+        none_fu = FuClass.NONE
+        reg_none = REG_NONE
+
+        for start_address, entries in groups:
+            fetch_cycle += 1 + fetch_latency(start_address)
+            group_cycle = fetch_cycle
+            for idx, rows, is_cti in entries:
+                dyn = instructions[idx]
+                complete = 0.0
+                for (fu, latency, src1, src2, extra, dest, dest2,
+                     mem_code, origin) in rows:
+                    mem_latency = 0
+                    if mem_code:
+                        addr = dyn.mem_addr
+                        if addr is None:
+                            addr = dyn.instr.address
+                        if mem_code == 1:
+                            mem_latency = load_latency(addr)
+                        else:
+                            store_access(addr)
+
+                    # ---- dispatch (mirrors run_uop).
+                    dispatch = group_cycle + front_depth
+                    if last_dispatch > dispatch:
+                        dispatch = last_dispatch
+                    rob_gate = rob_ring[rob_idx]
+                    if rob_gate > dispatch:
+                        dispatch = int(rob_gate) + 1
+                    win_gate = win_ring[win_idx]
+                    if win_gate > dispatch:
+                        dispatch = win_gate
+                    if dispatch > disp_cycle:
+                        disp_cycle = dispatch
+                        disp_used = 0
+                    else:
+                        dispatch = disp_cycle
+                    if disp_used >= rename_width:
+                        disp_cycle += 1
+                        disp_used = 0
+                        dispatch = disp_cycle
+                    disp_used += 1
+                    last_dispatch = dispatch
+
+                    # ---- operand readiness.
+                    ready = dispatch + 1
+                    if src1 != reg_none:
+                        r = reg_ready[src1]
+                        if r > ready:
+                            ready = r
+                    if src2 != reg_none:
+                        r = reg_ready[src2]
+                        if r > ready:
+                            ready = r
+                    if extra:
+                        for src in extra:
+                            r = reg_ready[src]
+                            if r > ready:
+                                ready = r
+
+                    # ---- issue (mirrors _find_issue_slot).
+                    cycle = int(ready)
+                    if fu is none_fu:
+                        while True:
+                            used = issue_get(cycle, 0)
+                            if used < issue_width:
+                                break
+                            cycle += 1
+                        issue_slots[cycle] = used + 1
+                    else:
+                        fu_slots = fu_slot_map[fu]
+                        fu_width = fu_counts.get(fu, 1)
+                        fu_get = fu_slots.get
+                        while True:
+                            used = issue_get(cycle, 0)
+                            if used < issue_width:
+                                fu_used = fu_get(cycle, 0)
+                                if fu_used < fu_width:
+                                    break
+                            cycle += 1
+                        issue_slots[cycle] = used + 1
+                        fu_slots[cycle] = fu_used + 1
+
+                    # ---- execute.
+                    if mem_latency:
+                        latency = mem_latency
+                    complete = cycle + latency
+                    if dest != reg_none:
+                        reg_ready[dest] = complete
+                    if dest2 != reg_none:
+                        reg_ready[dest2] = complete
+
+                    # ---- commit.
+                    commit = commit_time + commit_step
+                    if complete + 1 > commit:
+                        commit = complete + 1.0
+                    commit_time = commit
+                    rob_ring[rob_idx] = commit
+                    rob_idx = (rob_idx + 1) % rob_size
+                    win_ring[win_idx] = cycle
+                    win_idx = (win_idx + 1) % win_size
+
+                if is_cti:
+                    if predict_and_train(dyn.instr, dyn.taken, dyn.next_address):
+                        n_misp += 1
+                        # Redirect past the resolving uop, then refetch the
+                        # fall-through the front end did not pursue.
+                        resolved = int(complete + 1)
+                        if resolved > fetch_cycle:
+                            fetch_cycle = resolved
+                        fetch_cycle += 1
+                        group_cycle = fetch_cycle
+
+        self.fetch_cycle = fetch_cycle
+        self._last_dispatch = last_dispatch
+        self._disp_cycle = disp_cycle
+        self._disp_used = disp_used
+        self._rob_idx = rob_idx
+        self._win_idx = win_idx
+        self._commit_time = commit_time
+        self._n_src_reads += n_reads
+        self._n_dest_writes += n_writes
+        n_exec = self._n_exec
+        for fu, count in plan_fu_counts:
+            n_exec[fu] += count
+        self.uops_executed += n_uops
+        self._since_prune += n_uops
+        if self._since_prune >= _PRUNE_INTERVAL:
+            self._prune_slots()
+        return n_misp
 
     def _prune_slots(self) -> None:
         """Drop slot bookkeeping for cycles no future uop can target.

@@ -2,7 +2,7 @@
 
 from repro.trace.filters import CounterFilter, FilterStats
 from repro.trace.selection import TraceSegment, TraceSelector
-from repro.trace.tid import TidBuilder, TraceId
+from repro.trace.tid import TidBuilder, TraceId, intern_tid
 from repro.trace.trace import (
     TRACE_CAPACITY_UOPS,
     Trace,
@@ -26,4 +26,5 @@ __all__ = [
     "asap_levels",
     "build_trace",
     "critical_path_length",
+    "intern_tid",
 ]

@@ -17,16 +17,32 @@ selection criteria:
 
 Because the criteria are pure functions of the committed stream, the same
 partition is recovered on every execution — this determinism is what lets
-PARROT compact TIDs into an address plus a branch-direction string.
+PARROT compact TIDs into an address plus a branch-direction string.  The
+same determinism makes TIDs *canonical*: a trace shape is fully identified
+by (start, directions, branch count, instruction count), so the selector
+hash-conses every TID it emits (:func:`~repro.trace.tid.intern_tid`) and
+the join test degenerates to one pointer comparison.
+
+This module is on the per-dynamic-instruction hot path of every
+simulation; the selection state is kept as plain ints and the dispatch
+uses the precomputed :attr:`~repro.isa.instruction.MacroInstruction.flow_code`
+rather than enum chains.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 from repro.isa.instruction import DynamicInstruction
-from repro.isa.opcodes import InstrClass
-from repro.trace.tid import TidBuilder, TraceId
+from repro.isa.opcodes import (
+    FLOW_CALL,
+    FLOW_COND_BRANCH,
+    FLOW_DIRECT_JUMP,
+    FLOW_RETURN,
+    FLOW_SOFTWARE_INT,
+)
+from repro.trace.tid import TraceId, intern_tid
 from repro.trace.trace import TRACE_CAPACITY_UOPS
 
 
@@ -55,23 +71,36 @@ class TraceSegment:
         return len(self.instructions)
 
 
-@dataclass(slots=True)
-class _BaseSegment:
-    tid: TraceId
-    instructions: list[DynamicInstruction]
-    uop_count: int
-
-
 class TraceSelector:
     """Segment the committed stream according to the selection criteria."""
+
+    __slots__ = (
+        "capacity_uops",
+        "_instructions",
+        "_uops",
+        "_start",
+        "_directions",
+        "_num_branches",
+        "_context_depth",
+        "_pending",
+        "_pending_base_tid",
+        "terminations",
+    )
 
     def __init__(self, capacity_uops: int = TRACE_CAPACITY_UOPS):
         self.capacity_uops = capacity_uops
         self._instructions: list[DynamicInstruction] = []
         self._uops = 0
-        self._tid: TidBuilder | None = None
+        # In-progress TID accumulator, inlined as plain ints (one TID is
+        # built per segment, but the fields are touched per instruction).
+        self._start: int | None = None
+        self._directions = 0
+        self._num_branches = 0
         self._context_depth = 0
         self._pending: TraceSegment | None = None
+        #: TID of one base copy of the pending segment; joining requires the
+        #: next base's (interned) TID to be this very object.
+        self._pending_base_tid: TraceId | None = None
         # Selection statistics: termination-cause histogram, plus the
         # "joined" counter which counts merge events (a joined base also
         # appears under its own termination cause).
@@ -92,55 +121,92 @@ class TraceSelector:
         At most two segments can complete on a single instruction (a
         capacity flush followed by a join flush).
         """
-        completed: list[TraceSegment] = []
+        completed = self.advance(dyn)
+        return completed if completed is not None else []
+
+    def segments(
+        self, instructions: Iterable[DynamicInstruction]
+    ) -> Iterator[TraceSegment]:
+        """Partition a whole dynamic stream, in order (then flush).
+
+        Bulk-consumption fast path: equivalent to feeding every instruction
+        and flushing, without one list allocation per instruction.
+        """
+        advance = self.advance
+        for dyn in instructions:
+            completed = advance(dyn)
+            if completed is not None:
+                yield from completed
+        yield from self.flush()
+
+    def advance(self, dyn: DynamicInstruction) -> list[TraceSegment] | None:
+        """Consume one instruction; return completed segments or None.
+
+        This is the per-dynamic-instruction hot path: local bindings and
+        int dispatch throughout, no allocations on the common (no segment
+        completed) route.
+        """
+        completed: list[TraceSegment] | None = None
+        instr = dyn.instr
+        num_uops = instr.num_uops
 
         # Capacity: terminate *before* an instruction that would overflow.
-        if self._uops and self._uops + dyn.instr.num_uops > self.capacity_uops:
+        uops = self._uops
+        if uops and uops + num_uops > self.capacity_uops:
             self.terminations["capacity"] += 1
-            segment = self._close_base()
-            finished = self._push_base(segment)
+            finished = self._push_base(self._close_base())
             if finished is not None:
-                completed.append(finished)
+                completed = [finished]
 
-        if self._tid is None:
-            self._tid = TidBuilder(dyn.address)
+        if self._start is None:
+            self._start = instr.address
+            self._directions = 0
+            self._num_branches = 0
             self._context_depth = 0
 
         self._instructions.append(dyn)
-        self._uops += dyn.instr.num_uops
-        self._tid.record_instruction()
+        self._uops += num_uops
+
+        code = instr.flow_code
+        if not code:
+            return completed
 
         terminate = False
-        iclass = dyn.instr.iclass
-        if iclass is InstrClass.COND_BRANCH:
-            self._tid.record_branch(dyn.taken)
-            if dyn.taken and dyn.next_address <= dyn.address:
+        if code == FLOW_COND_BRANCH:
+            if dyn.taken:
+                self._directions |= 1 << self._num_branches
+                self._num_branches += 1
+                if dyn.next_address <= instr.address:
+                    self.terminations["backward_taken"] += 1
+                    terminate = True
+            else:
+                self._num_branches += 1
+        elif code == FLOW_DIRECT_JUMP:
+            if dyn.next_address <= instr.address:
                 self.terminations["backward_taken"] += 1
                 terminate = True
-        elif iclass is InstrClass.DIRECT_JUMP:
-            if dyn.next_address <= dyn.address:
-                self.terminations["backward_taken"] += 1
-                terminate = True
-        elif iclass is InstrClass.CALL_DIRECT:
+        elif code == FLOW_CALL:
             self._context_depth += 1
-        elif iclass is InstrClass.RETURN_NEAR:
+        elif code == FLOW_RETURN:
             if self._context_depth == 0:
                 self.terminations["return_exit"] += 1
                 terminate = True
             else:
                 self._context_depth -= 1
-        elif iclass is InstrClass.INDIRECT_JUMP:
-            self.terminations["indirect"] += 1
-            terminate = True
-        elif iclass is InstrClass.SOFTWARE_INT:
+        elif code == FLOW_SOFTWARE_INT:
             self.terminations["exception"] += 1
+            terminate = True
+        else:  # FLOW_INDIRECT_JUMP
+            self.terminations["indirect"] += 1
             terminate = True
 
         if terminate:
-            segment = self._close_base()
-            finished = self._push_base(segment)
+            finished = self._push_base(self._close_base())
             if finished is not None:
-                completed.append(finished)
+                if completed is None:
+                    completed = [finished]
+                else:
+                    completed.append(finished)
         return completed
 
     def flush(self) -> list[TraceSegment]:
@@ -154,13 +220,14 @@ class TraceSelector:
         if self._pending is not None:
             completed.append(self._pending)
             self._pending = None
+            self._pending_base_tid = None
         if self._instructions:
-            base = self._close_base()
+            tid, instructions, uop_count = self._close_base()
             completed.append(
                 TraceSegment(
-                    tid=base.tid,
-                    instructions=base.instructions,
-                    uop_count=base.uop_count,
+                    tid=tid,
+                    instructions=instructions,
+                    uop_count=uop_count,
                     complete=False,
                 )
             )
@@ -168,74 +235,55 @@ class TraceSelector:
 
     # -- internals -----------------------------------------------------------
 
-    def _close_base(self) -> _BaseSegment:
-        assert self._tid is not None
-        base = _BaseSegment(
-            tid=self._tid.build(),
-            instructions=self._instructions,
-            uop_count=self._uops,
+    def _close_base(self) -> tuple[TraceId, list[DynamicInstruction], int]:
+        assert self._start is not None
+        tid = intern_tid(
+            self._start,
+            self._directions,
+            self._num_branches,
+            len(self._instructions),
         )
+        base = (tid, self._instructions, self._uops)
         self._instructions = []
         self._uops = 0
-        self._tid = None
+        self._start = None
         self._context_depth = 0
         return base
 
-    def _push_base(self, base: _BaseSegment) -> TraceSegment | None:
-        """Join consecutive identical base segments up to capacity."""
+    def _push_base(
+        self, base: tuple[TraceId, list[DynamicInstruction], int]
+    ) -> TraceSegment | None:
+        """Join consecutive identical base segments up to capacity.
+
+        Because selection is a pure function of the committed stream, an
+        interned TID fully identifies a base segment's instruction path
+        (start + directions + counts), so "identical base" is the pointer
+        comparison ``tid is self._pending_base_tid`` — no per-instruction
+        address comparison.
+        """
+        tid, instructions, uop_count = base
         pending = self._pending
         if (
             pending is not None
-            and pending.tid.start == base.tid.start
-            and self._same_path(pending, base)
-            and pending.uop_count + base.uop_count <= self.capacity_uops
+            and tid is self._pending_base_tid
+            and pending.uop_count + uop_count <= self.capacity_uops
         ):
             # Merge: extend the pending segment with one more copy.
-            joined_tid = self._extend_tid(pending, base)
-            pending.tid = joined_tid
-            pending.instructions.extend(base.instructions)
-            pending.uop_count += base.uop_count
+            old = pending.tid
+            shift = old.num_branches
+            pending.tid = intern_tid(
+                old.start,
+                old.directions | (tid.directions << shift),
+                shift + tid.num_branches,
+                old.num_instructions + tid.num_instructions,
+            )
+            pending.instructions.extend(instructions)
+            pending.uop_count += uop_count
             pending.join_count += 1
             self.terminations["joined"] += 1
             return None
         self._pending = TraceSegment(
-            tid=base.tid,
-            instructions=base.instructions,
-            uop_count=base.uop_count,
+            tid=tid, instructions=instructions, uop_count=uop_count
         )
+        self._pending_base_tid = tid
         return pending
-
-    @staticmethod
-    def _same_path(pending: TraceSegment, base: _BaseSegment) -> bool:
-        """True when ``base`` repeats the pending segment's base iteration."""
-        copies = pending.join_count
-        base_len = len(pending.instructions) // copies
-        if base_len != len(base.instructions):
-            return False
-        base_branches = base.tid.num_branches
-        if pending.tid.num_branches != base_branches * copies:
-            return False
-        # Compare the direction bits of the last copy with the new base.
-        last_copy_bits = (
-            pending.tid.directions >> (base_branches * (copies - 1))
-        ) & ((1 << base_branches) - 1) if base_branches else 0
-        if last_copy_bits != base.tid.directions:
-            return False
-        # Same start plus same instruction addresses (cheap exact check,
-        # no slice allocation: this runs on every join attempt).
-        pending_instrs = pending.instructions
-        return all(
-            pending_instrs[i].address == b.address
-            for i, b in enumerate(base.instructions)
-        )
-
-    @staticmethod
-    def _extend_tid(pending: TraceSegment, base: _BaseSegment) -> TraceId:
-        shift = pending.tid.num_branches
-        return TraceId(
-            start=pending.tid.start,
-            directions=pending.tid.directions | (base.tid.directions << shift),
-            num_branches=shift + base.tid.num_branches,
-            num_instructions=pending.tid.num_instructions
-            + base.tid.num_instructions,
-        )

@@ -12,7 +12,7 @@ on every committed trace-shaped segment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,26 +26,38 @@ class TraceId:
     it is the only field distinguishing a joined multi-copy trace from a
     single iteration — without it a 2-copy trace would be launched against
     a 1-copy segment and index past the segment's instructions.
+
+    TIDs key every hot structure of the machine (both filters, the trace
+    predictor history, the trace cache), so they are hashed on every
+    committed segment.  The hash is therefore precomputed at construction,
+    and :func:`intern_tid` hash-conses instances so repeated selections of
+    the same static trace share one object (identity-comparable flyweight).
     """
 
     start: int
     directions: int
     num_branches: int
     num_instructions: int = 0
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if self.num_branches < 0:
             raise ValueError("negative branch count")
         if self.directions >> self.num_branches:
             raise ValueError("directions bits beyond num_branches")
-
-    def __hash__(self) -> int:
-        return hash(
-            (self.start, self.directions, self.num_branches,
-             self.num_instructions)
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.start, self.directions, self.num_branches,
+                  self.num_instructions)),
         )
 
+    def __hash__(self) -> int:
+        return self._hash
+
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, TraceId):
             return NotImplemented
         return (
@@ -70,6 +82,31 @@ class TraceId:
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"TID({self.start:#x}/{self.direction_string() or '-'})"
+
+
+#: Process-wide hash-cons table.  The key space is bounded by static program
+#: structure (one entry per distinct trace shape ever selected), so the
+#: table stays small even across a full benchmark-suite sweep.
+_INTERNED: dict[tuple[int, int, int, int], TraceId] = {}
+
+
+def intern_tid(
+    start: int, directions: int, num_branches: int, num_instructions: int = 0
+) -> TraceId:
+    """Return the canonical (hash-consed) :class:`TraceId` for the fields.
+
+    Equal TIDs obtained through this function are the *same object*, which
+    turns the equality checks inside dict probes (filters, trace cache,
+    predictor ways) and the selector's join test into pointer comparisons.
+    Plain ``TraceId(...)`` construction remains valid; it simply is not
+    canonicalised.
+    """
+    key = (start, directions, num_branches, num_instructions)
+    tid = _INTERNED.get(key)
+    if tid is None:
+        tid = TraceId(start, directions, num_branches, num_instructions)
+        _INTERNED[key] = tid
+    return tid
 
 
 class TidBuilder:
@@ -99,10 +136,10 @@ class TidBuilder:
         return self._num_instructions
 
     def build(self) -> TraceId:
-        """Freeze into a :class:`TraceId`."""
-        return TraceId(
-            start=self.start,
-            directions=self._directions,
-            num_branches=self._num_branches,
-            num_instructions=self._num_instructions,
+        """Freeze into a (hash-consed) :class:`TraceId`."""
+        return intern_tid(
+            self.start,
+            self._directions,
+            self._num_branches,
+            self._num_instructions,
         )

@@ -43,6 +43,13 @@ class Trace:
     #: Trace-local definitions the hot pipeline can satisfy from virtual
     #: registers (set by the optimizer's renaming pass; energy discount).
     virtual_renames: int = 0
+    #: Hot-pipeline execution plan, compiled lazily on first hot execution
+    #: and replayed on every later one (uops are immutable once the trace
+    #: is installed; the optimizer installs a *new* Trace, resetting this).
+    _hot_plan: tuple | None = field(default=None, repr=False, compare=False)
+    #: Indices of CTI instructions within the trace's instruction span,
+    #: cached for the retire-time branch-predictor training loop.
+    _cti_indices: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def num_uops(self) -> int:

@@ -20,7 +20,7 @@ from collections.abc import Iterator
 
 from repro.errors import WorkloadError
 from repro.isa.instruction import DynamicInstruction
-from repro.isa.opcodes import InstrClass
+from repro.isa.opcodes import FLOW_SOFTWARE_INT
 from repro.workloads.behaviors import (
     make_branch_state,
     make_mem_state,
@@ -34,7 +34,25 @@ class StreamWalker:
 
     The walker owns one seeded RNG shared by all behaviour states, so a
     given ``(program, seed)`` pair always produces the identical stream.
+
+    Interpretation is the innermost loop of every simulation (one call per
+    dynamic instruction), so the walker compiles each static instruction
+    into a *plan* on first execution — flow-dispatch code, static targets
+    and the bound behaviour-state methods — and replays the plan on every
+    later visit, avoiding the enum chain and three dict probes per step.
     """
+
+    __slots__ = (
+        "program",
+        "rng",
+        "_branch_states",
+        "_switch_states",
+        "_mem_states",
+        "_plans",
+        "_pc",
+        "_call_stack",
+        "executed",
+    )
 
     def __init__(self, program: Program, seed: int = 0):
         self.program = program
@@ -51,55 +69,145 @@ class StreamWalker:
             addr: make_mem_state(spec, self.rng)
             for addr, spec in program.mem_specs.items()
         }
+        # address -> (instr, code, taken_target, fallthrough, next_taken,
+        #             next_address, next_index, switch_targets), built lazily
+        # so never-executed instructions cost nothing.
+        self._plans: dict[int, tuple] = {}
         self._pc = program.entry
         self._call_stack: list[int] = []
         self.executed = 0
+
+    def _compile_plan(self, instr) -> tuple:
+        """Build the execution plan for one static instruction."""
+        address = instr.address
+        code = instr.flow_code
+        if code == FLOW_SOFTWARE_INT:
+            code = 0  # software interrupts fall through like plain instructions
+        branch_state = self._branch_states.get(address)
+        switch_state = self._switch_states.get(address)
+        mem_state = self._mem_states.get(address)
+        plan = (
+            instr,
+            code,
+            instr.taken_target,
+            instr.fallthrough,
+            branch_state.next_taken if branch_state is not None else None,
+            mem_state.next_address if mem_state is not None else None,
+            switch_state.next_index if switch_state is not None else None,
+            self.program.switch_targets.get(address),
+        )
+        self._plans[address] = plan
+        return plan
 
     def __iter__(self) -> Iterator[DynamicInstruction]:
         return self
 
     def __next__(self) -> DynamicInstruction:
-        program = self.program
-        try:
-            instr = program.instructions[self._pc]
-        except KeyError as exc:
-            raise WorkloadError(
-                f"{program.name}: control flowed to unmapped address {self._pc:#x}"
-            ) from exc
-
-        taken = False
-        next_address = instr.fallthrough
-        iclass = instr.iclass
-        if iclass is InstrClass.COND_BRANCH:
-            taken = self._branch_states[instr.address].next_taken()
-            if taken:
-                next_address = instr.taken_target
-        elif iclass is InstrClass.DIRECT_JUMP:
-            taken = True
-            next_address = instr.taken_target
-        elif iclass is InstrClass.CALL_DIRECT:
-            taken = True
-            self._call_stack.append(instr.fallthrough)
-            next_address = instr.taken_target
-        elif iclass is InstrClass.RETURN_NEAR:
-            taken = True
-            if not self._call_stack:
+        pc = self._pc
+        plan = self._plans.get(pc)
+        if plan is None:
+            try:
+                instr = self.program.instructions[pc]
+            except KeyError as exc:
                 raise WorkloadError(
-                    f"{program.name}: return with empty call stack at "
-                    f"{instr.address:#x}"
-                )
-            next_address = self._call_stack.pop()
-        elif iclass is InstrClass.INDIRECT_JUMP:
-            taken = True
-            index = self._switch_states[instr.address].next_index()
-            next_address = program.switch_targets[instr.address][index]
+                    f"{self.program.name}: control flowed to unmapped address "
+                    f"{pc:#x}"
+                ) from exc
+            plan = self._compile_plan(instr)
+        (instr, code, taken_target, fallthrough,
+         next_taken, next_mem, next_index, switch_targets) = plan
 
-        mem_state = self._mem_states.get(instr.address)
-        mem_addr = mem_state.next_address() if mem_state is not None else None
+        if code:
+            if code == 1:  # FLOW_COND_BRANCH
+                taken = next_taken()
+                next_address = taken_target if taken else fallthrough
+            elif code == 2:  # FLOW_DIRECT_JUMP
+                taken = True
+                next_address = taken_target
+            elif code == 3:  # FLOW_CALL
+                taken = True
+                self._call_stack.append(fallthrough)
+                next_address = taken_target
+            elif code == 4:  # FLOW_RETURN
+                taken = True
+                if not self._call_stack:
+                    raise WorkloadError(
+                        f"{self.program.name}: return with empty call stack at "
+                        f"{pc:#x}"
+                    )
+                next_address = self._call_stack.pop()
+            else:  # FLOW_INDIRECT_JUMP
+                taken = True
+                next_address = switch_targets[next_index()]
+        else:
+            taken = False
+            next_address = fallthrough
+
+        mem_addr = next_mem() if next_mem is not None else None
 
         self._pc = next_address
         self.executed += 1
         return DynamicInstruction(instr, taken, next_address, mem_addr)
+
+    def next_batch(self, count: int) -> list[DynamicInstruction]:
+        """Step ``count`` instructions in one call, returning them in order.
+
+        Identical to ``count`` calls of :meth:`__next__`, with the stepping
+        state held in locals across the whole batch — the bulk interface
+        the simulator's segmentation loop uses (the walker is endless, so
+        a full batch is always produced unless control flow faults).
+        """
+        out: list[DynamicInstruction] = []
+        append = out.append
+        plans_get = self._plans.get
+        call_stack = self._call_stack
+        dyn_instr = DynamicInstruction
+        pc = self._pc
+        try:
+            for _ in range(count):
+                plan = plans_get(pc)
+                if plan is None:
+                    try:
+                        instr = self.program.instructions[pc]
+                    except KeyError as exc:
+                        raise WorkloadError(
+                            f"{self.program.name}: control flowed to unmapped "
+                            f"address {pc:#x}"
+                        ) from exc
+                    plan = self._compile_plan(instr)
+                (instr, code, taken_target, fallthrough,
+                 next_taken, next_mem, next_index, switch_targets) = plan
+
+                if code:
+                    taken = True
+                    if code == 1:  # FLOW_COND_BRANCH
+                        taken = next_taken()
+                        next_address = taken_target if taken else fallthrough
+                    elif code == 2:  # FLOW_DIRECT_JUMP
+                        next_address = taken_target
+                    elif code == 3:  # FLOW_CALL
+                        call_stack.append(fallthrough)
+                        next_address = taken_target
+                    elif code == 4:  # FLOW_RETURN
+                        if not call_stack:
+                            raise WorkloadError(
+                                f"{self.program.name}: return with empty call "
+                                f"stack at {pc:#x}"
+                            )
+                        next_address = call_stack.pop()
+                    else:  # FLOW_INDIRECT_JUMP
+                        next_address = switch_targets[next_index()]
+                else:
+                    taken = False
+                    next_address = fallthrough
+
+                mem_addr = next_mem() if next_mem is not None else None
+                append(dyn_instr(instr, taken, next_address, mem_addr))
+                pc = next_address
+        finally:
+            self._pc = pc
+            self.executed += len(out)
+        return out
 
 
 class InstructionStream:
@@ -109,6 +217,8 @@ class InstructionStream:
     (``peek(0)`` is the next instruction to execute) or ``None`` past the
     end; ``take()`` consumes and returns the next instruction.
     """
+
+    __slots__ = ("_walker", "_remaining", "_buffer", "consumed")
 
     def __init__(self, walker: Iterator[DynamicInstruction], limit: int):
         if limit <= 0:
@@ -155,3 +265,62 @@ class InstructionStream:
                 break
             out.append(self.take())
         return out
+
+    def take_batch(self, count: int) -> list[DynamicInstruction]:
+        """Consume up to ``count`` instructions in one call (bulk take).
+
+        Uses the walker's batch interface when available; an empty list
+        means the stream is exhausted.
+        """
+        out: list[DynamicInstruction] = []
+        buffer = self._buffer
+        while buffer and len(out) < count:
+            out.append(buffer.popleft())
+        n = count - len(out)
+        if n > self._remaining:
+            n = self._remaining
+        if n > 0:
+            walker = self._walker
+            next_batch = getattr(walker, "next_batch", None)
+            if next_batch is not None:
+                batch = next_batch(n)
+            else:
+                batch = []
+                for _ in range(n):
+                    try:
+                        batch.append(next(walker))
+                    except StopIteration:
+                        self._remaining = 0
+                        break
+            if self._remaining:
+                self._remaining -= len(batch)
+            out.extend(batch)
+        self.consumed += len(out)
+        return out
+
+    def drain(self) -> Iterator[DynamicInstruction]:
+        """Consume the rest of the stream, in order.
+
+        Equivalent to calling :meth:`take` until :attr:`exhausted`, without
+        the per-instruction buffer round-trip — the bulk path used by the
+        simulator's segmentation loop.  ``consumed`` and the remaining
+        budget stay accurate at every yield, so interleaving ``peek`` or
+        ``take`` with a partially-consumed ``drain()`` remains valid.
+        """
+        buffer = self._buffer
+        walker = self._walker
+        while True:
+            if buffer:
+                self.consumed += 1
+                yield buffer.popleft()
+            elif self._remaining > 0:
+                try:
+                    dyn = next(walker)
+                except StopIteration:
+                    self._remaining = 0
+                    return
+                self._remaining -= 1
+                self.consumed += 1
+                yield dyn
+            else:
+                return

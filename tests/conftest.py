@@ -18,6 +18,20 @@ from repro.workloads.profiles import specfp_profile, specint_profile
 from repro.workloads.suite import application
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/*.json from the current implementation "
+             "instead of asserting against it",
+    )
+
+
+@pytest.fixture()
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden files rather than compare."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(autouse=True)
 def _isolated_experiment_state(tmp_path, monkeypatch):
     """Point the result store at a per-test directory and drop shared runners.

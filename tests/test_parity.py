@@ -1,0 +1,84 @@
+"""Parity gate: simulation results are pinned bit-for-bit against goldens.
+
+Every hot-path optimization in this repo must leave ``SimulationResult``
+unchanged — not approximately, *exactly*: the serialized ``to_dict()``
+payload (which round-trips floats via ``repr``) must match the golden
+JSON checked into ``tests/golden/``.  A diff here means an optimization
+changed simulator semantics, however slightly, and must be fixed rather
+than re-baselined.
+
+When a change is *intended* to alter results (a modelling fix, a new
+statistic), regenerate the goldens explicitly::
+
+    python -m pytest tests/test_parity.py --update-golden
+
+and review the resulting JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.simulator import ParrotSimulator
+from repro.models.configs import model_config
+from repro.workloads.suite import application
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Pinned (application, model, length) runs: an FP app on the full PARROT
+#: model (hot pipeline + optimizer), an integer app on the baseline (pure
+#: cold path), and a mixed app on the wide optimized model.  Lengths are
+#: small enough for test-suite latency but long enough to exercise trace
+#: construction, optimization and hot execution.
+PARITY_RUNS = [
+    ("swim", "TON", 4000),
+    ("gcc", "N", 4000),
+    ("eon", "TOW", 4000),
+]
+
+
+def _golden_path(app_name: str, model_name: str, length: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"{app_name}_{model_name}_{length}.json"
+
+
+def _simulate(app_name: str, model_name: str, length: int) -> dict:
+    simulator = ParrotSimulator(model_config(model_name))
+    return simulator.run(application(app_name), length).to_dict()
+
+
+@pytest.mark.parametrize("app_name,model_name,length", PARITY_RUNS)
+def test_result_parity(app_name, model_name, length, update_golden):
+    payload = _simulate(app_name, model_name, length)
+    path = _golden_path(app_name, model_name, length)
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+
+    assert path.exists(), (
+        f"missing golden {path.name}; generate with "
+        f"`python -m pytest tests/test_parity.py --update-golden`"
+    )
+    golden = json.loads(path.read_text())
+    assert payload == golden, (
+        f"{app_name}/{model_name}/{length}: result diverged from golden "
+        f"{path.name} — an optimization changed simulator semantics "
+        f"(only re-baseline for *intended* modelling changes)"
+    )
+
+
+def test_parity_is_deterministic():
+    """The same pinned run twice in-process is bit-identical.
+
+    Guards the premise of the golden files: any nondeterminism (dict
+    ordering leaking into results, RNG state bleeding between runs) would
+    make the parity gate flaky rather than meaningful.
+    """
+    app_name, model_name, length = PARITY_RUNS[0]
+    first = _simulate(app_name, model_name, length)
+    second = _simulate(app_name, model_name, length)
+    assert first == second
