@@ -20,20 +20,24 @@ clear`` empties it.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.simulator import ParrotSimulator
-from repro.experiments.engine import ResultStore, Scale
+from repro.experiments.engine import ENV_SAMPLING, ResultStore, Scale
 from repro.experiments.figures import FIGURE_GENERATORS, table3_1, table3_2
 from repro.experiments.runner import ExperimentRunner
 from repro.models.configs import MODEL_NAMES, model_config
+from repro.sampling.config import SamplingConfig
 from repro.workloads.suite import ALL_APPS, application, benchmark_suite
 
 _EXAMPLES = """\
 examples:
   repro run swim --model TON --length 20000
+  repro run swim --model TON --length 200000 --sampling
   repro profile swim TON --length 20000
   repro sweep --models N,TON --apps 15 --jobs 4
+  repro sweep --models N,TON --length 200000 --sampling
   repro figure fig4_1 headline --apps all
   repro figure fig4_2 --no-cache
   repro cache info
@@ -43,6 +47,7 @@ environment:
   REPRO_BENCH_APPS / REPRO_BENCH_LENGTH   default grid scale
   REPRO_BENCH_JOBS                        default worker count (all cores)
   REPRO_BENCH_CACHE=0                     disable the result store
+  REPRO_BENCH_SAMPLING                    default sampling regime (off)
   REPRO_CACHE_DIR                         store location (~/.cache/repro)
 """
 
@@ -89,6 +94,17 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="do not read or write the persistent result store",
     )
+    _add_sampling_arg(parser)
+
+
+def _add_sampling_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sampling", nargs="?", const="on", default=None,
+        metavar="SPEC",
+        help="sampled simulation: 'on' (bare flag), 'off', or "
+             "'DETAIL:GAP:WARMUP[:FUNC_WARM][:CONFIDENCE]' "
+             "(default: REPRO_BENCH_SAMPLING or off)",
+    )
 
 
 def _progress(done: int, total: int, label: str, source: str) -> None:
@@ -117,6 +133,13 @@ def _print_engine_summary(runner: ExperimentRunner) -> None:
     print(line, file=sys.stderr)
 
 
+def _sampling_from_args(args: argparse.Namespace) -> SamplingConfig | None:
+    spec = getattr(args, "sampling", None)
+    if spec is None:
+        spec = os.environ.get(ENV_SAMPLING)
+    return SamplingConfig.parse(spec)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Simulate one application on one model and print the result."""
     try:
@@ -125,7 +148,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown application {args.app!r}; run `repro list` to see "
               f"the {len(ALL_APPS)} available applications", file=sys.stderr)
         return 2
-    result = ParrotSimulator(model_config(args.model)).run(app, args.length)
+    sampling = _sampling_from_args(args)
+    simulator = ParrotSimulator(model_config(args.model))
+    estimate = None
+    if sampling is not None:
+        sampled = simulator.run_sampled(app, args.length, sampling=sampling)
+        result, estimate = sampled.result, sampled.estimate
+    else:
+        result = simulator.run(app, args.length)
     print(f"{app.name} ({app.suite}) on {args.model}: "
           f"{args.length} instructions")
     print(f"  IPC            {result.ipc:8.3f}")
@@ -136,6 +166,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"  coverage       {result.coverage:8.1%}")
     print(f"  uop reduction  {result.uop_reduction:8.1%}")
     print(f"  bmisp/1k       {result.cold_mispredicts_per_kinstr:8.1f}")
+    if estimate is not None:
+        print(f"  sampled: {len(estimate.intervals)} detail intervals, "
+              f"{estimate.detail_fraction:.1%} of the stream measured")
+        print(f"    IPC    {estimate.ipc.format()}")
+        print(f"    EPI    {estimate.epi.format()}")
+        print(f"    CMPW   {estimate.cmpw.format()}")
     return 0
 
 
@@ -216,6 +252,8 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries   {info.entries}")
         print(f"size      {info.total_bytes} bytes")
         print(f"schema    v{info.schema_version}")
+        if info.stale_tmp:
+            print(f"swept     {info.stale_tmp} stale tmp file(s)")
     else:  # clear
         removed = store.clear()
         print(f"removed {removed} stored result(s) from {store.root}")
@@ -246,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("app", help=f"application name (one of the {len(ALL_APPS)})")
     run.add_argument("--model", default="TON", choices=MODEL_NAMES)
     run.add_argument("--length", type=_positive_int, default=20_000)
+    _add_sampling_arg(run)
     run.set_defaults(func=cmd_run)
 
     profile = sub.add_parser(
@@ -291,7 +330,6 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
-        import os
         try:
             sys.stdout.close()
         except BrokenPipeError:

@@ -16,6 +16,7 @@ from repro.memory.hierarchy import HierarchyConfig
 from repro.optimizer.pipeline import OptimizerConfig
 from repro.pipeline.resources import CoreParams, ExecProfile
 from repro.power.tags import EnergyCalibration, StructureSizes
+from repro.sampling.config import SamplingConfig
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,6 +59,12 @@ class MachineConfig:
     #: Split-core settings: a non-None cold profile makes the machine split.
     cold_profile: ExecProfile | None = None
     state_switch_latency: int = 3
+
+    #: Default simulation regime: ``None`` runs full detail; a
+    #: :class:`~repro.sampling.config.SamplingConfig` makes
+    #: ``ParrotSimulator.run`` sample detail intervals by default (an
+    #: explicit ``sampling=`` argument still overrides per run).
+    sampling: SamplingConfig | None = None
 
     #: Additional leakage-relevant area (trace cache + trace unit, and the
     #: second core for split machines).

@@ -19,11 +19,23 @@ back to the branch-predicted cold pipeline (§2.3):
 
 Both outcomes feed the background phases (filters, construction,
 optimization), giving the continuous training the paper requires.
+
+Two simulation regimes share this machinery:
+
+* **full detail** (the default): every instruction of the stream runs on
+  the timing core — bit-identical to the historical simulator, pinned by
+  the parity goldens;
+* **sampled** (:meth:`ParrotSimulator.run_sampled`): short detailed
+  intervals alternate with cheap fast-forward gaps; functional warmup
+  re-establishes cache/predictor/trace state before each interval, and the
+  per-interval measurements aggregate into population estimates with
+  confidence intervals.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
+from dataclasses import dataclass
 
 from repro.core.background import BackgroundProcessor
 from repro.core.config import MachineConfig
@@ -37,6 +49,14 @@ from repro.pipeline.core import TimingCore, compile_plan_stats, compile_uop_row
 from repro.pipeline.resources import ExecProfile
 from repro.power.energy import EnergyModel
 from repro.power.events import EventCounts
+from repro.sampling.config import SamplingConfig
+from repro.sampling.estimator import (
+    IntervalMeasurement,
+    SampledEstimate,
+    build_estimate,
+)
+from repro.sampling.scheduler import Interval, plan_intervals
+from repro.sampling.warmup import WarmupPolicy
 from repro.trace.selection import TraceSegment, TraceSelector
 from repro.trace.tid import TraceId
 from repro.trace.trace import TRACE_CAPACITY_UOPS, Trace
@@ -50,20 +70,98 @@ from repro.workloads.suite import Application
 _SEGMENT_BATCH = 4096
 
 
-def segment_stream(stream: InstructionStream) -> Iterator[TraceSegment]:
-    """Partition a dynamic stream into trace-shaped segments, in order."""
-    selector = TraceSelector()
+def segment_stream(
+    stream: InstructionStream,
+    limit: int | None = None,
+    selector: TraceSelector | None = None,
+) -> Iterator[TraceSegment]:
+    """Partition a dynamic stream into trace-shaped segments, in order.
+
+    ``limit`` bounds the number of instructions consumed (the sampled
+    simulator's detail-interval window); ``selector`` continues an
+    existing selection (so segment boundaries flow from a warmup window
+    into the measured interval).  The defaults — whole stream, fresh
+    selector — are the historical full-detail behaviour.
+    """
+    if selector is None:
+        selector = TraceSelector()
     advance = selector.advance
     take_batch = stream.take_batch
+    remaining = limit
     while True:
-        batch = take_batch(_SEGMENT_BATCH)
+        if remaining is None:
+            batch = take_batch(_SEGMENT_BATCH)
+        else:
+            if remaining <= 0:
+                break
+            batch = take_batch(min(_SEGMENT_BATCH, remaining))
         if not batch:
             break
+        if remaining is not None:
+            remaining -= len(batch)
         for dyn in batch:
             completed = advance(dyn)
             if completed is not None:
                 yield from completed
     yield from selector.flush()
+
+
+class _Machine:
+    """One assembled machine: every mutable structure of a running model.
+
+    The full-detail path assembles one per run and discards it; the
+    sampled path keeps it alive across fast-forward gaps so caches,
+    predictors, filters and the trace cache age exactly like hardware
+    would.
+    """
+
+    __slots__ = (
+        "config",
+        "events",
+        "result",
+        "core",
+        "hot_profile",
+        "cold_profile",
+        "hierarchy",
+        "bpred",
+        "tpred",
+        "background",
+        "cold_plans",
+        "last_pipeline",
+    )
+
+    def __init__(self, config, events, result, core, hot_profile,
+                 cold_profile, hierarchy, bpred, tpred, background):
+        self.config = config
+        self.events = events
+        self.result = result
+        self.core = core
+        self.hot_profile = hot_profile
+        self.cold_profile = cold_profile
+        self.hierarchy = hierarchy
+        self.bpred = bpred
+        self.tpred = tpred
+        self.background = background
+        # Per-run cold fetch-group plan cache.  Grouping depends only on a
+        # segment's instruction path, which a *complete* segment's TID
+        # fully determines; incomplete tail segments can alias a real TID
+        # and are never cached.
+        self.cold_plans: dict[TraceId, tuple] = {}
+        self.last_pipeline = "cold"
+
+
+@dataclass(slots=True)
+class SampledRun:
+    """Outcome of one sampled simulation.
+
+    ``result`` is a full :class:`~repro.core.results.SimulationResult`
+    extrapolated from the detailed intervals to the represented stream
+    length (so every figure and store path consumes it unchanged);
+    ``estimate`` carries the per-metric means and confidence intervals.
+    """
+
+    result: SimulationResult
+    estimate: SampledEstimate
 
 
 class ParrotSimulator:
@@ -75,20 +173,65 @@ class ParrotSimulator:
     # -- public API --------------------------------------------------------
 
     def run(
-        self, app: Application, length: int, *, prewarm: bool = True
+        self,
+        app: Application,
+        length: int,
+        *,
+        prewarm: bool = True,
+        sampling: SamplingConfig | None = None,
     ) -> SimulationResult:
         """Simulate ``length`` instructions of ``app``; returns the result.
 
         ``prewarm`` starts the memory hierarchy in steady state (the paper's
         30-100M-instruction traces amortise compulsory misses; our much
         shorter runs must not be dominated by them).
+
+        ``sampling`` switches to sampled simulation (detail intervals +
+        fast-forward); ``None`` falls back to ``config.sampling``, which is
+        ``None`` — full detail — for every stock model.  Sampled runs
+        return the extrapolated result; use :meth:`run_sampled` to also get
+        the confidence intervals.
         """
+        if sampling is None:
+            sampling = self.config.sampling
+        if sampling is not None:
+            return self.run_sampled(
+                app, length, prewarm=prewarm, sampling=sampling
+            ).result
         if length < 1:
             raise SimulationError(f"run length {length} must be positive")
         workload = app.build()
         stream = workload.stream(length)
         return self._run_stream(
             stream, app_name=app.name, suite=app.suite,
+            program=workload.program if prewarm else None,
+        )
+
+    def run_sampled(
+        self,
+        app: Application,
+        length: int,
+        *,
+        prewarm: bool = True,
+        sampling: SamplingConfig | None = None,
+    ) -> SampledRun:
+        """Sampled simulation of ``length`` instructions of ``app``.
+
+        Alternates fast-forward gaps (architectural state only), functional
+        warmup windows and fully detailed intervals, then aggregates the
+        per-interval measurements into a population estimate.  With
+        ``sampling=None`` (and no config default) the plan degenerates to
+        one full-detail interval and the "estimate" is exact.
+        """
+        if length < 1:
+            raise SimulationError(f"run length {length} must be positive")
+        if sampling is None:
+            sampling = self.config.sampling
+        workload = app.build()
+        stream = workload.stream(length)
+        return self._run_sampled(
+            stream, length, sampling,
+            app_name=app.name, suite=app.suite,
             program=workload.program if prewarm else None,
         )
 
@@ -106,14 +249,14 @@ class ParrotSimulator:
 
     # -- machine assembly ------------------------------------------------------
 
-    def _run_stream(
+    def _assemble(
         self,
-        stream: InstructionStream,
         *,
         app_name: str,
         suite: str,
-        program: Program | None = None,
-    ) -> SimulationResult:
+        program: Program | None,
+    ) -> _Machine:
+        """Build every structure of one run: core, hierarchy, predictors."""
         config = self.config
         events = EventCounts()
         stats = TraceUnitStats()
@@ -148,15 +291,71 @@ class ParrotSimulator:
             if config.has_trace_cache
             else None
         )
+        return _Machine(
+            config, events, result, core, hot_profile, cold_profile,
+            hierarchy, bpred, tpred, background,
+        )
 
-        # Per-run cold fetch-group plan cache.  Grouping depends only on a
-        # segment's instruction path, which a *complete* segment's TID fully
-        # determines; incomplete tail segments can alias a real TID and are
-        # never cached.
-        cold_plans: dict[TraceId, tuple] = {}
+    def _energy_model(self) -> EnergyModel:
+        """The per-model energy evaluator (tag matrix + leakage)."""
+        config = self.config
+        return EnergyModel(
+            config.core,
+            sizes=config.structure_sizes,
+            calibration=config.calibration,
+            l2_mbytes=config.hierarchy.l2_mbytes,
+            extra_area=config.extra_area,
+        )
 
-        last_pipeline = "cold"
-        for segment in segment_stream(stream):
+    # -- full-detail regime ----------------------------------------------------
+
+    def _run_stream(
+        self,
+        stream: InstructionStream,
+        *,
+        app_name: str,
+        suite: str,
+        program: Program | None = None,
+    ) -> SimulationResult:
+        machine = self._assemble(
+            app_name=app_name, suite=suite, program=program
+        )
+        self._execute_segments(machine, segment_stream(stream))
+        core = machine.core
+        core.check_invariants()
+        core.flush_events()
+        result = machine.result
+        result.cycles = max(core.cycles, 1.0)
+        self._finalize(result, machine.hierarchy, machine.tpred,
+                       machine.events)
+        return result
+
+    # -- the segment loop (shared by both regimes) -----------------------------
+
+    def _execute_segments(
+        self, machine: _Machine, segments: Iterator[TraceSegment]
+    ) -> None:
+        """Execute a segment sequence on an assembled machine.
+
+        The fetch-selector loop of the simulator: identical for full-detail
+        runs (one call over the whole stream) and sampled runs (one call
+        per detailed interval, machine state persisting in between).
+        """
+        config = self.config
+        events = machine.events
+        result = machine.result
+        stats = result.trace_stats
+        core = machine.core
+        hot_profile = machine.hot_profile
+        cold_profile = machine.cold_profile
+        hierarchy = machine.hierarchy
+        bpred = machine.bpred
+        tpred = machine.tpred
+        background = machine.background
+        cold_plans = machine.cold_plans
+
+        last_pipeline = machine.last_pipeline
+        for segment in segments:
             executed_hot = False
             trace: Trace | None = None
             predicted = None
@@ -230,11 +429,195 @@ class ParrotSimulator:
                     events.add("tpred_update")
                 if background is not None:
                     background.after_commit(segment, core.cycles)
+        machine.last_pipeline = last_pipeline
 
-        core.check_invariants()
-        core.flush_events()
-        result.cycles = max(core.cycles, 1.0)
-        self._finalize(result, core, hierarchy, bpred, tpred, events)
+    # -- sampled regime --------------------------------------------------------
+
+    def _run_sampled(
+        self,
+        stream: InstructionStream,
+        length: int,
+        sampling: SamplingConfig | None,
+        *,
+        app_name: str,
+        suite: str,
+        program: Program | None = None,
+    ) -> SampledRun:
+        machine = self._assemble(
+            app_name=app_name, suite=suite, program=program
+        )
+        model = self._energy_model()
+        if sampling is not None:
+            plan = plan_intervals(length, sampling)
+            confidence = sampling.confidence
+        else:
+            plan = [Interval(skip=0, funcwarm=0, warmup=0, detail=length)]
+            confidence = 0.95
+        exact = len(plan) == 1 and plan[0].detail == length
+
+        warmup_policy = WarmupPolicy(
+            machine.hierarchy, machine.bpred, machine.tpred,
+            machine.background, machine.core,
+        )
+        measurements: list[IntervalMeasurement] = []
+        aggregate = EventCounts()
+        measured_instructions = 0
+        measured_cycles = 0.0
+
+        for interval in plan:
+            # Estimated cycles per fast-forwarded instruction: paces the
+            # synthetic clock the background phases observe during warmup.
+            # The core's own clock is left untouched across gaps — jumping
+            # it would start every interval with all register-ready times
+            # in the past, biasing dependency stalls away.
+            cpi = (
+                measured_cycles / measured_instructions
+                if measured_instructions
+                else 1.0
+            )
+            if interval.skip:
+                # Plain-skip the front of the gap, functionally warm its
+                # tail: L2/BTB contents survive a plain skip of this length,
+                # while L1s and the gshare tables re-converge within the
+                # warmed suffix — the split buys most of the fast-forward
+                # speed back without the accuracy loss of a cold restart.
+                plain = interval.skip - interval.funcwarm
+                if plain:
+                    stream.skip(plain)
+                if interval.funcwarm:
+                    warmup_policy.functional_skip(stream, interval.funcwarm)
+            selector = TraceSelector()
+            if interval.warmup:
+                warmup_policy.warm(stream, interval.warmup, selector, cpi)
+            if not interval.detail:
+                continue
+            before = self._interval_snapshot(machine)
+            self._execute_segments(
+                machine, segment_stream(stream, interval.detail, selector)
+            )
+            after = self._interval_snapshot(machine)
+            delta, instructions, cycles = self._interval_delta(before, after)
+            if not instructions:
+                continue
+            aggregate.merge(delta)
+            measured_instructions += instructions
+            measured_cycles += cycles
+            measurements.append(IntervalMeasurement(
+                instructions=instructions,
+                cycles=cycles,
+                energy=model.evaluate(delta, cycles).total,
+            ))
+
+        machine.core.check_invariants()
+        if not measured_instructions:
+            raise SimulationError(
+                f"sampled run of {app_name} measured no instructions "
+                f"(length={length}, plan of {len(plan)} intervals)"
+            )
+
+        estimate = build_estimate(
+            measurements,
+            total_instructions=length,
+            confidence=confidence,
+            exact=exact,
+        )
+        result = self._extrapolate(
+            machine, model, length,
+            measured_instructions, measured_cycles, aggregate,
+        )
+        return SampledRun(result=result, estimate=estimate)
+
+    @staticmethod
+    def _interval_snapshot(machine: _Machine) -> tuple:
+        """Counter snapshot at an interval boundary (events drained)."""
+        machine.core.drain_events()
+        h = machine.hierarchy.events
+        return (
+            machine.result.instructions,
+            machine.core.cycles,
+            machine.events.as_dict(),
+            (h.l1i_accesses, h.l1d_accesses, h.l1d_writes,
+             h.l2_accesses, h.memory_accesses),
+        )
+
+    @staticmethod
+    def _interval_delta(before: tuple, after: tuple):
+        """Event/instruction/cycle deltas between two snapshots.
+
+        Folds the hierarchy counters into the same event names
+        :meth:`_finalize` uses, plus the per-interval ``core_cycle``
+        charge, so the delta is directly evaluable by the energy model.
+        """
+        instr0, cycles0, events0, h0 = before
+        instr1, cycles1, events1, h1 = after
+        delta = EventCounts()
+        for event, count in events1.items():
+            delta.add(event, count - events0.get(event, 0.0))
+        delta.add("l1i_read", h1[0] - h0[0])
+        delta.add("l1d_read", (h1[1] - h1[2]) - (h0[1] - h0[2]))
+        delta.add("l1d_write", h1[2] - h0[2])
+        delta.add("l2_access", h1[3] - h0[3])
+        delta.add("memory_access", h1[4] - h0[4])
+        cycles = cycles1 - cycles0
+        delta.add("core_cycle", cycles)
+        return delta, instr1 - instr0, cycles
+
+    def _extrapolate(
+        self,
+        machine: _Machine,
+        model: EnergyModel,
+        length: int,
+        measured_instructions: int,
+        measured_cycles: float,
+        aggregate: EventCounts,
+    ) -> SimulationResult:
+        """Scale the measured intervals up to the represented stream length.
+
+        Ratio extrapolation: every extensive counter scales by
+        ``length / measured_instructions``, cycles likewise, and energy is
+        re-evaluated on the scaled events so leakage (∝ cycles) and the
+        component breakdown stay self-consistent.  Intensive metrics (IPC,
+        EPI, coverage, CMPW) are therefore exactly the measured ratios.
+        """
+        result = machine.result
+        factor = length / measured_instructions
+
+        scaled_events = EventCounts()
+        for event, count in aggregate.items():
+            scaled_events.add(event, count * factor)
+
+        scale = lambda v: round(v * factor)  # noqa: E731
+        result.instructions = length
+        result.cycles = max(measured_cycles * factor, 1.0)
+        result.uops_cold = scale(result.uops_cold)
+        result.uops_hot = scale(result.uops_hot)
+        result.uops_wasted = scale(result.uops_wasted)
+        result.hot_instructions = scale(result.hot_instructions)
+        result.cold_branch_mispredicts = scale(result.cold_branch_mispredicts)
+        result.cold_branch_predictions = scale(result.cold_branch_predictions)
+        tpred = machine.tpred
+        if tpred is not None:
+            result.trace_predictions = scale(tpred.stats.predictions)
+            result.trace_mispredictions = scale(tpred.stats.mispredictions)
+
+        stats = result.trace_stats
+        stats.segments = scale(stats.segments)
+        stats.traces_constructed = scale(stats.traces_constructed)
+        stats.traces_optimized = scale(stats.traces_optimized)
+        stats.optimizations_dropped = scale(stats.optimizations_dropped)
+        stats.hot_executions = scale(stats.hot_executions)
+        stats.optimized_executions = scale(stats.optimized_executions)
+        stats.trace_mispredicts = scale(stats.trace_mispredicts)
+        stats.tcache_miss_on_predict = scale(stats.tcache_miss_on_predict)
+        stats.weighted_uop_reduction *= factor
+        stats.weighted_dep_reduction *= factor
+        stats.optimized_exec_counts = {
+            tid: scale(count)
+            for tid, count in stats.optimized_exec_counts.items()
+        }
+
+        result.energy = model.evaluate(scaled_events, result.cycles)
+        result.events = scaled_events.as_dict()
         return result
 
     # -- hot pipeline ----------------------------------------------------------
@@ -426,9 +809,7 @@ class ParrotSimulator:
     def _finalize(
         self,
         result: SimulationResult,
-        core: TimingCore,
         hierarchy: MemoryHierarchy,
-        bpred: BranchPredictor,
         tpred: TracePredictor | None,
         events: EventCounts,
     ) -> None:
@@ -445,13 +826,5 @@ class ParrotSimulator:
             result.trace_predictions = tpred.stats.predictions
             result.trace_mispredictions = tpred.stats.mispredictions
 
-        config = self.config
-        model = EnergyModel(
-            config.core,
-            sizes=config.structure_sizes,
-            calibration=config.calibration,
-            l2_mbytes=config.hierarchy.l2_mbytes,
-            extra_area=config.extra_area,
-        )
-        result.energy = model.evaluate(events, result.cycles)
+        result.energy = self._energy_model().evaluate(events, result.cycles)
         result.events = events.as_dict()

@@ -45,6 +45,7 @@ from repro.core.results import SCHEMA_VERSION, SimulationResult
 from repro.core.simulator import ParrotSimulator
 from repro.errors import ExperimentError
 from repro.models.configs import MODEL_NAMES, model_config
+from repro.sampling.config import SamplingConfig
 from repro.workloads.suite import app_seed, application
 
 #: Environment variables controlling benchmark scale and the result store.
@@ -54,6 +55,7 @@ ENV_JOBS = "REPRO_BENCH_JOBS"
 ENV_CACHE = "REPRO_BENCH_CACHE"
 ENV_TIMEOUT = "REPRO_BENCH_TIMEOUT"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_SAMPLING = "REPRO_BENCH_SAMPLING"
 
 DEFAULT_APPS = 15
 DEFAULT_LENGTH = 20_000
@@ -99,41 +101,52 @@ class Scale:
 
     ``apps`` is the balanced application-subset size (``None`` = the full
     44-app roster), ``length`` the instructions simulated per application,
-    ``jobs`` the process-pool width, and ``cache`` whether runs are served
-    from / written to the persistent result store.
+    ``jobs`` the process-pool width, ``cache`` whether runs are served
+    from / written to the persistent result store, and ``sampling`` the
+    sampled-simulation regime (``None`` = full detail).
     """
 
     apps: int | None = DEFAULT_APPS
     length: int = DEFAULT_LENGTH
     jobs: int = field(default_factory=default_jobs)
     cache: bool = True
+    sampling: SamplingConfig | None = None
 
     @classmethod
     def from_environment(cls) -> "Scale":
         """Resolve every knob from the ``REPRO_BENCH_*`` variables.
 
         ``REPRO_BENCH_APPS`` (count or ``all``), ``REPRO_BENCH_LENGTH``,
-        ``REPRO_BENCH_JOBS`` (default: all cores) and ``REPRO_BENCH_CACHE``
-        (``0`` disables the result store).
+        ``REPRO_BENCH_JOBS`` (default: all cores), ``REPRO_BENCH_CACHE``
+        (``0`` disables the result store) and ``REPRO_BENCH_SAMPLING``
+        (``off``/``on``/``D:G:W[:F][:CONF]``; see
+        :meth:`~repro.sampling.config.SamplingConfig.parse`).
         """
         return cls(
             apps=parse_apps(os.environ.get(ENV_APPS, str(DEFAULT_APPS))),
             length=int(os.environ.get(ENV_LENGTH, str(DEFAULT_LENGTH))),
             jobs=default_jobs(),
             cache=_env_flag(ENV_CACHE),
+            sampling=SamplingConfig.parse(os.environ.get(ENV_SAMPLING)),
         )
 
     @classmethod
     def from_args(cls, args: Any) -> "Scale":
         """Resolve from parsed CLI arguments (``--apps/--length/--jobs/
-        --no-cache``); unset ``--jobs`` falls back to the environment."""
+        --no-cache/--sampling``); unset ``--jobs`` falls back to the
+        environment, and an absent ``--sampling`` falls back to
+        ``REPRO_BENCH_SAMPLING``."""
         jobs = getattr(args, "jobs", None)
         no_cache = bool(getattr(args, "no_cache", False))
+        sampling_spec = getattr(args, "sampling", None)
+        if sampling_spec is None:
+            sampling_spec = os.environ.get(ENV_SAMPLING)
         return cls(
             apps=parse_apps(args.apps),
             length=args.length,
             jobs=default_jobs() if jobs is None else jobs,
             cache=not no_cache and _env_flag(ENV_CACHE),
+            sampling=SamplingConfig.parse(sampling_spec),
         )
 
 
@@ -150,14 +163,27 @@ def config_fingerprint(config: MachineConfig) -> str:
     return repr(config)
 
 
-def run_key(config: MachineConfig, app_name: str, length: int) -> str:
-    """Content key of one simulation run in the result store."""
+def run_key(
+    config: MachineConfig,
+    app_name: str,
+    length: int,
+    sampling: SamplingConfig | None = None,
+) -> str:
+    """Content key of one simulation run in the result store.
+
+    The key material carries the simulation regime — ``sampling=off`` for
+    full detail, the full :meth:`~repro.sampling.config.SamplingConfig.
+    fingerprint` otherwise — so a sampled estimate can never be served
+    where a full-detail result was asked for (or vice versa), and two
+    different sampling configurations never collide either.
+    """
     material = "|".join((
         f"schema={SCHEMA_VERSION}",
         f"model={config_fingerprint(config)}",
         f"app={app_name}",
         f"seed={app_seed(app_name)}",
         f"length={length}",
+        f"sampling={'off' if sampling is None else sampling.fingerprint()}",
     ))
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
@@ -172,12 +198,17 @@ def default_store_root() -> Path:
 
 @dataclass(frozen=True, slots=True)
 class StoreInfo:
-    """A snapshot of the result store's contents."""
+    """A snapshot of the result store's contents.
+
+    ``stale_tmp`` counts orphaned ``.tmp.<pid>`` files from crashed
+    writers that the snapshot swept away.
+    """
 
     path: Path
     entries: int
     total_bytes: int
     schema_version: int = SCHEMA_VERSION
+    stale_tmp: int = 0
 
 
 class ResultStore:
@@ -229,8 +260,31 @@ class ResultStore:
             return []
         return sorted(self.root.glob("*/*.json"))
 
+    def _sweep_stale_tmp(self) -> int:
+        """Remove ``.tmp.<pid>`` files orphaned by crashed writers.
+
+        A writer that dies between ``write_text`` and ``os.replace`` leaks
+        its temp file forever (no retry ever reuses the name, and ``clear``
+        would fail to ``rmdir`` the shard around it).  Returns the number
+        swept; a tmp file concurrently renamed away mid-sweep is skipped.
+        """
+        swept = 0
+        if not self.root.is_dir():
+            return swept
+        for tmp in self.root.glob("*/*.tmp.*"):
+            try:
+                tmp.unlink()
+                swept += 1
+            except OSError:
+                pass
+        return swept
+
     def info(self) -> StoreInfo:
-        """Entry count and on-disk footprint of the store."""
+        """Entry count and on-disk footprint of the store.
+
+        Also sweeps stale writer temp files and reports how many it found.
+        """
+        stale = self._sweep_stale_tmp()
         records = self._records()
         total = 0
         for record in records:
@@ -238,10 +292,16 @@ class ResultStore:
                 total += record.stat().st_size
             except OSError:
                 pass
-        return StoreInfo(path=self.root, entries=len(records), total_bytes=total)
+        return StoreInfo(path=self.root, entries=len(records),
+                         total_bytes=total, stale_tmp=stale)
 
     def clear(self) -> int:
-        """Delete every stored record; returns the number removed."""
+        """Delete every stored record; returns the number removed.
+
+        Stale writer temp files are swept too (they are not counted — they
+        were never entries), so emptied shards always ``rmdir`` cleanly.
+        """
+        self._sweep_stale_tmp()
         removed = 0
         for record in self._records():
             try:
@@ -261,15 +321,22 @@ class ResultStore:
 # -- the process-pool engine --------------------------------------------------
 
 
-def simulate_task(model_name: str, app_name: str, length: int) -> dict:
+def simulate_task(
+    model_name: str,
+    app_name: str,
+    length: int,
+    sampling: SamplingConfig | None = None,
+) -> dict:
     """Worker entry point: run one grid cell, return its serialized result.
 
     Executes in a pool worker; the payload crosses the process boundary as
     a ``SimulationResult.to_dict()`` dict (the same schema the result
-    store persists), keeping worker IPC and the store on one format.
+    store persists), keeping worker IPC and the store on one format.  With
+    ``sampling`` set the run is sampled and the payload is the
+    extrapolated result.
     """
     result = ParrotSimulator(model_config(model_name)).run(
-        application(app_name), length
+        application(app_name), length, sampling=sampling
     )
     return result.to_dict()
 
@@ -287,9 +354,16 @@ class ExperimentEngine:
     * a crashed worker (``BrokenProcessPool``) triggers one pool rebuild
       and resubmission of the unfinished cells; a second crash raises
       :class:`~repro.errors.ExperimentError`;
+    * any other worker exception is a real simulation failure: the
+      surviving workers are terminated and the grid fails with an
+      :class:`~repro.errors.ExperimentError` naming the failing
+      (model, app) cell, the worker traceback chained as ``__cause__``;
     * ``timeout`` bounds the wait for the *next* completion — if no run
       finishes within it the surviving workers are terminated and the
       grid fails (a deterministic simulator either finishes or is hung).
+
+    Progress reported through ``progress`` is clamped monotonic across
+    crash retries.
     """
 
     def __init__(
@@ -300,8 +374,9 @@ class ExperimentEngine:
         store: ResultStore | None = None,
         timeout: float | None = None,
         progress: ProgressFn | None = None,
-        task_fn: Callable[[str, str, int], dict] = simulate_task,
+        task_fn: Callable[..., dict] = simulate_task,
         mp_context: Any | None = None,
+        sampling: SamplingConfig | None = None,
     ):
         if timeout is None:
             raw = os.environ.get(ENV_TIMEOUT, "").strip()
@@ -313,9 +388,11 @@ class ExperimentEngine:
         self.progress = progress
         self.task_fn = task_fn
         self.mp_context = mp_context
+        self.sampling = sampling
         self.simulations_run = 0
         self._simulators: dict[str, ParrotSimulator] = {}
         self._configs: dict[str, MachineConfig] = {}
+        self._reported_done = 0
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -335,7 +412,8 @@ class ExperimentEngine:
 
     def _key(self, task: Task) -> str:
         model_name, app_name = task
-        return run_key(self._config(model_name), app_name, self.length)
+        return run_key(self._config(model_name), app_name, self.length,
+                       self.sampling)
 
     # -- execution ---------------------------------------------------------
 
@@ -351,6 +429,7 @@ class ExperimentEngine:
         missing, in-process otherwise.
         """
         tasks = list(dict.fromkeys(tasks))
+        self._reported_done = 0
         results: dict[Task, SimulationResult] = {}
         missing: list[Task] = []
         for task in tasks:
@@ -375,6 +454,11 @@ class ExperimentEngine:
 
     def _report(self, done: int, total: int, task: Task, source: str) -> None:
         if self.progress is not None:
+            # Reported progress is clamped monotonic: a pool-crash retry
+            # replays its pass from the pre-crash count, and completed
+            # work is never "un-done" from the caller's point of view.
+            done = max(done, self._reported_done)
+            self._reported_done = done
             self.progress(done, total, f"{task[0]}/{task[1]}", source)
 
     def _run_serial(
@@ -387,7 +471,7 @@ class ExperimentEngine:
                     self._config(model_name)
                 )
             results[(model_name, app_name)] = self._simulators[model_name].run(
-                application(app_name), self.length
+                application(app_name), self.length, sampling=self.sampling
             )
             self.simulations_run += 1
             done += 1
@@ -427,11 +511,13 @@ class ExperimentEngine:
         total: int,
     ) -> int:
         workers = min(self.jobs, len(tasks))
+        extra = () if self.sampling is None else (self.sampling,)
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=self.mp_context
         ) as pool:
             futures: dict[Future, Task] = {
-                pool.submit(self.task_fn, model, app, self.length): (model, app)
+                pool.submit(self.task_fn, model, app, self.length, *extra):
+                    (model, app)
                 for model, app in tasks
             }
             pending = set(futures)
@@ -446,12 +532,32 @@ class ExperimentEngine:
                         f"no simulation finished within {self.timeout}s; "
                         f"{len(pending)} runs abandoned"
                     )
+                broken: BrokenProcessPool | None = None
                 for future in finished:
                     task = futures[future]
-                    results[task] = SimulationResult.from_dict(future.result())
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool as exc:
+                        # Record the batch's surviving results first; the
+                        # crash-retry logic in _run_parallel resubmits only
+                        # what is genuinely unfinished.
+                        broken = exc
+                        continue
+                    except Exception as exc:
+                        # A worker exception that is not a pool crash is a
+                        # real simulation failure: name the task, stop the
+                        # survivors, chain the original traceback.
+                        self._terminate(pool)
+                        raise ExperimentError(
+                            f"simulation of {task[0]}/{task[1]} failed: "
+                            f"{type(exc).__name__}: {exc}"
+                        ) from exc
+                    results[task] = SimulationResult.from_dict(payload)
                     self.simulations_run += 1
                     done += 1
                     self._report(done, total, task, "run")
+                if broken is not None:
+                    raise broken
         return done
 
     @staticmethod

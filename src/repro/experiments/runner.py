@@ -32,6 +32,7 @@ from repro.experiments.engine import (
     ResultStore,
     Scale,
 )
+from repro.sampling.config import SamplingConfig
 from repro.workloads.suite import Application, application, benchmark_suite
 
 __all__ = [
@@ -65,9 +66,10 @@ class ExperimentRunner:
 
     ``jobs > 1`` evaluates grid batches on a process pool; ``cache=True``
     adds the persistent result store under ``cache_dir`` (default:
-    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).  The default
-    construction — serial, no disk store — behaves exactly like the
-    historical in-process runner.
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); ``sampling`` switches
+    every run to sampled simulation (keyed separately in the store).  The
+    default construction — serial, no disk store, full detail — behaves
+    exactly like the historical in-process runner.
     """
 
     length: int = DEFAULT_LENGTH
@@ -77,6 +79,7 @@ class ExperimentRunner:
     cache_dir: str | Path | None = None
     timeout: float | None = None
     progress: ProgressFn | None = None
+    sampling: SamplingConfig | None = None
     _memo: dict[tuple[str, str], SimulationResult] = field(
         default_factory=dict, repr=False
     )
@@ -90,6 +93,7 @@ class ExperimentRunner:
             store=store,
             timeout=self.timeout,
             progress=self.progress,
+            sampling=self.sampling,
         )
 
     @classmethod
@@ -100,6 +104,7 @@ class ExperimentRunner:
             max_apps=scale.apps,
             jobs=scale.jobs,
             cache=scale.cache,
+            sampling=scale.sampling,
             **kwargs,
         )
 

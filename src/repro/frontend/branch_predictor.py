@@ -105,6 +105,42 @@ class BranchPredictor:
             self.stats.cond_mispredictions += 1
         return mispredicted
 
+    def warm_train(self, instr: MacroInstruction, taken: bool, next_address: int) -> None:
+        """State-only training for functional warming.
+
+        Evolves the gshare counters/history, BTB and return-address stack
+        exactly as :meth:`predict_and_train` would, but records no
+        prediction statistics and computes no mispredict outcome — the
+        fast path the sampler drives once per skipped CTI.
+        """
+        iclass = instr.iclass
+        if iclass is InstrClass.COND_BRANCH:
+            index = self._index(instr.address)
+            counter = self._counters[index]
+            if taken:
+                if counter < 3:
+                    self._counters[index] = counter + 1
+            elif counter > 0:
+                self._counters[index] = counter - 1
+            self._history = (
+                (self._history << 1) | (1 if taken else 0)
+            ) & self._history_mask
+            return
+        if iclass is InstrClass.CALL_DIRECT:
+            ras = self._ras
+            ras.append(instr.fallthrough)
+            if len(ras) > self._ras_depth:
+                ras.pop(0)
+            self._btb[instr.address] = next_address
+            return
+        if iclass is InstrClass.RETURN_NEAR:
+            if self._ras:
+                self._ras.pop()
+            return
+        if iclass is InstrClass.SOFTWARE_INT:
+            return
+        self._btb[instr.address] = next_address
+
     # -- full CTI handling ------------------------------------------------------
 
     def predict_and_train(self, instr: MacroInstruction, taken: bool, next_address: int) -> bool:

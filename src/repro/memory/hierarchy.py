@@ -98,6 +98,27 @@ class MemoryHierarchy:
             + self.config.memory_latency
         )
 
+    def warm_fetch(self, address: int) -> None:
+        """Install the instruction line at ``address`` without charging events.
+
+        The sampled simulator's functional-warming probe: contents and LRU
+        state evolve exactly as :meth:`fetch_latency`, but no event is
+        counted and no latency is computed (warming traffic must stay
+        invisible to the energy model).
+        """
+        if not self.l1i.access(address):
+            self.l2.access(address)
+
+    def warm_data(self, address: int) -> None:
+        """Install the data line at ``address`` without charging events.
+
+        Functional-warming twin of :meth:`load_latency` /
+        :meth:`store_access`: loads and stores install identically, so one
+        probe covers both.
+        """
+        if not self.l1d.access(address):
+            self.l2.access(address)
+
     def store_access(self, address: int) -> None:
         """Account a store (write-allocate; stores retire via buffers,
         so they do not stall the dependent-timing model)."""

@@ -131,6 +131,10 @@ class TimingCore:
         "_n_dest_writes",
         "_n_exec",
         "_events_flushed",
+        "_drained_uops",
+        "_drained_src_reads",
+        "_drained_dest_writes",
+        "_drained_exec",
     )
 
     def __init__(self, params: CoreParams, events: EventCounts | None = None):
@@ -168,6 +172,12 @@ class TimingCore:
         self._n_dest_writes = 0
         self._n_exec: dict[FuClass, int] = {fu: 0 for fu in FuClass}
         self._events_flushed = False
+        # High-water marks of the batched counters already folded by
+        # drain_events() (the incremental, sampled-simulation form).
+        self._drained_uops = 0
+        self._drained_src_reads = 0
+        self._drained_dest_writes = 0
+        self._drained_exec: dict[FuClass, int] = {fu: 0 for fu in FuClass}
         self.set_profile(ExecProfile.from_params(params))
 
     # -- pipeline-selection hooks ------------------------------------------
@@ -717,6 +727,11 @@ class TimingCore:
         """
         if self._events_flushed:
             raise SimulationError("flush_events called twice")
+        if self._drained_uops or self._drained_src_reads or self._drained_dest_writes:
+            raise SimulationError(
+                "flush_events after drain_events would double-count; "
+                "a draining (sampled) run must keep draining"
+            )
         self._events_flushed = True
         events = self.events
         n = self.uops_executed
@@ -731,6 +746,42 @@ class TimingCore:
         for fu, count in self._n_exec.items():
             if count:
                 events.add(_EXEC_EVENT[fu], count)
+
+    def drain_events(self) -> None:
+        """Fold the batched counters accumulated since the last drain.
+
+        The incremental sibling of :meth:`flush_events`, used by the
+        sampled simulator at every interval boundary so per-interval event
+        deltas (and hence per-interval energy) are observable.  Zero deltas
+        never materialise an event key, and a run that only ever drains is
+        charged exactly the same totals as one final ``flush_events``.
+        """
+        if self._events_flushed:
+            raise SimulationError("drain_events after flush_events")
+        events = self.events
+        n = self.uops_executed - self._drained_uops
+        if n:
+            events.add("rename_uop", n)
+            events.add("window_insert", n)
+            events.add("issue_uop", n)
+            events.add("rob_write", n)
+            events.add("rob_commit", n)
+            self._drained_uops = self.uops_executed
+        src = self._n_src_reads - self._drained_src_reads
+        if src:
+            events.add("window_wakeup", src)
+            events.add("regfile_read", src)
+            self._drained_src_reads = self._n_src_reads
+        dest = self._n_dest_writes - self._drained_dest_writes
+        if dest:
+            events.add("regfile_write", dest)
+            self._drained_dest_writes = self._n_dest_writes
+        drained_exec = self._drained_exec
+        for fu, count in self._n_exec.items():
+            delta = count - drained_exec[fu]
+            if delta:
+                events.add(_EXEC_EVENT[fu], delta)
+                drained_exec[fu] = count
 
     @property
     def cycles(self) -> float:

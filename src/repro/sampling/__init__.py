@@ -1,0 +1,39 @@
+"""Sampled simulation: detail intervals, fast-forward, warmup, estimation.
+
+The subsystem that lets the harness claim steady-state behaviour from
+long streams without paying full-detail simulation for every instruction:
+:class:`SamplingConfig` describes the regime, the scheduler plans the
+fast-forward / warmup / detail intervals, :mod:`~repro.sampling.warmup`
+re-establishes machine state after each gap, and the estimator aggregates
+per-interval measurements into population estimates with confidence
+intervals.
+
+Kept import-light on purpose (no machine modules): ``repro.core.config``
+embeds :class:`SamplingConfig`, so this package must sit below the core in
+the import graph.  :class:`~repro.sampling.warmup.WarmupPolicy` is
+import-free and is pulled in directly by the simulator.
+"""
+
+from repro.sampling.config import SUPPORTED_CONFIDENCES, SamplingConfig
+from repro.sampling.estimator import (
+    IntervalMeasurement,
+    MetricEstimate,
+    SampledEstimate,
+    build_estimate,
+    estimate_metric,
+    student_t,
+)
+from repro.sampling.scheduler import Interval, plan_intervals
+
+__all__ = [
+    "SUPPORTED_CONFIDENCES",
+    "SamplingConfig",
+    "Interval",
+    "plan_intervals",
+    "IntervalMeasurement",
+    "MetricEstimate",
+    "SampledEstimate",
+    "build_estimate",
+    "estimate_metric",
+    "student_t",
+]

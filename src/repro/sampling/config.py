@@ -1,0 +1,158 @@
+"""Sampled-simulation configuration.
+
+One :class:`SamplingConfig` describes the statistical interval-sampling
+regime of a run: how many instructions each **detailed interval** simulates
+at full fidelity (timing core + energy accounting), how many instructions
+are **fast-forwarded** between intervals (architectural state only), how
+long the **functionally warmed** tail of the fast-forward is (caches and
+branch predictor train while skipping), and how long the **trace warmup**
+window before each detailed interval is (the trace machinery — selection,
+prediction, filters, background phases — replays functionally).  ``None``
+everywhere in the code base means *full detail* — the historical,
+bit-identical simulation mode.
+
+The config is a frozen, hashable dataclass so it can ride inside
+:class:`~repro.experiments.engine.Scale`, key the shared-runner registry,
+and fingerprint the persistent result store (sampled and full-detail runs
+must never collide under one store key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Confidence levels with a Student-t table in the estimator.
+SUPPORTED_CONFIDENCES = (0.90, 0.95, 0.99)
+
+#: Spellings accepted by :meth:`SamplingConfig.parse`.
+_OFF_WORDS = ("off", "none", "no", "false", "0", "full")
+_ON_WORDS = ("on", "default", "yes", "true", "1")
+
+
+@dataclass(frozen=True, slots=True)
+class SamplingConfig:
+    """Interval-sampling knobs of one sampled simulation.
+
+    ``detail`` instructions are simulated in full detail out of every
+    ``detail + gap`` instruction period.  Each gap ends in up to
+    ``func_warm`` instructions of functionally warmed fast-forward
+    (icache/dcache/branch-predictor training while skipping) followed by
+    ``warmup`` instructions of trace-machinery warmup (segment selection,
+    trace prediction, filters and background phases replayed without
+    timing).  ``confidence`` selects the confidence level of the reported
+    per-metric intervals, and ``min_intervals`` is the smallest number of
+    detailed intervals worth estimating from — shorter runs fall back to
+    full detail.
+
+    The defaults were tuned on the golden apps (see EXPERIMENTS.md): at
+    200k instructions they measure ~6.5% of the stream in detail and land
+    within a few percent of the full-detail IPC and energy at ~5x the
+    speed.
+    """
+
+    detail: int = 1000
+    gap: int = 14000
+    warmup: int = 1500
+    func_warm: int = 4000
+    confidence: float = 0.95
+    min_intervals: int = 4
+
+    def __post_init__(self) -> None:
+        if self.detail < 1:
+            raise ConfigurationError(
+                f"sampling detail interval must be >= 1, got {self.detail}"
+            )
+        if self.gap < 1:
+            raise ConfigurationError(
+                f"sampling gap must be >= 1, got {self.gap}"
+            )
+        if not 0 <= self.warmup <= self.gap:
+            raise ConfigurationError(
+                f"sampling warmup must lie within the gap "
+                f"(0 <= {self.warmup} <= {self.gap})"
+            )
+        if self.func_warm < 0:
+            raise ConfigurationError(
+                f"sampling func_warm must be >= 0, got {self.func_warm}"
+            )
+        if self.warmup + self.func_warm > self.gap:
+            raise ConfigurationError(
+                f"sampling warmup ({self.warmup}) + func_warm "
+                f"({self.func_warm}) must fit in the gap ({self.gap})"
+            )
+        if self.confidence not in SUPPORTED_CONFIDENCES:
+            raise ConfigurationError(
+                f"sampling confidence must be one of "
+                f"{SUPPORTED_CONFIDENCES}, got {self.confidence}"
+            )
+        if self.min_intervals < 2:
+            raise ConfigurationError(
+                f"min_intervals must be >= 2 (a confidence interval needs "
+                f"at least two samples), got {self.min_intervals}"
+            )
+
+    @property
+    def period(self) -> int:
+        """Instructions covered by one (gap + detail) sampling period."""
+        return self.detail + self.gap
+
+    @property
+    def detail_fraction(self) -> float:
+        """Fraction of the stream simulated in full detail."""
+        return self.detail / self.period
+
+    def fingerprint(self) -> str:
+        """Deterministic text form, mixed into the result-store key."""
+        return (
+            f"detail={self.detail},gap={self.gap},warmup={self.warmup},"
+            f"func_warm={self.func_warm},confidence={self.confidence},"
+            f"min_intervals={self.min_intervals}"
+        )
+
+    @classmethod
+    def parse(cls, text: str | None) -> "SamplingConfig | None":
+        """Parse a CLI/environment sampling spec.
+
+        ``off``/``none``/``0`` (or ``None``) disable sampling; ``on`` (and
+        friends) select the defaults; ``DETAIL:GAP:WARMUP`` sets the main
+        knobs explicitly, optionally followed by ``:FUNC_WARM`` (an
+        integer) and/or ``:CONFIDENCE`` (a float containing a dot), e.g.
+        ``2000:18000:1000``, ``1000:14000:1500:4000`` or
+        ``1000:14000:1500:4000:0.99``.
+        """
+        if text is None:
+            return None
+        spec = text.strip().lower()
+        if spec in _OFF_WORDS or not spec:
+            return None
+        if spec in _ON_WORDS:
+            return cls()
+        parts = spec.split(":")
+        if len(parts) not in (3, 4, 5):
+            raise ConfigurationError(
+                f"bad sampling spec {text!r}: expected 'on', 'off' or "
+                f"'DETAIL:GAP:WARMUP[:FUNC_WARM][:CONFIDENCE]'"
+            )
+        try:
+            detail, gap, warmup = (int(p) for p in parts[:3])
+            func_warm = cls.__dataclass_fields__["func_warm"].default
+            confidence = 0.95
+            rest = parts[3:]
+            if rest and "." in rest[-1]:
+                confidence = float(rest[-1])
+                rest = rest[:-1]
+            if rest:
+                func_warm = int(rest[0])
+                if len(rest) > 1:
+                    raise ValueError(f"unexpected trailing part {rest[1]!r}")
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad sampling spec {text!r}: {exc}"
+            ) from exc
+        # A short explicit gap must not inherit an oversized default
+        # warming tail: clamp to whatever the gap can hold.
+        func_warm = min(func_warm, gap - warmup)
+        return cls(detail=detail, gap=gap, warmup=warmup,
+                   func_warm=func_warm, confidence=confidence)

@@ -1,0 +1,219 @@
+"""Population estimates from sampled detail intervals.
+
+Each detailed interval yields one :class:`IntervalMeasurement` — its
+instruction count, elapsed cycles and energy.  The estimator treats the
+per-interval metric values (IPC, energy-per-instruction, CMPW) as a sample
+of the run's population and reports, per metric, the sample mean together
+with a Student-t confidence interval.  No SciPy: the two-sided t critical
+values for the supported confidence levels are tabulated, and dof gaps
+resolve to the next *smaller* tabulated dof, which can only widen the
+interval (conservative).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Two-sided Student-t critical values by confidence level, keyed by
+#: degrees of freedom.  Above the largest tabulated dof the normal
+#: quantile applies.
+_T_TABLE: dict[float, tuple[tuple[int, float], ...]] = {
+    0.90: (
+        (1, 6.314), (2, 2.920), (3, 2.353), (4, 2.132), (5, 2.015),
+        (6, 1.943), (7, 1.895), (8, 1.860), (9, 1.833), (10, 1.812),
+        (12, 1.782), (14, 1.761), (16, 1.746), (18, 1.734), (20, 1.725),
+        (25, 1.708), (30, 1.697), (40, 1.684), (60, 1.671), (120, 1.658),
+    ),
+    0.95: (
+        (1, 12.706), (2, 4.303), (3, 3.182), (4, 2.776), (5, 2.571),
+        (6, 2.447), (7, 2.365), (8, 2.306), (9, 2.262), (10, 2.228),
+        (12, 2.179), (14, 2.145), (16, 2.120), (18, 2.101), (20, 2.086),
+        (25, 2.060), (30, 2.042), (40, 2.021), (60, 2.000), (120, 1.980),
+    ),
+    0.99: (
+        (1, 63.657), (2, 9.925), (3, 5.841), (4, 4.604), (5, 4.032),
+        (6, 3.707), (7, 3.499), (8, 3.355), (9, 3.250), (10, 3.169),
+        (12, 3.055), (14, 2.977), (16, 2.921), (18, 2.878), (20, 2.845),
+        (25, 2.787), (30, 2.750), (40, 2.704), (60, 2.660), (120, 2.617),
+    ),
+}
+
+_NORMAL_QUANTILE = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def student_t(confidence: float, dof: int) -> float:
+    """Two-sided t critical value; conservative between tabulated dofs."""
+    try:
+        table = _T_TABLE[confidence]
+    except KeyError:
+        raise ValueError(
+            f"unsupported confidence {confidence}; "
+            f"supported: {sorted(_T_TABLE)}"
+        ) from None
+    if dof < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {dof}")
+    critical = table[0][1]
+    for table_dof, value in table:
+        if table_dof > dof:
+            break
+        critical = value
+    else:
+        critical = _NORMAL_QUANTILE[confidence]
+    return critical
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalMeasurement:
+    """Performance and energy of one detailed interval."""
+
+    instructions: int
+    cycles: float
+    energy: float
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle within the interval."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def epi(self) -> float:
+        """Energy per instruction within the interval."""
+        return self.energy / self.instructions if self.instructions else 0.0
+
+    @property
+    def cmpw(self) -> float:
+        """Cubic-MIPS-per-WATT of the interval (simulator units)."""
+        if not (self.cycles and self.energy):
+            return 0.0
+        return self.ipc ** 3 / (self.energy / self.cycles)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricEstimate:
+    """Sample mean of one metric with its confidence half-width."""
+
+    metric: str
+    mean: float
+    half_width: float
+    confidence: float
+    intervals: int
+
+    @property
+    def lower(self) -> float:
+        """Lower confidence bound."""
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper confidence bound."""
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (0.02 = ±2%)."""
+        return self.half_width / self.mean if self.mean else math.inf
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the confidence interval."""
+        return self.lower <= value <= self.upper
+
+    def format(self) -> str:
+        """``mean [lower, upper]`` at the configured confidence."""
+        return (f"{self.mean:.4g} "
+                f"[{self.lower:.4g}, {self.upper:.4g}] "
+                f"@{self.confidence:.0%}")
+
+
+def estimate_metric(
+    metric: str, values: list[float], confidence: float, *, exact: bool = False
+) -> MetricEstimate:
+    """Mean + t-based confidence half-width of one metric's samples.
+
+    ``exact`` marks a degenerate single-interval plan that covered the
+    whole stream in full detail: the "estimate" is then the true value and
+    the half-width collapses to zero.  A genuine single-sample estimate has
+    an unbounded (infinite) half-width instead — one interval says nothing
+    about variance.
+    """
+    if not values:
+        raise ValueError(f"no interval samples for metric {metric!r}")
+    n = len(values)
+    mean = sum(values) / n
+    if exact:
+        return MetricEstimate(metric, mean, 0.0, confidence, n)
+    if n < 2:
+        return MetricEstimate(metric, mean, math.inf, confidence, n)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = student_t(confidence, n - 1) * math.sqrt(variance / n)
+    return MetricEstimate(metric, mean, half, confidence, n)
+
+
+@dataclass(frozen=True, slots=True)
+class SampledEstimate:
+    """The population estimate of one sampled run.
+
+    ``total_instructions`` is the stream length the estimate represents;
+    ``detail_instructions`` of it were simulated in full detail.  ``exact``
+    is True when the plan degenerated to one full-detail interval (the
+    estimate then *is* the full-detail result).
+    """
+
+    intervals: tuple[IntervalMeasurement, ...]
+    total_instructions: int
+    confidence: float
+    ipc: MetricEstimate
+    epi: MetricEstimate
+    cmpw: MetricEstimate
+    exact: bool = False
+
+    @property
+    def detail_instructions(self) -> int:
+        """Instructions simulated in full detail across all intervals."""
+        return sum(m.instructions for m in self.intervals)
+
+    @property
+    def detail_fraction(self) -> float:
+        """Measured fraction of the represented stream."""
+        if not self.total_instructions:
+            return 0.0
+        return self.detail_instructions / self.total_instructions
+
+    @property
+    def energy(self) -> MetricEstimate:
+        """Total-energy estimate: EPI scaled to the represented length."""
+        scale = float(self.total_instructions)
+        return MetricEstimate(
+            metric="energy",
+            mean=self.epi.mean * scale,
+            half_width=self.epi.half_width * scale,
+            confidence=self.confidence,
+            intervals=self.epi.intervals,
+        )
+
+
+def build_estimate(
+    measurements: list[IntervalMeasurement],
+    *,
+    total_instructions: int,
+    confidence: float,
+    exact: bool = False,
+) -> SampledEstimate:
+    """Aggregate per-interval measurements into a :class:`SampledEstimate`."""
+    if not measurements:
+        raise ValueError("a sampled run produced no detailed intervals")
+    return SampledEstimate(
+        intervals=tuple(measurements),
+        total_instructions=total_instructions,
+        confidence=confidence,
+        ipc=estimate_metric(
+            "ipc", [m.ipc for m in measurements], confidence, exact=exact
+        ),
+        epi=estimate_metric(
+            "epi", [m.epi for m in measurements], confidence, exact=exact
+        ),
+        cmpw=estimate_metric(
+            "cmpw", [m.cmpw for m in measurements], confidence, exact=exact
+        ),
+        exact=exact,
+    )

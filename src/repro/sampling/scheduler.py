@@ -1,0 +1,58 @@
+"""The interval scheduler: a run's fast-forward / warmup / detail plan.
+
+Systematic (periodic) sampling in the SMARTS/Pac-Sim tradition: every
+``detail + gap`` instructions, one detailed interval is measured, preceded
+by a functional-warmup window that re-establishes cache, predictor and
+trace-machinery state after the fast-forward.  The plan is a pure function
+of ``(length, config)``, so a sampled run is exactly as deterministic as a
+full-detail one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sampling.config import SamplingConfig
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """One sampling period: fast-forward, warm up, then measure.
+
+    The fast-forward itself is split: its first ``skip - funcwarm``
+    instructions are a plain architectural skip, its last ``funcwarm``
+    instructions additionally warm the caches and branch predictor while
+    skipping (cheap, allocation-free probing).  The warming suffix is what
+    lets big slow-decaying structures (L2, BTB) stay live while the plain
+    front keeps the gap fast.
+    """
+
+    skip: int      #: instructions fast-forwarded, including the warmed tail
+    funcwarm: int  #: trailing skip instructions with cache/bpred warming
+    warmup: int    #: instructions run through the trace-machinery warmup
+    detail: int    #: instructions simulated in full detail
+
+
+def plan_intervals(length: int, config: SamplingConfig) -> list[Interval]:
+    """The interval plan of a ``length``-instruction sampled run.
+
+    Each period leads with the fast-forward, so the detailed interval sits
+    at the end of its period with the warmup window directly in front of
+    it.  A trailing partial period is dropped (its instructions are part of
+    the population the estimator extrapolates over, they are simply never
+    walked).  When fewer than ``config.min_intervals`` full periods fit,
+    the plan degenerates to a single full-detail interval — sampling a
+    stream that short would estimate from too few samples to be honest.
+    """
+    if length < 1:
+        raise ValueError(f"run length {length} must be positive")
+    periods = length // config.period
+    if periods < config.min_intervals:
+        return [Interval(skip=0, funcwarm=0, warmup=0, detail=length)]
+    lead = config.gap - config.warmup
+    funcwarm = min(config.func_warm, lead)
+    return [
+        Interval(skip=lead, funcwarm=funcwarm, warmup=config.warmup,
+                 detail=config.detail)
+        for _ in range(periods)
+    ]

@@ -49,6 +49,9 @@ class StreamWalker:
         "_switch_states",
         "_mem_states",
         "_plans",
+        "_skip_blocks",
+        "_warm_blocks",
+        "_warm_line_shift",
         "_pc",
         "_call_stack",
         "executed",
@@ -73,6 +76,13 @@ class StreamWalker:
         #             next_address, next_index, switch_targets), built lazily
         # so never-executed instructions cost nothing.
         self._plans: dict[int, tuple] = {}
+        # address -> (count, effects, exit_pc) basic-block skip plans (see
+        # _compile_skip_block), built lazily by :meth:`skip`.
+        self._skip_blocks: dict[int, tuple] = {}
+        # Same idea with warming effects (see _compile_warm_block); valid
+        # for one icache line_shift at a time.
+        self._warm_blocks: dict[int, tuple] = {}
+        self._warm_line_shift = -1
         self._pc = program.entry
         self._call_stack: list[int] = []
         self.executed = 0
@@ -148,6 +158,365 @@ class StreamWalker:
         self._pc = next_address
         self.executed += 1
         return DynamicInstruction(instr, taken, next_address, mem_addr)
+
+    #: Skip-block compilation stops after this many instructions (bounds
+    #: compile time on direct-jump cycles; a capped block simply chains
+    #: into the next one).
+    _SKIP_BLOCK_CAP = 128
+
+    def _compile_skip_block(self, start: int) -> tuple:
+        """Compile the basic block at ``start`` for block-granular skipping.
+
+        Walks the *static* control flow from ``start`` for as long as it
+        stays deterministic — plain instructions, direct jumps and calls —
+        and stops at the first instruction whose outcome consumes dynamic
+        state (conditional branch, indirect jump, return) or is unmapped.
+        Returns ``(count, effects, exit_pc)``: ``count`` instructions are
+        covered, ``effects`` is the ordered sequence of side effects a walk
+        of the block performs — ``(True, fallthrough)`` pushes a call's
+        return address, ``(False, next_mem)`` draws one memory address —
+        and ``exit_pc`` is where per-instruction stepping resumes.  Replaying
+        the effects in order keeps the shared RNG and the call stack
+        bit-identical to an instruction-by-instruction walk.
+        """
+        plans_get = self._plans.get
+        instructions = self.program.instructions
+        effects: list[tuple] = []
+        pc = start
+        n = 0
+        while n < self._SKIP_BLOCK_CAP:
+            plan = plans_get(pc)
+            if plan is None:
+                instr = instructions.get(pc)
+                if instr is None:
+                    break  # unmapped: let the stepping path raise
+                plan = self._compile_plan(instr)
+            code = plan[1]
+            next_mem = plan[5]
+            if code == 0:
+                if next_mem is not None:
+                    effects.append((False, next_mem))
+                pc = plan[3]
+            elif code == 2:  # FLOW_DIRECT_JUMP
+                if next_mem is not None:
+                    effects.append((False, next_mem))
+                pc = plan[2]
+            elif code == 3:  # FLOW_CALL
+                effects.append((True, plan[3]))
+                if next_mem is not None:
+                    effects.append((False, next_mem))
+                pc = plan[2]
+            else:
+                break  # cond branch / return / indirect: dynamic outcome
+            n += 1
+        block = (n, tuple(effects), pc)
+        self._skip_blocks[start] = block
+        return block
+
+    def skip(self, count: int) -> int:
+        """Advance ``count`` instructions without materialising them.
+
+        The fast-forward path of the sampled simulator: identical control
+        flow and behaviour-state evolution to :meth:`next_batch` (every
+        branch/memory/switch behaviour method is still called, so the RNG
+        stream and walker state stay bit-identical to a full walk), but no
+        :class:`~repro.isa.instruction.DynamicInstruction` is allocated.
+        Straight-line stretches advance a compiled basic block at a time
+        (one dict probe + the block's behaviour calls); only instructions
+        with dynamic outcomes step individually.  Returns the number of
+        instructions skipped (always ``count`` unless control flow faults).
+        """
+        plans_get = self._plans.get
+        blocks_get = self._skip_blocks.get
+        call_stack = self._call_stack
+        pc = self._pc
+        skipped = 0
+        try:
+            # Block-granular fast path: consume whole basic blocks plus
+            # their terminating dynamic instruction while they fit.
+            while True:
+                block = blocks_get(pc)
+                if block is None:
+                    block = self._compile_skip_block(pc)
+                n, effects, exit_pc = block
+                if skipped + n + 1 > count:
+                    break
+                for is_push, payload in effects:
+                    if is_push:
+                        call_stack.append(payload)
+                    else:
+                        payload()
+                pc = exit_pc
+                skipped += n
+                # One stepped instruction resolves the block terminator
+                # (or continues a capped block).
+                plan = plans_get(pc)
+                if plan is None:
+                    try:
+                        instr = self.program.instructions[pc]
+                    except KeyError as exc:
+                        raise WorkloadError(
+                            f"{self.program.name}: control flowed to unmapped "
+                            f"address {pc:#x}"
+                        ) from exc
+                    plan = self._compile_plan(instr)
+                (_instr, code, taken_target, fallthrough,
+                 next_taken, next_mem, next_index, switch_targets) = plan
+                if code:
+                    if code == 1:  # FLOW_COND_BRANCH
+                        pc = taken_target if next_taken() else fallthrough
+                    elif code == 2:  # FLOW_DIRECT_JUMP
+                        pc = taken_target
+                    elif code == 3:  # FLOW_CALL
+                        call_stack.append(fallthrough)
+                        pc = taken_target
+                    elif code == 4:  # FLOW_RETURN
+                        if not call_stack:
+                            raise WorkloadError(
+                                f"{self.program.name}: return with empty call "
+                                f"stack at {pc:#x}"
+                            )
+                        pc = call_stack.pop()
+                    else:  # FLOW_INDIRECT_JUMP
+                        pc = switch_targets[next_index()]
+                else:
+                    pc = fallthrough
+                if next_mem is not None:
+                    next_mem()
+                skipped += 1
+            # Instruction-granular tail for the remainder.
+            for _ in range(count - skipped):
+                plan = plans_get(pc)
+                if plan is None:
+                    try:
+                        instr = self.program.instructions[pc]
+                    except KeyError as exc:
+                        raise WorkloadError(
+                            f"{self.program.name}: control flowed to unmapped "
+                            f"address {pc:#x}"
+                        ) from exc
+                    plan = self._compile_plan(instr)
+                (_instr, code, taken_target, fallthrough,
+                 next_taken, next_mem, next_index, switch_targets) = plan
+
+                if code:
+                    if code == 1:  # FLOW_COND_BRANCH
+                        pc = taken_target if next_taken() else fallthrough
+                    elif code == 2:  # FLOW_DIRECT_JUMP
+                        pc = taken_target
+                    elif code == 3:  # FLOW_CALL
+                        call_stack.append(fallthrough)
+                        pc = taken_target
+                    elif code == 4:  # FLOW_RETURN
+                        if not call_stack:
+                            raise WorkloadError(
+                                f"{self.program.name}: return with empty call "
+                                f"stack at {pc:#x}"
+                            )
+                        pc = call_stack.pop()
+                    else:  # FLOW_INDIRECT_JUMP
+                        pc = switch_targets[next_index()]
+                else:
+                    pc = fallthrough
+
+                if next_mem is not None:
+                    next_mem()
+                skipped += 1
+        finally:
+            self._pc = pc
+            self.executed += skipped
+        return skipped
+
+    def _compile_warm_block(self, start: int, line_shift: int) -> tuple:
+        """Compile the basic block at ``start`` for warmed skipping.
+
+        Same block boundaries as :meth:`_compile_skip_block`, but the
+        effect list additionally carries the warming work a walk of the
+        block performs.  Effects are ``(kind, a, b)``:
+
+        * ``0`` — memory access: ``touch(a())``
+        * ``1`` — icache probe: ``fetch(a)`` when line ``b`` differs from
+          the previous probed line (lines repeated *within* the block are
+          already filtered statically; the runtime check only deduplicates
+          across block boundaries)
+        * ``2`` — static CTI (direct jump/call): ``train(a, True, b)``
+        * ``3`` — call: push return address ``a``
+        """
+        plans_get = self._plans.get
+        instructions = self.program.instructions
+        effects: list[tuple] = []
+        pc = start
+        n = 0
+        prev_line = None
+        while n < self._SKIP_BLOCK_CAP:
+            plan = plans_get(pc)
+            if plan is None:
+                instr = instructions.get(pc)
+                if instr is None:
+                    break
+                plan = self._compile_plan(instr)
+            code = plan[1]
+            if code not in (0, 2, 3):
+                break  # cond branch / return / indirect: dynamic outcome
+            line = pc >> line_shift
+            if line != prev_line:
+                effects.append((1, pc, line))
+                prev_line = line
+            next_mem = plan[5]
+            if code == 0:
+                if next_mem is not None:
+                    effects.append((0, next_mem, None))
+                pc = plan[3]
+            else:
+                if code == 3:  # FLOW_CALL
+                    effects.append((3, plan[3], None))
+                effects.append((2, plan[0], plan[2]))
+                if next_mem is not None:
+                    effects.append((0, next_mem, None))
+                pc = plan[2]
+            n += 1
+        block = (n, tuple(effects), pc)
+        self._warm_blocks[start] = block
+        return block
+
+    def warm_skip(self, count: int, fetch, touch, train,
+                  line_shift: int = 6) -> int:
+        """:meth:`skip` with functional warming of caches and predictor.
+
+        The sampled simulator's fast-forward with always-on warming
+        (SMARTS-style): no :class:`DynamicInstruction` is allocated, but
+        ``fetch(address)`` is probed once per new instruction-cache line
+        (``line_shift`` = log2 of the line size), ``touch(mem_addr)`` once
+        per memory access and ``train(instr, taken, next_address)`` once
+        per CTI, so icache, dcache and branch-predictor state track the
+        skipped stream.  Behaviour-state evolution is bit-identical to
+        :meth:`skip`; straight-line stretches replay compiled warm blocks.
+        """
+        if line_shift != self._warm_line_shift:
+            self._warm_blocks.clear()
+            self._warm_line_shift = line_shift
+        plans_get = self._plans.get
+        blocks_get = self._warm_blocks.get
+        call_stack = self._call_stack
+        pc = self._pc
+        last_line = -1
+        skipped = 0
+        try:
+            while True:
+                block = blocks_get(pc)
+                if block is None:
+                    block = self._compile_warm_block(pc, line_shift)
+                n, effects, exit_pc = block
+                if skipped + n + 1 > count:
+                    break
+                for kind, a, b in effects:
+                    if kind == 0:
+                        touch(a())
+                    elif kind == 1:
+                        if b != last_line:
+                            fetch(a)
+                            last_line = b
+                    elif kind == 2:
+                        train(a, True, b)
+                    else:
+                        call_stack.append(a)
+                pc = exit_pc
+                skipped += n
+                # One stepped instruction resolves the block terminator
+                # (or continues a capped block).
+                plan = plans_get(pc)
+                if plan is None:
+                    try:
+                        instr = self.program.instructions[pc]
+                    except KeyError as exc:
+                        raise WorkloadError(
+                            f"{self.program.name}: control flowed to unmapped "
+                            f"address {pc:#x}"
+                        ) from exc
+                    plan = self._compile_plan(instr)
+                (instr, code, taken_target, fallthrough,
+                 next_taken, next_mem, next_index, switch_targets) = plan
+                line = pc >> line_shift
+                if line != last_line:
+                    fetch(pc)
+                    last_line = line
+                if code:
+                    taken = True
+                    if code == 1:  # FLOW_COND_BRANCH
+                        taken = next_taken()
+                        next_address = taken_target if taken else fallthrough
+                    elif code == 2:  # FLOW_DIRECT_JUMP
+                        next_address = taken_target
+                    elif code == 3:  # FLOW_CALL
+                        call_stack.append(fallthrough)
+                        next_address = taken_target
+                    elif code == 4:  # FLOW_RETURN
+                        if not call_stack:
+                            raise WorkloadError(
+                                f"{self.program.name}: return with empty call "
+                                f"stack at {pc:#x}"
+                            )
+                        next_address = call_stack.pop()
+                    else:  # FLOW_INDIRECT_JUMP
+                        next_address = switch_targets[next_index()]
+                    train(instr, taken, next_address)
+                    pc = next_address
+                else:
+                    pc = fallthrough
+                if next_mem is not None:
+                    touch(next_mem())
+                skipped += 1
+            # Instruction-granular tail for the remainder.
+            for _ in range(count - skipped):
+                plan = plans_get(pc)
+                if plan is None:
+                    try:
+                        instr = self.program.instructions[pc]
+                    except KeyError as exc:
+                        raise WorkloadError(
+                            f"{self.program.name}: control flowed to unmapped "
+                            f"address {pc:#x}"
+                        ) from exc
+                    plan = self._compile_plan(instr)
+                (instr, code, taken_target, fallthrough,
+                 next_taken, next_mem, next_index, switch_targets) = plan
+
+                line = pc >> line_shift
+                if line != last_line:
+                    fetch(pc)
+                    last_line = line
+
+                if code:
+                    taken = True
+                    if code == 1:  # FLOW_COND_BRANCH
+                        taken = next_taken()
+                        next_address = taken_target if taken else fallthrough
+                    elif code == 2:  # FLOW_DIRECT_JUMP
+                        next_address = taken_target
+                    elif code == 3:  # FLOW_CALL
+                        call_stack.append(fallthrough)
+                        next_address = taken_target
+                    elif code == 4:  # FLOW_RETURN
+                        if not call_stack:
+                            raise WorkloadError(
+                                f"{self.program.name}: return with empty call "
+                                f"stack at {pc:#x}"
+                            )
+                        next_address = call_stack.pop()
+                    else:  # FLOW_INDIRECT_JUMP
+                        next_address = switch_targets[next_index()]
+                    train(instr, taken, next_address)
+                    pc = next_address
+                else:
+                    pc = fallthrough
+
+                if next_mem is not None:
+                    touch(next_mem())
+                skipped += 1
+        finally:
+            self._pc = pc
+            self.executed += skipped
+        return skipped
 
     def next_batch(self, count: int) -> list[DynamicInstruction]:
         """Step ``count`` instructions in one call, returning them in order.
@@ -297,6 +666,67 @@ class InstructionStream:
             out.extend(batch)
         self.consumed += len(out)
         return out
+
+    def skip(self, count: int, warm: tuple | None = None) -> int:
+        """Fast-forward past up to ``count`` instructions; returns how many.
+
+        Buffered (already-walked) instructions are discarded first; the
+        remainder uses the walker's allocation-free :meth:`StreamWalker.skip`
+        when available.  ``consumed`` advances exactly as if the
+        instructions had been taken, so interleaving ``skip`` with ``take``
+        or ``take_batch`` keeps the stream budget coherent.
+
+        ``warm`` — a ``(fetch, touch, train, line_shift)`` tuple — routes
+        the fast-forward through :meth:`StreamWalker.warm_skip`, training
+        caches and the branch predictor while skipping.
+        """
+        skipped = 0
+        buffer = self._buffer
+        last_line = -1
+        while buffer and skipped < count:
+            dyn = buffer.popleft()
+            if warm is not None:
+                fetch, touch, train, line_shift = warm
+                instr = dyn.instr
+                line = instr.address >> line_shift
+                if line != last_line:
+                    fetch(instr.address)
+                    last_line = line
+                if dyn.mem_addr is not None:
+                    touch(dyn.mem_addr)
+                if instr.is_cti:
+                    train(instr, dyn.taken, dyn.next_address)
+            skipped += 1
+        n = count - skipped
+        if n > self._remaining:
+            n = self._remaining
+        if n > 0:
+            walker = self._walker
+            if warm is not None:
+                walker_skip = getattr(walker, "warm_skip", None)
+                if walker_skip is not None:
+                    fetch, touch, train, line_shift = warm
+                    n = walker_skip(n, fetch, touch, train, line_shift)
+                    self._remaining -= n
+                    skipped += n
+                    self.consumed += skipped
+                    return skipped
+            walker_skip = getattr(walker, "skip", None)
+            if walker_skip is not None:
+                n = walker_skip(n)
+            else:
+                done = 0
+                try:
+                    for _ in range(n):
+                        next(walker)
+                        done += 1
+                except StopIteration:
+                    self._remaining = done
+                n = done
+            self._remaining -= n
+            skipped += n
+        self.consumed += skipped
+        return skipped
 
     def drain(self) -> Iterator[DynamicInstruction]:
         """Consume the rest of the stream, in order.

@@ -25,6 +25,7 @@ from repro.experiments.engine import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.models.configs import model_config
+from repro.sampling import SamplingConfig
 
 FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
 
@@ -43,8 +44,28 @@ class TestScale:
         monkeypatch.setenv("REPRO_BENCH_LENGTH", "1234")
         monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
         monkeypatch.setenv("REPRO_BENCH_CACHE", "0")
+        monkeypatch.delenv("REPRO_BENCH_SAMPLING", raising=False)
         scale = Scale.from_environment()
         assert scale == Scale(apps=None, length=1234, jobs=3, cache=False)
+
+    def test_sampling_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SAMPLING", "2000:18000:1000")
+        assert Scale.from_environment().sampling == SamplingConfig(
+            detail=2000, gap=18000, warmup=1000
+        )
+        monkeypatch.setenv("REPRO_BENCH_SAMPLING", "off")
+        assert Scale.from_environment().sampling is None
+
+    def test_sampling_from_args_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SAMPLING", "on")
+        monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+        args = Namespace(apps="2", length=100, jobs=1, no_cache=False,
+                         sampling="2000:18000:1000")
+        assert Scale.from_args(args).sampling == SamplingConfig(
+            detail=2000, gap=18000, warmup=1000
+        )
+        args.sampling = None  # no CLI flag: the environment wins
+        assert Scale.from_args(args).sampling == SamplingConfig()
 
     def test_from_environment_defaults(self, monkeypatch):
         for var in ("REPRO_BENCH_APPS", "REPRO_BENCH_LENGTH",
@@ -114,6 +135,16 @@ class TestRunKey:
             model_config("TOW")
         )
 
+    def test_sampled_and_full_runs_never_collide(self):
+        config = model_config("TON")
+        full = run_key(config, "swim", 2000)
+        sampled = run_key(config, "swim", 2000, SamplingConfig())
+        assert sampled != full
+        assert run_key(config, "swim", 2000, None) == full
+        assert run_key(
+            config, "swim", 2000, SamplingConfig(detail=2000)
+        ) != sampled
+
 
 def _dummy_result(model="N", app="gzip", instructions=100):
     return SimulationResult(
@@ -167,6 +198,30 @@ class TestResultStore:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
         assert ResultStore().root == tmp_path / "elsewhere"
 
+    def test_info_sweeps_orphaned_tmp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("ab" + "0" * 62, _dummy_result())
+        orphans = [
+            tmp_path / "ab" / ("ab" + "0" * 62 + ".json.tmp.123"),
+            tmp_path / "cd" / ("cd" + "0" * 62 + ".json.tmp.456"),
+        ]
+        for orphan in orphans:
+            orphan.parent.mkdir(exist_ok=True)
+            orphan.write_text("half-written")
+        info = store.info()
+        assert info.stale_tmp == 2 and info.entries == 1
+        assert not any(orphan.exists() for orphan in orphans)
+        assert store.info().stale_tmp == 0  # second sweep finds nothing
+
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("ab" + "0" * 62, _dummy_result())
+        orphan = tmp_path / "ab" / ("ab" + "0" * 62 + ".json.tmp.123")
+        orphan.write_text("half-written")
+        assert store.clear() == 1  # orphans are swept, not counted
+        assert not orphan.exists()
+        assert store.info().entries == 0
+
 
 class TestEngine:
     def test_unknown_model_rejected(self):
@@ -211,6 +266,22 @@ class TestEngine:
         engine.run([("N", "gzip"), ("N", "gzip")])
         assert engine.simulations_run == 1
 
+    def test_sampled_runs_keyed_separately_in_store(self, tmp_path):
+        task = [("N", "gzip")]
+        full = ExperimentEngine(1200, store=ResultStore(tmp_path))
+        full.run(task)
+        sampled = ExperimentEngine(
+            1200, store=ResultStore(tmp_path), sampling=SamplingConfig()
+        )
+        sampled.run(task)
+        assert sampled.simulations_run == 1 and sampled.cache_hits == 0
+        # ... but a second sampled engine with the same config hits.
+        again = ExperimentEngine(
+            1200, store=ResultStore(tmp_path), sampling=SamplingConfig()
+        )
+        again.run(task)
+        assert again.simulations_run == 0 and again.cache_hits == 1
+
 
 # -- fault injection ----------------------------------------------------------
 # Worker functions must be module-level so the pool can pickle them by
@@ -232,6 +303,20 @@ def _always_crash_task(model: str, app: str, length: int) -> dict:
 
 def _sleepy_task(model: str, app: str, length: int) -> dict:
     time.sleep(5.0)
+    return _dummy_result(model, app, length).to_dict()  # pragma: no cover
+
+
+def _raising_task(model: str, app: str, length: int) -> dict:
+    if app == "swim":
+        raise ValueError("synthetic worker failure")
+    return _dummy_result(model, app, length).to_dict()
+
+
+def _raise_once_task(model: str, app: str, length: int) -> dict:
+    marker = pathlib.Path(os.environ["REPRO_TEST_CRASH_MARKER"])
+    if not marker.exists():
+        marker.write_text("raised")
+        raise ValueError("synthetic worker failure")
     return _dummy_result(model, app, length).to_dict()  # pragma: no cover
 
 
@@ -262,6 +347,42 @@ class TestFaultHandling:
         with pytest.raises(ExperimentError, match="finished within"):
             engine.run([("N", "gzip"), ("N", "swim")])
         assert time.monotonic() - start < 4.0  # workers were terminated
+
+    def test_worker_exception_names_the_task(self):
+        engine = self._engine(_raising_task)
+        with pytest.raises(ExperimentError) as excinfo:
+            engine.run([("TON", "gzip"), ("TON", "swim")])
+        message = str(excinfo.value)
+        assert "TON/swim" in message
+        assert "ValueError" in message
+        assert "synthetic worker failure" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_worker_exception_is_not_retried(self, tmp_path, monkeypatch):
+        # A Python-level failure is deterministic: unlike a pool crash it
+        # must surface immediately rather than burn a retry pass (which
+        # would succeed here, since the task only raises once).
+        monkeypatch.setenv(
+            "REPRO_TEST_CRASH_MARKER", str(tmp_path / "marker")
+        )
+        engine = self._engine(_raise_once_task)
+        with pytest.raises(ExperimentError, match="ValueError"):
+            engine.run([("N", "gzip"), ("N", "swim")])
+
+    def test_retry_progress_is_monotonic(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_TEST_CRASH_MARKER", str(tmp_path / "marker")
+        )
+        seen = []
+        engine = self._engine(
+            _crash_once_task,
+            progress=lambda done, total, task, source: seen.append(done),
+        )
+        tasks = [("N", "gzip"), ("N", "swim"), ("N", "vpr"), ("N", "eon")]
+        results = engine.run(tasks)
+        assert set(results) == set(tasks)
+        assert seen == sorted(seen), f"progress went backwards: {seen}"
+        assert seen[-1] == len(tasks)
 
 
 class TestRunnerIntegration:

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Sampled-simulation validation harness: sampled vs full-detail runs.
+
+For each (application, model) pair, runs the full-detail simulation and
+the sampled simulation over the same stream and reports the IPC/EPI point
+errors, whether the full-detail value falls inside the sampled run's
+confidence intervals, and the wall-clock speedup.  The default pairs are
+the golden apps the acceptance criteria are phrased over; the numbers in
+the EXPERIMENTS.md "Sampling" section come from this harness.
+
+Usage:  python tools/validate_sampling.py [--length L] [--pairs swim:TON,...]
+        [--sampling DETAIL:GAP:WARMUP[:FUNC_WARM][:CONFIDENCE]] [--repeat N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core import ParrotSimulator
+from repro.models import model_config
+from repro.sampling import SamplingConfig
+from repro.workloads import application
+
+GOLDEN_PAIRS = "swim:TON,gcc:N,eon:TOW"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--length", type=int, default=200_000)
+    parser.add_argument("--pairs", type=str, default=GOLDEN_PAIRS,
+                        help="comma-separated app:model pairs")
+    parser.add_argument("--sampling", type=str, default="on",
+                        help="sampling spec (default: tuned defaults)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="timing repetitions (speedup = best of N)")
+    args = parser.parse_args()
+
+    sampling = SamplingConfig.parse(args.sampling) or SamplingConfig()
+    pairs = [pair.split(":") for pair in args.pairs.split(",")]
+    print(f"sampling: {sampling.fingerprint()}")
+    print(f"length:   {args.length}  "
+          f"(detail fraction {sampling.detail_fraction:.1%})\n")
+
+    all_ok = True
+    for app_name, model_name in pairs:
+        app = application(app_name)
+        sim = ParrotSimulator(model_config(model_name))
+
+        full_times, sampled_times = [], []
+        for _ in range(args.repeat):
+            t0 = time.perf_counter()
+            full = sim.run(app, args.length)
+            full_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            sampled = sim.run_sampled(app, args.length, sampling=sampling)
+            sampled_times.append(time.perf_counter() - t0)
+        estimate = sampled.estimate
+
+        full_ipc = full.instructions / full.cycles
+        full_epi = full.energy.total / full.instructions
+        ipc_err = abs(estimate.ipc.mean - full_ipc) / full_ipc
+        epi_err = abs(estimate.epi.mean - full_epi) / full_epi
+        speedup = min(full_times) / min(sampled_times)
+        ipc_in = estimate.ipc.contains(full_ipc)
+        epi_in = estimate.epi.contains(full_epi)
+        all_ok &= ipc_in and epi_in
+
+        print(f"{app_name}/{model_name}:")
+        print(f"  intervals {len(estimate.intervals):3d}   "
+              f"speedup {speedup:4.2f}x   "
+              f"({min(full_times):.2f}s full, {min(sampled_times):.2f}s sampled)")
+        print(f"  IPC  full {full_ipc:7.4f}   sampled {estimate.ipc.format()}"
+              f"   err {ipc_err:6.2%}   {'ok' if ipc_in else 'OUTSIDE CI'}")
+        print(f"  EPI  full {full_epi:7.4f}   sampled {estimate.epi.format()}"
+              f"   err {epi_err:6.2%}   {'ok' if epi_in else 'OUTSIDE CI'}")
+
+    print(f"\n{'all full-detail values inside the reported CIs' if all_ok else 'CI MISSES — see above'}")
+    raise SystemExit(0 if all_ok else 1)
+
+
+if __name__ == "__main__":
+    main()
