@@ -30,6 +30,7 @@ from repro.experiments.runner import ExperimentRunner
 from repro.models.configs import MODEL_NAMES, model_config
 from repro.sampling.config import SamplingConfig
 from repro.workloads.suite import ALL_APPS, application, benchmark_suite
+from repro.workloads.tracefile import ArtifactCache
 
 _EXAMPLES = """\
 examples:
@@ -48,6 +49,7 @@ environment:
   REPRO_BENCH_JOBS                        default worker count (all cores)
   REPRO_BENCH_CACHE=0                     disable the result store
   REPRO_BENCH_SAMPLING                    default sampling regime (off)
+  REPRO_BENCH_ARTIFACTS=0                 disable compiled trace artifacts
   REPRO_CACHE_DIR                         store location (~/.cache/repro)
 """
 
@@ -93,6 +95,11 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="do not read or write the persistent result store",
+    )
+    parser.add_argument(
+        "--no-artifacts", action="store_true",
+        help="walk the workload generator per cell instead of replaying "
+             "compiled trace artifacts",
     )
     _add_sampling_arg(parser)
 
@@ -244,8 +251,9 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect or clear the persistent result store."""
+    """Inspect or clear the result store and the artifact cache."""
     store = ResultStore()
+    artifacts = ArtifactCache()
     if args.action == "info":
         info = store.info()
         print(f"store     {info.path}")
@@ -254,9 +262,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"schema    v{info.schema_version}")
         if info.stale_tmp:
             print(f"swept     {info.stale_tmp} stale tmp file(s)")
+        ainfo = artifacts.info()
+        print(f"artifacts {ainfo.path}")
+        print(f"  compiled  {ainfo.entries}")
+        print(f"  size      {ainfo.total_bytes} bytes")
+        print(f"  schema    v{ainfo.schema_version}")
+        if ainfo.stale_tmp:
+            print(f"  swept     {ainfo.stale_tmp} stale tmp dir(s)")
     else:  # clear
         removed = store.clear()
         print(f"removed {removed} stored result(s) from {store.root}")
+        swept = artifacts.clear()
+        print(f"removed {swept} compiled artifact(s) from {artifacts.root}")
     return 0
 
 

@@ -19,9 +19,19 @@ and :data:`~repro.core.results.SCHEMA_VERSION` — any change to a model
 parameter, a workload profile seed or the result schema silently keys to
 fresh entries, so stale records can never be served.
 
-Scale knobs (application count, run length, worker count, cache on/off)
-are unified in the :class:`Scale` dataclass, parsed once from either the
-environment (``REPRO_BENCH_*`` / ``REPRO_CACHE_DIR``) or CLI arguments.
+A third property — every model of an application consumes the
+bit-identical dynamic stream — drives the scheduler: missing cells are
+grouped into per-application **chunks**, each submitted to the pool as one
+call, so a worker resolves the application's compiled trace artifact
+(:class:`~repro.workloads.tracefile.ArtifactCache`) and its shared segment
+partition once and replays them for every model in the chunk.  Workers
+are reused processes, so per-worker memos also amortise model configs,
+simulators and applications across everything a worker executes.
+
+Scale knobs (application count, run length, worker count, cache on/off,
+artifact cache on/off) are unified in the :class:`Scale` dataclass, parsed
+once from either the environment (``REPRO_BENCH_*`` / ``REPRO_CACHE_DIR``)
+or CLI arguments.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -42,11 +53,12 @@ from typing import Any, Callable, Sequence
 
 from repro.core.config import MachineConfig
 from repro.core.results import SCHEMA_VERSION, SimulationResult
-from repro.core.simulator import ParrotSimulator
+from repro.core.simulator import ParrotSimulator, segment_stream
 from repro.errors import ExperimentError
 from repro.models.configs import MODEL_NAMES, model_config
 from repro.sampling.config import SamplingConfig
-from repro.workloads.suite import app_seed, application
+from repro.workloads.suite import Application, app_seed, application
+from repro.workloads.tracefile import ArtifactCache, TraceArtifact
 
 #: Environment variables controlling benchmark scale and the result store.
 ENV_APPS = "REPRO_BENCH_APPS"
@@ -56,6 +68,7 @@ ENV_CACHE = "REPRO_BENCH_CACHE"
 ENV_TIMEOUT = "REPRO_BENCH_TIMEOUT"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_SAMPLING = "REPRO_BENCH_SAMPLING"
+ENV_ARTIFACTS = "REPRO_BENCH_ARTIFACTS"
 
 DEFAULT_APPS = 15
 DEFAULT_LENGTH = 20_000
@@ -102,8 +115,10 @@ class Scale:
     ``apps`` is the balanced application-subset size (``None`` = the full
     44-app roster), ``length`` the instructions simulated per application,
     ``jobs`` the process-pool width, ``cache`` whether runs are served
-    from / written to the persistent result store, and ``sampling`` the
-    sampled-simulation regime (``None`` = full detail).
+    from / written to the persistent result store, ``sampling`` the
+    sampled-simulation regime (``None`` = full detail), and ``artifacts``
+    whether runs ingest compiled trace artifacts instead of re-walking the
+    workload generator per cell.
     """
 
     apps: int | None = DEFAULT_APPS
@@ -111,6 +126,7 @@ class Scale:
     jobs: int = field(default_factory=default_jobs)
     cache: bool = True
     sampling: SamplingConfig | None = None
+    artifacts: bool = True
 
     @classmethod
     def from_environment(cls) -> "Scale":
@@ -118,9 +134,10 @@ class Scale:
 
         ``REPRO_BENCH_APPS`` (count or ``all``), ``REPRO_BENCH_LENGTH``,
         ``REPRO_BENCH_JOBS`` (default: all cores), ``REPRO_BENCH_CACHE``
-        (``0`` disables the result store) and ``REPRO_BENCH_SAMPLING``
+        (``0`` disables the result store), ``REPRO_BENCH_SAMPLING``
         (``off``/``on``/``D:G:W[:F][:CONF]``; see
-        :meth:`~repro.sampling.config.SamplingConfig.parse`).
+        :meth:`~repro.sampling.config.SamplingConfig.parse`) and
+        ``REPRO_BENCH_ARTIFACTS`` (``0`` disables the artifact fast path).
         """
         return cls(
             apps=parse_apps(os.environ.get(ENV_APPS, str(DEFAULT_APPS))),
@@ -128,16 +145,18 @@ class Scale:
             jobs=default_jobs(),
             cache=_env_flag(ENV_CACHE),
             sampling=SamplingConfig.parse(os.environ.get(ENV_SAMPLING)),
+            artifacts=_env_flag(ENV_ARTIFACTS),
         )
 
     @classmethod
     def from_args(cls, args: Any) -> "Scale":
         """Resolve from parsed CLI arguments (``--apps/--length/--jobs/
-        --no-cache/--sampling``); unset ``--jobs`` falls back to the
-        environment, and an absent ``--sampling`` falls back to
-        ``REPRO_BENCH_SAMPLING``."""
+        --no-cache/--sampling/--no-artifacts``); unset ``--jobs`` falls
+        back to the environment, and an absent ``--sampling`` falls back
+        to ``REPRO_BENCH_SAMPLING``."""
         jobs = getattr(args, "jobs", None)
         no_cache = bool(getattr(args, "no_cache", False))
+        no_artifacts = bool(getattr(args, "no_artifacts", False))
         sampling_spec = getattr(args, "sampling", None)
         if sampling_spec is None:
             sampling_spec = os.environ.get(ENV_SAMPLING)
@@ -147,6 +166,7 @@ class Scale:
             jobs=default_jobs() if jobs is None else jobs,
             cache=not no_cache and _env_flag(ENV_CACHE),
             sampling=SamplingConfig.parse(sampling_spec),
+            artifacts=not no_artifacts and _env_flag(ENV_ARTIFACTS),
         )
 
 
@@ -320,6 +340,80 @@ class ResultStore:
 
 # -- the process-pool engine --------------------------------------------------
 
+# Pool workers are reused processes, so module-level memos amortise the
+# per-cell setup cost across every cell a worker ever executes: model
+# configs and simulators by model name, Application handles by app name,
+# and the two most recent (artifact, shared segment partition, cold-plan
+# memo) entries by (cache root, app, length).  ParrotSimulator keeps no
+# state across runs
+# (everything lives in a per-run machine), so sharing one instance per
+# model is safe; the artifact memo is a tiny LRU because one decoded
+# instruction list plus its segment partition is the only per-app state
+# worth holding, and chunk scheduling gives each worker app affinity.
+_WORKER_SIMULATORS: dict[str, ParrotSimulator] = {}
+_WORKER_APPS: dict[str, Application] = {}
+_WORKER_ARTIFACT_CACHES: dict[str, ArtifactCache] = {}
+_WORKER_ARTIFACTS: OrderedDict[tuple[str, str, int], list] = OrderedDict()
+_WORKER_ARTIFACT_LIMIT = 2
+
+
+def _worker_simulator(model_name: str) -> ParrotSimulator:
+    simulator = _WORKER_SIMULATORS.get(model_name)
+    if simulator is None:
+        simulator = ParrotSimulator(model_config(model_name))
+        _WORKER_SIMULATORS[model_name] = simulator
+    return simulator
+
+
+def _worker_application(app_name: str) -> Application:
+    app = _WORKER_APPS.get(app_name)
+    if app is None:
+        app = application(app_name)
+        _WORKER_APPS[app_name] = app
+    return app
+
+
+def _worker_artifact_cache(root: str) -> ArtifactCache:
+    cache = _WORKER_ARTIFACT_CACHES.get(root)
+    if cache is None:
+        cache = ArtifactCache(root)
+        _WORKER_ARTIFACT_CACHES[root] = cache
+    return cache
+
+
+def _worker_artifact(
+    cache: ArtifactCache,
+    app_name: str,
+    length: int,
+    want_segments: bool,
+) -> tuple[TraceArtifact, list | None, dict]:
+    """The (artifact, shared segments, plan memo) for one worker-memoized app.
+
+    The segment partition is model-independent (the selector segments the
+    raw dynamic stream before any model state exists), so it is computed
+    once per (app, length) and replayed for every model — but only in
+    full-detail mode (``want_segments``); sampled runs drive their own
+    interval schedule off the stream.  The plan memo maps a model's fetch
+    parameters to the cold-plan dict shared by every model in that fetch
+    group over this entry's segment list (see
+    :meth:`ParrotSimulator.run_artifact`); it lives and dies with the
+    entry, so plans can never leak across applications.
+    """
+    memo_key = (str(cache.root), app_name, length)
+    entry = _WORKER_ARTIFACTS.get(memo_key)
+    if entry is None:
+        artifact = cache.get_or_compile(_worker_application(app_name), length)
+        entry = [artifact, None, {}]
+        _WORKER_ARTIFACTS[memo_key] = entry
+        while len(_WORKER_ARTIFACTS) > _WORKER_ARTIFACT_LIMIT:
+            _WORKER_ARTIFACTS.popitem(last=False)
+    else:
+        _WORKER_ARTIFACTS.move_to_end(memo_key)
+    artifact = entry[0]
+    if want_segments and entry[1] is None:
+        entry[1] = list(segment_stream(artifact.stream()))
+    return artifact, entry[1] if want_segments else None, entry[2]
+
 
 def simulate_task(
     model_name: str,
@@ -333,12 +427,76 @@ def simulate_task(
     a ``SimulationResult.to_dict()`` dict (the same schema the result
     store persists), keeping worker IPC and the store on one format.  With
     ``sampling`` set the run is sampled and the payload is the
-    extrapolated result.
+    extrapolated result.  The simulator and application handle come from
+    the worker-local memos, so a reused worker never rebuilds them.
     """
-    result = ParrotSimulator(model_config(model_name)).run(
-        application(app_name), length, sampling=sampling
+    result = _worker_simulator(model_name).run(
+        _worker_application(app_name), length, sampling=sampling
     )
     return result.to_dict()
+
+
+def simulate_chunk(
+    cells: Sequence[Task],
+    length: int,
+    sampling: SamplingConfig | None = None,
+    artifact_root: str | None = None,
+    task_fn: Callable[..., dict] | None = None,
+) -> dict:
+    """Worker entry point: run a chunk of grid cells in one pool call.
+
+    ``cells`` share one application by construction (see
+    ``ExperimentEngine._plan_chunks``), so with ``artifact_root`` set the
+    worker resolves the app's compiled trace artifact and shared segment
+    partition once and replays them for every model in the chunk.  With
+    ``artifact_root=None`` (artifacts disabled) each cell runs through the
+    generator path; a custom ``task_fn`` (test harnesses) is called per
+    cell exactly as the unchunked engine did, and its exceptions propagate
+    raw so the engine can attribute them.
+
+    Returns ``{"results": [...], "artifact_hits": h, "artifact_compiles": c}``
+    with one serialized result per cell, in cell order.
+    """
+    if task_fn is not None:
+        extra = () if sampling is None else (sampling,)
+        return {
+            "results": [
+                task_fn(model, app, length, *extra) for model, app in cells
+            ],
+            "artifact_hits": 0,
+            "artifact_compiles": 0,
+        }
+    if artifact_root is None:
+        return {
+            "results": [
+                simulate_task(model, app, length, sampling)
+                for model, app in cells
+            ],
+            "artifact_hits": 0,
+            "artifact_compiles": 0,
+        }
+    cache = _worker_artifact_cache(artifact_root)
+    hits0, compiles0 = cache.hits, cache.compiles
+    results = []
+    for model_name, app_name in cells:
+        artifact, segments, plans = _worker_artifact(
+            cache, app_name, length, want_segments=sampling is None
+        )
+        simulator = _worker_simulator(model_name)
+        cold_plans = (
+            plans.setdefault(simulator.config.fetch, {})
+            if segments is not None else None
+        )
+        result = simulator.run_artifact(
+            artifact, sampling=sampling, segments=segments,
+            cold_plans=cold_plans,
+        )
+        results.append(result.to_dict())
+    return {
+        "results": results,
+        "artifact_hits": cache.hits - hits0,
+        "artifact_compiles": cache.compiles - compiles0,
+    }
 
 
 class ExperimentEngine:
@@ -377,6 +535,8 @@ class ExperimentEngine:
         task_fn: Callable[..., dict] = simulate_task,
         mp_context: Any | None = None,
         sampling: SamplingConfig | None = None,
+        artifacts: bool = True,
+        artifact_root: str | Path | None = None,
     ):
         if timeout is None:
             raw = os.environ.get(ENV_TIMEOUT, "").strip()
@@ -389,9 +549,13 @@ class ExperimentEngine:
         self.task_fn = task_fn
         self.mp_context = mp_context
         self.sampling = sampling
+        self.artifact_cache = ArtifactCache(artifact_root) if artifacts else None
         self.simulations_run = 0
         self._simulators: dict[str, ParrotSimulator] = {}
         self._configs: dict[str, MachineConfig] = {}
+        self._artifact_memo: OrderedDict[str, list] = OrderedDict()
+        self._pool_artifact_hits = 0
+        self._pool_artifact_compiles = 0
         self._reported_done = 0
 
     # -- bookkeeping -------------------------------------------------------
@@ -400,6 +564,18 @@ class ExperimentEngine:
     def cache_hits(self) -> int:
         """Runs served from the persistent store instead of simulated."""
         return self.store.hits if self.store is not None else 0
+
+    @property
+    def artifact_hits(self) -> int:
+        """Compiled trace artifacts loaded from disk (engine + workers)."""
+        own = self.artifact_cache.hits if self.artifact_cache else 0
+        return own + self._pool_artifact_hits
+
+    @property
+    def artifact_compiles(self) -> int:
+        """Compiled trace artifacts built from scratch (engine + workers)."""
+        own = self.artifact_cache.compiles if self.artifact_cache else 0
+        return own + self._pool_artifact_compiles
 
     def _config(self, model_name: str) -> MachineConfig:
         if model_name not in MODEL_NAMES:
@@ -461,21 +637,73 @@ class ExperimentEngine:
             self._reported_done = done
             self.progress(done, total, f"{task[0]}/{task[1]}", source)
 
+    def _simulator(self, model_name: str) -> ParrotSimulator:
+        if model_name not in self._simulators:
+            self._simulators[model_name] = ParrotSimulator(
+                self._config(model_name)
+            )
+        return self._simulators[model_name]
+
+    def _serial_artifact(
+        self, app_name: str
+    ) -> tuple[TraceArtifact, list | None, dict]:
+        """In-process analogue of the worker artifact memo (LRU of 2)."""
+        entry = self._artifact_memo.get(app_name)
+        if entry is None:
+            artifact = self.artifact_cache.get_or_compile(
+                application(app_name), self.length
+            )
+            entry = [artifact, None, {}]
+            self._artifact_memo[app_name] = entry
+            while len(self._artifact_memo) > _WORKER_ARTIFACT_LIMIT:
+                self._artifact_memo.popitem(last=False)
+        else:
+            self._artifact_memo.move_to_end(app_name)
+        if self.sampling is not None:
+            return entry[0], None, entry[2]
+        if entry[1] is None:
+            entry[1] = list(segment_stream(entry[0].stream()))
+        return entry[0], entry[1], entry[2]
+
     def _run_serial(
         self, tasks: list[Task], *, done: int, total: int
     ) -> dict[Task, SimulationResult]:
-        results: dict[Task, SimulationResult] = {}
+        for model_name, _ in tasks:
+            self._config(model_name)  # validate names before simulating
+        # Group cells by application (insertion order preserved) so the
+        # artifact and its shared segment partition are resolved once per
+        # app and replayed for every model — the jobs=1 fast path.
+        by_app: dict[str, list[str]] = {}
         for model_name, app_name in tasks:
-            if model_name not in self._simulators:
-                self._simulators[model_name] = ParrotSimulator(
-                    self._config(model_name)
-                )
-            results[(model_name, app_name)] = self._simulators[model_name].run(
-                application(app_name), self.length, sampling=self.sampling
-            )
-            self.simulations_run += 1
-            done += 1
-            self._report(done, total, (model_name, app_name), "run")
+            by_app.setdefault(app_name, []).append(model_name)
+        use_artifacts = (
+            self.artifact_cache is not None and self.task_fn is simulate_task
+        )
+        results: dict[Task, SimulationResult] = {}
+        for app_name, model_names in by_app.items():
+            artifact = segments = plans = None
+            if use_artifacts:
+                artifact, segments, plans = self._serial_artifact(app_name)
+            for model_name in model_names:
+                simulator = self._simulator(model_name)
+                if artifact is not None:
+                    cold_plans = (
+                        plans.setdefault(simulator.config.fetch, {})
+                        if segments is not None else None
+                    )
+                    result = simulator.run_artifact(
+                        artifact, sampling=self.sampling, segments=segments,
+                        cold_plans=cold_plans,
+                    )
+                else:
+                    result = simulator.run(
+                        application(app_name), self.length,
+                        sampling=self.sampling,
+                    )
+                results[(model_name, app_name)] = result
+                self.simulations_run += 1
+                done += 1
+                self._report(done, total, (model_name, app_name), "run")
         return results
 
     def _run_parallel(
@@ -502,6 +730,37 @@ class ExperimentEngine:
                 done = start + len(results)
         raise AssertionError("unreachable")  # pragma: no cover
 
+    @staticmethod
+    def _plan_chunks(tasks: list[Task], jobs: int) -> list[list[Task]]:
+        """Group cells into per-application chunks, balanced across jobs.
+
+        One chunk = one pool call = one application, so a worker resolves
+        the app's artifact and segment partition once per chunk.  If that
+        yields fewer chunks than workers, the largest chunks are split in
+        half (still single-app) until every worker has something to do —
+        worker-affinity matters less than keeping the pool saturated.
+        """
+        by_app: dict[str, list[Task]] = {}
+        for task in tasks:
+            by_app.setdefault(task[1], []).append(task)
+        chunks = list(by_app.values())
+        while len(chunks) < min(jobs, len(tasks)):
+            largest = max(range(len(chunks)), key=lambda i: len(chunks[i]))
+            chunk = chunks[largest]
+            if len(chunk) < 2:
+                break
+            mid = len(chunk) // 2
+            chunks[largest] = chunk[:mid]
+            chunks.append(chunk[mid:])
+        return chunks
+
+    @staticmethod
+    def _chunk_label(chunk: list[Task]) -> str:
+        if len(chunk) == 1:
+            return f"{chunk[0][0]}/{chunk[0][1]}"
+        models = ", ".join(model for model, _ in chunk)
+        return f"{chunk[0][1]} x [{models}]"
+
     def _pool_pass(
         self,
         tasks: list[Task],
@@ -510,15 +769,25 @@ class ExperimentEngine:
         done: int,
         total: int,
     ) -> int:
-        workers = min(self.jobs, len(tasks))
-        extra = () if self.sampling is None else (self.sampling,)
+        chunks = self._plan_chunks(tasks, self.jobs)
+        workers = min(self.jobs, len(chunks))
+        # A custom task_fn (test harness) is forwarded per cell inside the
+        # chunk call; the default path runs artifact-backed in the worker.
+        custom = None if self.task_fn is simulate_task else self.task_fn
+        root = (
+            str(self.artifact_cache.root)
+            if custom is None and self.artifact_cache is not None
+            else None
+        )
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=self.mp_context
         ) as pool:
-            futures: dict[Future, Task] = {
-                pool.submit(self.task_fn, model, app, self.length, *extra):
-                    (model, app)
-                for model, app in tasks
+            futures: dict[Future, list[Task]] = {
+                pool.submit(
+                    simulate_chunk, chunk, self.length, self.sampling,
+                    artifact_root=root, task_fn=custom,
+                ): chunk
+                for chunk in chunks
             }
             pending = set(futures)
             while pending:
@@ -528,13 +797,14 @@ class ExperimentEngine:
                 )
                 if not finished:
                     self._terminate(pool)
+                    abandoned = sum(len(futures[f]) for f in pending)
                     raise ExperimentError(
                         f"no simulation finished within {self.timeout}s; "
-                        f"{len(pending)} runs abandoned"
+                        f"{abandoned} runs abandoned"
                     )
                 broken: BrokenProcessPool | None = None
                 for future in finished:
-                    task = futures[future]
+                    chunk = futures[future]
                     try:
                         payload = future.result()
                     except BrokenProcessPool as exc:
@@ -545,17 +815,20 @@ class ExperimentEngine:
                         continue
                     except Exception as exc:
                         # A worker exception that is not a pool crash is a
-                        # real simulation failure: name the task, stop the
+                        # real simulation failure: name the chunk, stop the
                         # survivors, chain the original traceback.
                         self._terminate(pool)
                         raise ExperimentError(
-                            f"simulation of {task[0]}/{task[1]} failed: "
-                            f"{type(exc).__name__}: {exc}"
+                            f"simulation of {self._chunk_label(chunk)} "
+                            f"failed: {type(exc).__name__}: {exc}"
                         ) from exc
-                    results[task] = SimulationResult.from_dict(payload)
-                    self.simulations_run += 1
-                    done += 1
-                    self._report(done, total, task, "run")
+                    self._pool_artifact_hits += payload["artifact_hits"]
+                    self._pool_artifact_compiles += payload["artifact_compiles"]
+                    for task, cell in zip(chunk, payload["results"]):
+                        results[task] = SimulationResult.from_dict(cell)
+                        self.simulations_run += 1
+                        done += 1
+                        self._report(done, total, task, "run")
                 if broken is not None:
                     raise broken
         return done

@@ -67,9 +67,13 @@ class ExperimentRunner:
     ``jobs > 1`` evaluates grid batches on a process pool; ``cache=True``
     adds the persistent result store under ``cache_dir`` (default:
     ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); ``sampling`` switches
-    every run to sampled simulation (keyed separately in the store).  The
-    default construction — serial, no disk store, full detail — behaves
-    exactly like the historical in-process runner.
+    every run to sampled simulation (keyed separately in the store);
+    ``artifacts=False`` disables the compiled-trace-artifact fast path
+    (``artifact_dir`` overrides where artifacts live, default beside the
+    result store).  The default construction — serial, no disk store,
+    full detail — behaves exactly like the historical in-process runner
+    apart from the artifact fast path, which is bit-identical by
+    construction.
     """
 
     length: int = DEFAULT_LENGTH
@@ -80,6 +84,8 @@ class ExperimentRunner:
     timeout: float | None = None
     progress: ProgressFn | None = None
     sampling: SamplingConfig | None = None
+    artifacts: bool = True
+    artifact_dir: str | Path | None = None
     _memo: dict[tuple[str, str], SimulationResult] = field(
         default_factory=dict, repr=False
     )
@@ -94,6 +100,8 @@ class ExperimentRunner:
             timeout=self.timeout,
             progress=self.progress,
             sampling=self.sampling,
+            artifacts=self.artifacts,
+            artifact_root=self.artifact_dir,
         )
 
     @classmethod
@@ -105,6 +113,7 @@ class ExperimentRunner:
             jobs=scale.jobs,
             cache=scale.cache,
             sampling=scale.sampling,
+            artifacts=scale.artifacts,
             **kwargs,
         )
 
@@ -173,3 +182,13 @@ class ExperimentRunner:
     def simulations_run(self) -> int:
         """Runs actually simulated (not served from memo or store)."""
         return self.engine.simulations_run
+
+    @property
+    def artifact_hits(self) -> int:
+        """Compiled trace artifacts loaded from the artifact cache."""
+        return self.engine.artifact_hits
+
+    @property
+    def artifact_compiles(self) -> int:
+        """Compiled trace artifacts built from scratch this invocation."""
+        return self.engine.artifact_compiles

@@ -108,6 +108,18 @@ class Cache:
         line = address >> self._line_shift
         return line in self._sets[line & self._set_mask]
 
+    def snapshot(self) -> list[dict[int, None]]:
+        """Copy the tag state, per-set LRU recency included."""
+        return [dict(s) for s in self._sets]
+
+    def restore(self, snapshot: list[dict[int, None]]) -> None:
+        """Adopt a snapshot's tag state (counters are left untouched).
+
+        Insertion order carries the LRU recency, so a restored cache is
+        bit-identical to the one the snapshot was taken from.
+        """
+        self._sets = [dict(s) for s in snapshot]
+
     def reset_stats(self) -> None:
         """Zero the counters without flushing contents."""
         self.stats = CacheStats()

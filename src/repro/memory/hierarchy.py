@@ -163,3 +163,20 @@ class MemoryHierarchy:
         self.l1i.reset_stats()
         self.l1d.reset_stats()
         self.l2.reset_stats()
+
+    def warm_state(self) -> tuple:
+        """Snapshot the levels :meth:`prewarm` touches (L1I and L2).
+
+        Prewarming never installs into L1D and zeroes every counter, so
+        the L1I/L2 tag state fully determines a just-prewarmed hierarchy.
+        The snapshot is the currency of the simulator's prewarm memo: the
+        state is a pure function of (geometry, prewarm image), which every
+        model of a grid shares.
+        """
+        return (self.l1i.snapshot(), self.l2.snapshot())
+
+    def restore_warm_state(self, state: tuple) -> None:
+        """Adopt a :meth:`warm_state` snapshot on a fresh hierarchy."""
+        l1i_state, l2_state = state
+        self.l1i.restore(l1i_state)
+        self.l2.restore(l2_state)

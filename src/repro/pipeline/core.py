@@ -125,6 +125,7 @@ class TimingCore:
         "_commit_time",
         "_issue_slots",
         "_fu_slots",
+        "_fu_lookup",
         "uops_executed",
         "_since_prune",
         "_n_src_reads",
@@ -193,6 +194,22 @@ class TimingCore:
         for fu in profile.fu_counts:
             if fu not in self._fu_slots:
                 self._fu_slots[fu] = {}
+        self._rebuild_fu_lookup()
+
+    def _rebuild_fu_lookup(self) -> None:
+        """Refresh the merged per-FU issue triples.
+
+        ``_fu_lookup`` folds the three per-uop lookups of the issue scan —
+        the FU's slot dict, its bound ``.get`` and its width under the
+        current profile — into one dict hit.  It caches dict identities,
+        so it must be rebuilt whenever the slot dicts are replaced
+        (:meth:`_prune_slots`) or the widths change (:meth:`set_profile`).
+        """
+        fu_counts = self._fu_counts
+        self._fu_lookup = {
+            fu: (slots, slots.get, fu_counts.get(fu, 1))
+            for fu, slots in self._fu_slots.items()
+        }
 
     # -- fetch clocking -----------------------------------------------------
 
@@ -335,9 +352,7 @@ class TimingCore:
                 cycle += 1
             issue_slots[cycle] = used + 1
             return cycle
-        fu_slots = self._fu_slots[fu]
-        fu_width = self._fu_counts.get(fu, 1)
-        fu_get = fu_slots.get
+        fu_slots, fu_get, fu_width = self._fu_lookup[fu]
         cycle = earliest
         while True:
             used = issue_get(cycle, 0)
@@ -380,7 +395,6 @@ class TimingCore:
         rename_width = self._rename_width
         issue_width = self._issue_width
         commit_step = self._commit_step
-        fu_counts = self._fu_counts
         rob_size = self._rob_size
         win_size = self._win_size
         last_dispatch = self._last_dispatch
@@ -394,7 +408,7 @@ class TimingCore:
         reg_ready = self.reg_ready
         issue_slots = self._issue_slots
         issue_get = issue_slots.get
-        fu_slot_map = self._fu_slots
+        fu_lookup = self._fu_lookup
         none_fu = FuClass.NONE
         reg_none = REG_NONE
 
@@ -452,8 +466,11 @@ class TimingCore:
                         if r > ready:
                             ready = r
 
-                # ---- issue (mirrors _find_issue_slot).
-                cycle = int(ready)
+                # ---- issue (mirrors _find_issue_slot).  ``ready`` is an
+                # int by construction (all latencies and gates are ints;
+                # only the ROB commit times are floats, and those enter
+                # the dispatch chain through ``int(rob_gate) + 1``).
+                cycle = ready
                 if fu is none_fu:
                     while True:
                         used = issue_get(cycle, 0)
@@ -462,9 +479,7 @@ class TimingCore:
                         cycle += 1
                     issue_slots[cycle] = used + 1
                 else:
-                    fu_slots = fu_slot_map[fu]
-                    fu_width = fu_counts.get(fu, 1)
-                    fu_get = fu_slots.get
+                    fu_slots, fu_get, fu_width = fu_lookup[fu]
                     while True:
                         used = issue_get(cycle, 0)
                         if used < issue_width:
@@ -490,9 +505,13 @@ class TimingCore:
                     commit = complete + 1.0
                 commit_time = commit
                 rob_ring[rob_idx] = commit
-                rob_idx = (rob_idx + 1) % rob_size
+                rob_idx += 1
+                if rob_idx == rob_size:
+                    rob_idx = 0
                 win_ring[win_idx] = cycle
-                win_idx = (win_idx + 1) % win_size
+                win_idx += 1
+                if win_idx == win_size:
+                    win_idx = 0
 
         # ---- write state back; charge the plan's static event totals.
         self.fetch_cycle = fetch_cycle
@@ -539,7 +558,6 @@ class TimingCore:
         rename_width = self._rename_width
         issue_width = self._issue_width
         commit_step = self._commit_step
-        fu_counts = self._fu_counts
         rob_size = self._rob_size
         win_size = self._win_size
         last_dispatch = self._last_dispatch
@@ -553,7 +571,7 @@ class TimingCore:
         reg_ready = self.reg_ready
         issue_slots = self._issue_slots
         issue_get = issue_slots.get
-        fu_slot_map = self._fu_slots
+        fu_lookup = self._fu_lookup
         n_misp = 0
         none_fu = FuClass.NONE
         reg_none = REG_NONE
@@ -614,8 +632,9 @@ class TimingCore:
                             if r > ready:
                                 ready = r
 
-                    # ---- issue (mirrors _find_issue_slot).
-                    cycle = int(ready)
+                    # ---- issue (mirrors _find_issue_slot; ``ready`` is
+                    # an int by construction, see run_hot_plan).
+                    cycle = ready
                     if fu is none_fu:
                         while True:
                             used = issue_get(cycle, 0)
@@ -624,9 +643,7 @@ class TimingCore:
                             cycle += 1
                         issue_slots[cycle] = used + 1
                     else:
-                        fu_slots = fu_slot_map[fu]
-                        fu_width = fu_counts.get(fu, 1)
-                        fu_get = fu_slots.get
+                        fu_slots, fu_get, fu_width = fu_lookup[fu]
                         while True:
                             used = issue_get(cycle, 0)
                             if used < issue_width:
@@ -652,9 +669,13 @@ class TimingCore:
                         commit = complete + 1.0
                     commit_time = commit
                     rob_ring[rob_idx] = commit
-                    rob_idx = (rob_idx + 1) % rob_size
+                    rob_idx += 1
+                    if rob_idx == rob_size:
+                        rob_idx = 0
                     win_ring[win_idx] = cycle
-                    win_idx = (win_idx + 1) % win_size
+                    win_idx += 1
+                    if win_idx == win_size:
+                        win_idx = 0
 
                 if is_cti:
                     if predict_and_train(dyn.instr, dyn.taken, dyn.next_address):
@@ -697,6 +718,7 @@ class TimingCore:
         }
         for fu, slots in self._fu_slots.items():
             self._fu_slots[fu] = {c: n for c, n in slots.items() if c >= horizon}
+        self._rebuild_fu_lookup()
         self._since_prune = 0
 
     # -- state switches (split-core machines) --------------------------------

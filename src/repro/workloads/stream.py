@@ -597,6 +597,23 @@ class InstructionStream:
         self._buffer: deque[DynamicInstruction] = deque()
         self.consumed = 0
 
+    @classmethod
+    def from_artifact(cls, artifact, limit: int | None = None) -> "InstructionStream":
+        """Replay a compiled trace artifact as a bounded stream.
+
+        ``artifact`` is a
+        :class:`~repro.workloads.tracefile.TraceArtifact` (duck-typed:
+        anything with ``walker()`` and ``__len__``).  The replay walker
+        implements the same bulk interface as :class:`StreamWalker`
+        (``next_batch``/``skip``/``warm_skip``), so the stream is
+        bit-identical to one over the generating walker — the engine's
+        grid fast path rests on that equivalence.
+        """
+        total = len(artifact)
+        if limit is None or limit > total:
+            limit = total
+        return cls(artifact.walker(), limit)
+
     @property
     def exhausted(self) -> bool:
         """True when no instructions remain to consume."""

@@ -19,11 +19,30 @@ A trace file is self-contained: it stores the static image of every
 encodings) plus the dynamic record (instruction index, branch outcome,
 successor, effective memory address), so third-party traces can be
 converted into this format and run on all machine models.
+
+The second half of this module is the **compiled trace artifact** layer
+used by the experiment engine's grid fast path.  Every machine model of an
+application walks the bit-identical generated stream, so the engine
+compiles each (app, seed, length) stream once — :func:`compile_artifact` —
+into a content-keyed directory under the artifact cache
+(``~/.cache/repro/artifacts`` beside the result store) and replays it for
+every grid cell.  Unlike a portable trace file, an artifact additionally
+persists the *full* program prewarm image (all static code addresses and
+data ranges, in program order), so an artifact-driven run starts from the
+exact hierarchy state a generator-driven run would; the dynamic record is
+a flat uncompressed ``.npy`` loaded with ``mmap_mode="r"``, so parallel
+pool workers replaying the same application share its pages through the
+page cache instead of each re-walking the stream.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import pathlib
+import shutil
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,10 +55,94 @@ from repro.workloads.stream import InstructionStream
 #: Trace-file format version (stored in the archive for forward safety).
 FORMAT_VERSION = 1
 
+#: Compiled-trace-artifact format version.  Part of the artifact key, so
+#: bumping it silently invalidates every cached artifact (same mechanism
+#: as the result store's schema version).
+ARTIFACT_SCHEMA_VERSION = 1
+
 #: Sentinel for "no memory access" in the mem-address column.
 _NO_MEM = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
 #: Sentinel for "no immediate" in the uop imm column.
 _NO_IMM = np.int64(-(1 << 62))
+
+
+def _static_arrays(statics: list[MacroInstruction]) -> dict[str, "np.ndarray"]:
+    """Encode a static-instruction table as the on-disk column arrays."""
+    uop_rows: list[tuple[int, int, int, int, int]] = []
+    uop_offsets = [0]
+    for instr in statics:
+        for uop in instr.uops:
+            uop_rows.append(
+                (
+                    int(uop.kind),
+                    uop.dest,
+                    uop.src1,
+                    uop.src2,
+                    uop.imm if uop.imm is not None else int(_NO_IMM),
+                )
+            )
+        uop_offsets.append(len(uop_rows))
+    return {
+        "s_addr": np.array([i.address for i in statics], dtype=np.uint64),
+        "s_len": np.array([i.length for i in statics], dtype=np.uint8),
+        "s_class": np.array([int(i.iclass) for i in statics], dtype=np.uint8),
+        "s_target": np.array(
+            [i.taken_target if i.taken_target is not None else 0
+             for i in statics],
+            dtype=np.uint64,
+        ),
+        "s_has_target": np.array(
+            [i.taken_target is not None for i in statics], dtype=np.bool_
+        ),
+        "uops": np.array(uop_rows, dtype=np.int64).reshape(-1, 5),
+        "uop_offsets": np.array(uop_offsets, dtype=np.int64),
+    }
+
+
+def _decode_statics(data) -> list[MacroInstruction]:
+    """Rebuild the static-instruction table from the column arrays.
+
+    Reconstructed uops are interned per row, so two instructions sharing a
+    decode template share one :class:`~repro.isa.instruction.Uop` object —
+    the same flyweight discipline as
+    :func:`~repro.isa.decoder.decode_template` (immutable by convention;
+    mutating consumers copy first).
+    """
+    # Materialize every column exactly once: an NpzFile re-reads (and
+    # decompresses) the full member on every subscript, so per-row
+    # ``data[...]`` access is quadratic in disguise.
+    addresses = data["s_addr"].tolist()
+    lengths = data["s_len"].tolist()
+    classes = data["s_class"].tolist()
+    targets = data["s_target"].tolist()
+    has_targets = data["s_has_target"].tolist()
+    uop_rows = data["uops"].tolist()
+    uop_offsets = data["uop_offsets"].tolist()
+    no_imm = int(_NO_IMM)
+    interned: dict[tuple, Uop] = {}
+    instructions = []
+    for i, address in enumerate(addresses):
+        uops = []
+        for row in uop_rows[uop_offsets[i]:uop_offsets[i + 1]]:
+            row = tuple(row)
+            uop = interned.get(row)
+            if uop is None:
+                uop = Uop(
+                    UopKind(row[0]), row[1], row[2], row[3],
+                    None if row[4] == no_imm else row[4],
+                )
+                interned[row] = uop
+            uops.append(uop)
+        instructions.append(
+            MacroInstruction(
+                address=address,
+                length=lengths[i],
+                iclass=InstrClass(classes[i]),
+                uops=tuple(uops),
+                taken_target=targets[i] if has_targets[i] else None,
+            )
+        )
+    return instructions
 
 
 def capture_trace(
@@ -66,33 +169,6 @@ def capture_trace(
     if not records:
         raise WorkloadError("cannot capture an empty stream")
 
-    # ---- static tables -----------------------------------------------------
-    s_addr = np.array([i.address for i in statics], dtype=np.uint64)
-    s_len = np.array([i.length for i in statics], dtype=np.uint8)
-    s_class = np.array([int(i.iclass) for i in statics], dtype=np.uint8)
-    s_target = np.array(
-        [i.taken_target if i.taken_target is not None else 0 for i in statics],
-        dtype=np.uint64,
-    )
-    s_has_target = np.array(
-        [i.taken_target is not None for i in statics], dtype=np.bool_
-    )
-    # Flattened uop table with per-instruction offsets.
-    uop_rows: list[tuple[int, int, int, int, int]] = []
-    uop_offsets = [0]
-    for instr in statics:
-        for uop in instr.uops:
-            uop_rows.append(
-                (
-                    int(uop.kind),
-                    uop.dest,
-                    uop.src1,
-                    uop.src2,
-                    uop.imm if uop.imm is not None else int(_NO_IMM),
-                )
-            )
-        uop_offsets.append(len(uop_rows))
-
     # ---- dynamic arrays ------------------------------------------------------
     d_index = np.array([r[0] for r in records], dtype=np.uint32)
     d_taken = np.array([r[1] for r in records], dtype=np.bool_)
@@ -105,10 +181,7 @@ def capture_trace(
     np.savez_compressed(
         path,
         version=np.array([FORMAT_VERSION]),
-        s_addr=s_addr, s_len=s_len, s_class=s_class,
-        s_target=s_target, s_has_target=s_has_target,
-        uops=np.array(uop_rows, dtype=np.int64),
-        uop_offsets=np.array(uop_offsets, dtype=np.int64),
+        **_static_arrays(statics),
         d_index=d_index, d_taken=d_taken, d_next=d_next, d_mem=d_mem,
     )
     return len(records)
@@ -137,33 +210,7 @@ class TraceFile:
                 raise WorkloadError(
                     f"trace file {path}: format version {version} unsupported"
                 )
-            uop_rows = data["uops"]
-            uop_offsets = data["uop_offsets"]
-            instructions = []
-            for i in range(len(data["s_addr"])):
-                uops = tuple(
-                    Uop(
-                        UopKind(int(kind)),
-                        int(dest), int(src1), int(src2),
-                        None if imm == int(_NO_IMM) else int(imm),
-                    )
-                    for kind, dest, src1, src2, imm in uop_rows[
-                        uop_offsets[i]:uop_offsets[i + 1]
-                    ]
-                )
-                instructions.append(
-                    MacroInstruction(
-                        address=int(data["s_addr"][i]),
-                        length=int(data["s_len"][i]),
-                        iclass=InstrClass(int(data["s_class"][i])),
-                        uops=uops,
-                        taken_target=(
-                            int(data["s_target"][i])
-                            if bool(data["s_has_target"][i])
-                            else None
-                        ),
-                    )
-                )
+            instructions = _decode_statics(data)
             return cls(
                 instructions,
                 data["d_index"].copy(),
@@ -207,3 +254,458 @@ class TraceFile:
     def code_addresses(self) -> list[int]:
         """All static instruction addresses (for prewarming the L1I)."""
         return [instr.address for instr in self.instructions]
+
+
+# -- compiled trace artifacts --------------------------------------------------
+
+
+#: Dynamic-record row layout of an artifact's ``dyn.npy`` (one row per
+#: dynamic instruction; ``mem`` uses :data:`_NO_MEM` for "no access").
+_DYN_DTYPE = np.dtype([
+    ("index", np.uint32),
+    ("taken", np.bool_),
+    ("next", np.uint64),
+    ("mem", np.uint64),
+])
+
+#: Instructions pulled per bulk step while compiling an artifact.
+_COMPILE_BATCH = 4096
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_artifact_root() -> pathlib.Path:
+    """The artifact cache directory: ``<result-store root>/artifacts``."""
+    env = os.environ.get(_ENV_CACHE_DIR, "").strip()
+    base = pathlib.Path(env) if env else pathlib.Path.home() / ".cache" / "repro"
+    return base / "artifacts"
+
+
+def artifact_key(app_name: str, seed: int, length: int) -> str:
+    """Content key of one compiled stream in the artifact cache.
+
+    Covers everything the generated stream is a function of — the
+    application, its generator seed and the run length — plus the artifact
+    format version, so a format change can never serve stale bytes.
+    """
+    material = "|".join((
+        f"schema={ARTIFACT_SCHEMA_VERSION}",
+        f"app={app_name}",
+        f"seed={seed}",
+        f"length={length}",
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ArtifactReplayWalker:
+    """Replay an artifact's dynamic record through the walker interface.
+
+    Implements the same bulk surface as
+    :class:`~repro.workloads.stream.StreamWalker` — ``next_batch``,
+    ``skip`` and ``warm_skip`` — so an
+    :class:`~repro.workloads.stream.InstructionStream` over it behaves
+    bit-identically to one over the generating walker, in both the
+    full-detail and the sampled regime.  There is no RNG and no call stack
+    to evolve: every outcome is already recorded, so ``skip`` is a cursor
+    move and ``warm_skip`` replays only the warming side effects (icache
+    probe per new line, predictor training per dynamic CTI, dcache touch
+    per memory access — the exact effect order of
+    :meth:`~repro.workloads.stream.StreamWalker.warm_skip`).
+    """
+
+    __slots__ = (
+        "_instructions", "_index", "_taken", "_next", "_mem",
+        "_addresses", "_trainable", "_pos", "_total", "executed",
+    )
+
+    def __init__(self, artifact: "TraceArtifact"):
+        self._instructions = artifact.instructions
+        self._index, self._taken, self._next, self._mem = artifact._columns()
+        self._addresses, self._trainable = artifact._warm_tables()
+        self._pos = 0
+        self._total = len(artifact)
+        self.executed = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> DynamicInstruction:
+        i = self._pos
+        if i >= self._total:
+            raise StopIteration
+        mem = self._mem[i]
+        dyn = DynamicInstruction(
+            self._instructions[self._index[i]],
+            self._taken[i],
+            self._next[i],
+            None if mem == int(_NO_MEM) else mem,
+        )
+        self._pos = i + 1
+        self.executed += 1
+        return dyn
+
+    def next_batch(self, count: int) -> list[DynamicInstruction]:
+        """Decode ``count`` recorded instructions in one call, in order."""
+        i = self._pos
+        end = min(i + count, self._total)
+        instructions = self._instructions
+        index = self._index
+        taken = self._taken
+        nxt = self._next
+        mem = self._mem
+        no_mem = int(_NO_MEM)
+        dyn_instr = DynamicInstruction
+        out = [
+            dyn_instr(
+                instructions[index[j]], taken[j], nxt[j],
+                None if mem[j] == no_mem else mem[j],
+            )
+            for j in range(i, end)
+        ]
+        self._pos = end
+        self.executed += len(out)
+        return out
+
+    def skip(self, count: int) -> int:
+        """Advance the cursor; no state to evolve, so this is O(1)."""
+        n = min(count, self._total - self._pos)
+        self._pos += n
+        self.executed += n
+        return n
+
+    def warm_skip(self, count: int, fetch, touch, train,
+                  line_shift: int = 6) -> int:
+        """Cursor-advance ``count`` records, replaying warming effects.
+
+        Matches the generating walker's per-instruction effect order —
+        icache ``fetch`` on a new line, predictor ``train`` for dynamic
+        CTIs (software interrupts fall through untrained, exactly like the
+        walker's remapped plans), then dcache ``touch`` — with the
+        last-probed line reset per call.
+        """
+        i = self._pos
+        end = min(i + count, self._total)
+        instructions = self._instructions
+        index = self._index
+        taken = self._taken
+        nxt = self._next
+        mem = self._mem
+        addresses = self._addresses
+        trainable = self._trainable
+        no_mem = int(_NO_MEM)
+        last_line = -1
+        for j in range(i, end):
+            s = index[j]
+            address = addresses[s]
+            line = address >> line_shift
+            if line != last_line:
+                fetch(address)
+                last_line = line
+            if trainable[s]:
+                train(instructions[s], taken[j], nxt[j])
+            m = mem[j]
+            if m != no_mem:
+                touch(m)
+        self._pos = end
+        self.executed += end - i
+        return end - i
+
+
+class TraceArtifact:
+    """A loaded compiled trace artifact: static image + mmap'd dyn record.
+
+    The static instruction table and the program prewarm image are decoded
+    eagerly (they are tiny); the dynamic record stays a memory-mapped
+    structured array until first replay, when its columns are decoded once
+    and cached for every subsequent stream over the same artifact.
+    """
+
+    __slots__ = (
+        "path", "app_name", "suite", "seed", "length",
+        "instructions", "prewarm_code", "prewarm_data",
+        "_dyn", "_cols", "_warm",
+    )
+
+    def __init__(self, path, *, app_name, suite, seed, length,
+                 instructions, prewarm_code, prewarm_data, dyn):
+        self.path = path
+        self.app_name = app_name
+        self.suite = suite
+        self.seed = seed
+        self.length = length
+        self.instructions = instructions
+        self.prewarm_code = prewarm_code
+        self.prewarm_data = prewarm_data
+        self._dyn = dyn
+        self._cols = None
+        self._warm = None
+
+    @classmethod
+    def load(cls, directory: str | pathlib.Path) -> "TraceArtifact":
+        """Load one artifact directory written by :func:`compile_artifact`.
+
+        Raises :class:`~repro.errors.WorkloadError` on a schema mismatch
+        or a record-count mismatch (a torn or foreign directory); plain
+        ``OSError``/``ValueError`` propagate for missing or undecodable
+        files, so callers can treat any failure as a cache miss.
+        """
+        directory = pathlib.Path(directory)
+        meta = json.loads((directory / "meta.json").read_text())
+        if meta.get("schema") != ARTIFACT_SCHEMA_VERSION:
+            raise WorkloadError(
+                f"artifact {directory}: schema {meta.get('schema')} "
+                f"unsupported (expected {ARTIFACT_SCHEMA_VERSION})"
+            )
+        with np.load(directory / "static.npz") as data:
+            instructions = _decode_statics(data)
+            prewarm_code = data["pw_code"].tolist()
+            prewarm_data = list(
+                zip(data["pw_base"].tolist(), data["pw_extent"].tolist())
+            )
+        dyn = np.load(directory / "dyn.npy", mmap_mode="r")
+        if dyn.dtype != _DYN_DTYPE or len(dyn) != meta["length"]:
+            raise WorkloadError(
+                f"artifact {directory}: dynamic record does not match its "
+                f"metadata ({len(dyn)} rows, {meta['length']} expected)"
+            )
+        return cls(
+            directory,
+            app_name=meta["app"], suite=meta["suite"],
+            seed=meta["seed"], length=meta["length"],
+            instructions=instructions,
+            prewarm_code=prewarm_code, prewarm_data=prewarm_data,
+            dyn=dyn,
+        )
+
+    def __len__(self) -> int:
+        return self.length
+
+    def _columns(self) -> tuple[list, list, list, list]:
+        """Dynamic-record columns as plain-int lists (decoded once)."""
+        if self._cols is None:
+            dyn = self._dyn
+            self._cols = (
+                dyn["index"].tolist(),
+                dyn["taken"].tolist(),
+                dyn["next"].tolist(),
+                dyn["mem"].tolist(),
+            )
+        return self._cols
+
+    def _warm_tables(self) -> tuple[list[int], list[bool]]:
+        """Per-static address and is-dynamic-CTI tables for warm replay.
+
+        ``trainable`` mirrors the generating walker's plan compilation:
+        flow codes 1-5 train the branch predictor, software interrupts
+        (flow code 6) are remapped to plain fall-through and never train.
+        """
+        if self._warm is None:
+            self._warm = (
+                [instr.address for instr in self.instructions],
+                [1 <= instr.flow_code <= 5 for instr in self.instructions],
+            )
+        return self._warm
+
+    def walker(self) -> ArtifactReplayWalker:
+        """A fresh replay walker positioned at the first record."""
+        return ArtifactReplayWalker(self)
+
+    def stream(self, limit: int | None = None) -> InstructionStream:
+        """Replay the artifact as an :class:`InstructionStream`."""
+        return InstructionStream.from_artifact(self, limit)
+
+
+def compile_artifact(
+    app,
+    seed: int,
+    length: int,
+    *,
+    root: str | pathlib.Path | None = None,
+) -> TraceArtifact:
+    """Walk ``app``'s stream once and persist it as a compiled artifact.
+
+    ``app`` is an :class:`~repro.workloads.suite.Application` (or anything
+    with ``name``/``suite``/``build()``); ``seed`` is its generator seed —
+    part of the content key, so a seed change keys to a fresh artifact.
+    The write is atomic (temp directory + ``os.replace``), and a
+    concurrent compiler racing on the same key simply loses the rename and
+    loads the winner's bytes.  Returns the loaded artifact.
+    """
+    root = pathlib.Path(root) if root is not None else default_artifact_root()
+    key = artifact_key(app.name, seed, length)
+    final = root / key[:2] / key
+    if (final / "meta.json").exists():
+        return TraceArtifact.load(final)
+
+    workload = app.build()
+    program = workload.program
+    stream = workload.stream(length)
+    static_index: dict[int, int] = {}
+    statics: list[MacroInstruction] = []
+    dyn = np.empty(length, dtype=_DYN_DTYPE)
+    no_mem = int(_NO_MEM)
+    row = 0
+    while True:
+        batch = stream.take_batch(_COMPILE_BATCH)
+        if not batch:
+            break
+        for record in batch:
+            instr = record.instr
+            address = instr.address
+            index = static_index.get(address)
+            if index is None:
+                index = len(statics)
+                static_index[address] = index
+                statics.append(instr)
+            mem = record.mem_addr
+            dyn[row] = (index, record.taken, record.next_address,
+                        no_mem if mem is None else mem)
+            row += 1
+    if row != length:
+        raise WorkloadError(
+            f"artifact compile of {app.name}: stream ended after {row} of "
+            f"{length} instructions"
+        )
+
+    final.parent.mkdir(parents=True, exist_ok=True)
+    tmp = final.with_name(f"{key}.tmp.{os.getpid()}")
+    shutil.rmtree(tmp, ignore_errors=True)
+    tmp.mkdir()
+    try:
+        np.savez_compressed(
+            tmp / "static.npz",
+            **_static_arrays(statics),
+            pw_code=np.array(
+                list(program.instructions.keys()), dtype=np.uint64
+            ),
+            pw_base=np.array(
+                [spec.base for spec in program.mem_specs.values()],
+                dtype=np.uint64,
+            ),
+            pw_extent=np.array(
+                [spec.extent for spec in program.mem_specs.values()],
+                dtype=np.uint64,
+            ),
+        )
+        np.save(tmp / "dyn.npy", dyn)
+        (tmp / "meta.json").write_text(json.dumps(
+            {
+                "schema": ARTIFACT_SCHEMA_VERSION,
+                "app": app.name,
+                "suite": app.suite,
+                "seed": seed,
+                "length": length,
+                "statics": len(statics),
+                "key": key,
+            },
+            sort_keys=True,
+        ))
+        os.replace(tmp, final)
+    except OSError:
+        shutil.rmtree(tmp, ignore_errors=True)
+        if not (final / "meta.json").exists():
+            raise
+    return TraceArtifact.load(final)
+
+
+@dataclass(frozen=True, slots=True)
+class ArtifactInfo:
+    """A snapshot of the artifact cache's contents.
+
+    ``stale_tmp`` counts orphaned ``.tmp.<pid>`` directories from crashed
+    compilers that the snapshot swept away.
+    """
+
+    path: pathlib.Path
+    entries: int
+    total_bytes: int
+    schema_version: int = ARTIFACT_SCHEMA_VERSION
+    stale_tmp: int = 0
+
+
+class ArtifactCache:
+    """Content-keyed persistent cache of compiled trace artifacts.
+
+    One directory per (app, seed, length) stream, sharded like the result
+    store (``<root>/<key[:2]>/<key>/``).  ``hits`` counts artifacts served
+    from disk, ``compiles`` counts fresh stream walks.
+    """
+
+    def __init__(self, root: str | pathlib.Path | None = None):
+        self.root = (
+            pathlib.Path(root) if root is not None else default_artifact_root()
+        )
+        self.hits = 0
+        self.compiles = 0
+
+    def _dir(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / key
+
+    def load(self, app_name: str, seed: int, length: int) -> TraceArtifact | None:
+        """The cached artifact for one stream, or ``None`` on any miss."""
+        try:
+            artifact = TraceArtifact.load(
+                self._dir(artifact_key(app_name, seed, length))
+            )
+        except (OSError, ValueError, KeyError, WorkloadError):
+            return None
+        self.hits += 1
+        return artifact
+
+    def get_or_compile(self, app, length: int) -> TraceArtifact:
+        """The artifact for ``app`` at ``length``, compiling on a miss."""
+        cached = self.load(app.name, app.seed, length)
+        if cached is not None:
+            return cached
+        artifact = compile_artifact(app, app.seed, length, root=self.root)
+        self.compiles += 1
+        return artifact
+
+    def _entries(self) -> list[pathlib.Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path for path in self.root.glob("*/*")
+            if (path / "meta.json").is_file()
+        )
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove ``.tmp.<pid>`` directories orphaned by crashed compilers."""
+        swept = 0
+        if not self.root.is_dir():
+            return swept
+        for tmp in self.root.glob("*/*.tmp.*"):
+            shutil.rmtree(tmp, ignore_errors=True)
+            if not tmp.exists():
+                swept += 1
+        return swept
+
+    def info(self) -> ArtifactInfo:
+        """Artifact count and on-disk footprint; sweeps stale temp dirs."""
+        stale = self._sweep_stale_tmp()
+        entries = self._entries()
+        total = 0
+        for entry in entries:
+            for part in entry.iterdir():
+                try:
+                    total += part.stat().st_size
+                except OSError:
+                    pass
+        return ArtifactInfo(path=self.root, entries=len(entries),
+                            total_bytes=total, stale_tmp=stale)
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns the number removed."""
+        self._sweep_stale_tmp()
+        removed = 0
+        for entry in self._entries():
+            shutil.rmtree(entry, ignore_errors=True)
+            if not entry.exists():
+                removed += 1
+        for shard in self.root.glob("*") if self.root.is_dir() else ():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed

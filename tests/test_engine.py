@@ -95,6 +95,20 @@ class TestScale:
         args = Namespace(apps="2", length=100, jobs=1, no_cache=False)
         assert Scale.from_args(args).cache is False
 
+    def test_artifacts_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_ARTIFACTS", raising=False)
+        assert Scale(apps=1, length=10, jobs=1).artifacts is True
+        monkeypatch.setenv("REPRO_BENCH_ARTIFACTS", "0")
+        assert Scale.from_environment().artifacts is False
+        monkeypatch.delenv("REPRO_BENCH_ARTIFACTS", raising=False)
+        args = Namespace(apps="2", length=100, jobs=1, no_cache=False,
+                         no_artifacts=True)
+        assert Scale.from_args(args).artifacts is False
+        args.no_artifacts = False
+        assert Scale.from_args(args).artifacts is True
+        monkeypatch.setenv("REPRO_BENCH_ARTIFACTS", "off")
+        assert Scale.from_args(args).artifacts is False
+
     def test_parse_apps(self):
         assert parse_apps("all") is None
         assert parse_apps("44") is None
@@ -369,6 +383,30 @@ class TestFaultHandling:
         with pytest.raises(ExperimentError, match="ValueError"):
             engine.run([("N", "gzip"), ("N", "swim")])
 
+    def test_chunked_crash_retried_once(self, tmp_path, monkeypatch):
+        # Two apps x two models -> two multi-cell chunks; a worker crash
+        # loses a whole chunk, and the retry pass must recover all of it.
+        monkeypatch.setenv(
+            "REPRO_TEST_CRASH_MARKER", str(tmp_path / "marker")
+        )
+        engine = self._engine(_crash_once_task)
+        tasks = [("N", "gzip"), ("TON", "gzip"), ("N", "swim"),
+                 ("TON", "swim")]
+        results = engine.run(tasks)
+        assert set(results) == set(tasks)
+        assert engine.simulations_run == len(tasks)
+
+    def test_multi_cell_chunk_exception_names_the_chunk(self):
+        engine = self._engine(_raising_task)
+        tasks = [("N", "gzip"), ("TON", "gzip"), ("N", "swim"),
+                 ("TON", "swim")]
+        with pytest.raises(ExperimentError) as excinfo:
+            engine.run(tasks)
+        message = str(excinfo.value)
+        assert "swim" in message
+        assert "ValueError" in message and "synthetic worker failure" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
     def test_retry_progress_is_monotonic(self, tmp_path, monkeypatch):
         monkeypatch.setenv(
             "REPRO_TEST_CRASH_MARKER", str(tmp_path / "marker")
@@ -383,6 +421,44 @@ class TestFaultHandling:
         assert set(results) == set(tasks)
         assert seen == sorted(seen), f"progress went backwards: {seen}"
         assert seen[-1] == len(tasks)
+
+
+class TestChunkPlanning:
+    def test_one_chunk_per_app(self):
+        tasks = [("N", "gzip"), ("TON", "gzip"), ("N", "swim"), ("TON", "swim")]
+        chunks = ExperimentEngine._plan_chunks(tasks, 2)
+        assert sorted(sorted(c) for c in chunks) == [
+            [("N", "gzip"), ("TON", "gzip")],
+            [("N", "swim"), ("TON", "swim")],
+        ]
+
+    def test_splits_to_saturate_workers(self):
+        tasks = [(m, "gzip") for m in ("N", "T", "TON", "TOW")]
+        chunks = ExperimentEngine._plan_chunks(tasks, 4)
+        assert len(chunks) == 4
+        assert sorted(c[0] for c in chunks) == sorted(tasks)
+
+    def test_chunks_stay_single_app(self):
+        tasks = [
+            (m, a) for a in ("gzip", "swim", "vpr") for m in ("N", "TON")
+        ]
+        for jobs in (1, 2, 4, 8):
+            for chunk in ExperimentEngine._plan_chunks(tasks, jobs):
+                assert len({app for _, app in chunk}) == 1
+
+    def test_split_stops_at_single_cells(self):
+        tasks = [("N", "gzip"), ("TON", "gzip")]
+        chunks = ExperimentEngine._plan_chunks(tasks, 8)
+        assert sorted(len(c) for c in chunks) == [1, 1]
+
+    def test_covers_every_task_exactly_once(self):
+        tasks = [
+            (m, a) for a in ("gzip", "swim", "vpr", "eon", "art")
+            for m in ("N", "T", "TON")
+        ]
+        chunks = ExperimentEngine._plan_chunks(tasks, 4)
+        flat = [task for chunk in chunks for task in chunk]
+        assert sorted(flat) == sorted(tasks)
 
 
 class TestRunnerIntegration:
