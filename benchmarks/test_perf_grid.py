@@ -12,7 +12,9 @@ layer and per-app chunk scheduling buy on top of the shared simulator.
 Scale follows the ``REPRO_BENCH_*`` knobs: ``REPRO_BENCH_LENGTH``
 (default 20000), ``REPRO_BENCH_APPS`` (default 3 here — the benchmark
 re-simulates the grid every round, so it keeps its own smaller roster
-default) and ``REPRO_BENCH_JOBS`` (default: all cores).  Like the
+default), ``REPRO_BENCH_JOBS`` (default: all cores) and
+``REPRO_BENCH_BACKEND`` (execution backend for the engine grid;
+default scalar).  Like the
 hot-path benchmark this is a trajectory, not a gate: throughput lands in
 ``benchmark.extra_info`` and the perf-smoke job archives the JSON as
 ``BENCH_grid.json``.
@@ -25,13 +27,18 @@ import shutil
 import tempfile
 
 from repro.core.simulator import ParrotSimulator
-from repro.experiments.engine import ExperimentEngine, parse_apps
+from repro.experiments.engine import (
+    ExperimentEngine,
+    parse_apps,
+    resolve_run_options,
+)
 from repro.models.configs import MODEL_NAMES, model_config
 from repro.workloads.suite import application, benchmark_suite
 
 LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "20000"))
 APPS = parse_apps(os.environ.get("REPRO_BENCH_APPS", "3"))
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+BACKEND = resolve_run_options().backend  # honours REPRO_BENCH_BACKEND
 
 TASKS = [
     (model, app.name)
@@ -52,7 +59,7 @@ def legacy_task(model_name: str, app_name: str, length: int,
 def _cold_grid(workdir: str) -> dict:
     """One cold evaluation of the full grid (store off, artifacts fresh)."""
     engine = ExperimentEngine(
-        LENGTH, jobs=JOBS,
+        LENGTH, jobs=JOBS, backend=BACKEND,
         artifact_root=os.path.join(workdir, "artifacts"),
     )
     return engine.run(TASKS)
@@ -93,6 +100,7 @@ def test_cold_grid_throughput(benchmark):
     benchmark.extra_info["cells"] = cells
     benchmark.extra_info["jobs"] = JOBS
     benchmark.extra_info["length"] = LENGTH
+    benchmark.extra_info["backend"] = BACKEND.value
     benchmark.extra_info["cells_per_second"] = round(cells / seconds, 2)
     benchmark.extra_info["legacy_seconds"] = round(legacy_seconds, 3)
     benchmark.extra_info["speedup_vs_legacy"] = round(

@@ -6,10 +6,20 @@ simulation (swim on TON) timed end to end, with throughput recorded in
 historical record.  No pass/fail threshold — regressions are caught by
 watching the trajectory, not by a flaky absolute gate.
 
-Reference trajectory on the development machine (swim, TON, 20k):
+Reference trajectory on the development machine (swim, TON, 100k):
 
 * pre-optimization seed: ~137k instr/s
 * after the static-structure memoization + batch-executor PR: ~455k instr/s
+* after the columnar backend (artifact replay + columnar plans):
+  ~722k instr/s full detail (2.2x the scalar generator path), and past
+  3x once sampling compounds on top (the ratios land in
+  ``extra_info`` of the columnar benchmark below).
+
+The columnar benchmark also runs single reference rounds of the scalar
+path and of sampled+columnar so the archived JSON carries
+``speedup_vs_scalar`` and ``sampled_speedup_vs_scalar`` next to the raw
+throughput — the parity suite (``tests/test_columnar.py``) pins the two
+backends bit-identical, so the ratio is a pure-speed number.
 
 Scale follows ``REPRO_BENCH_LENGTH`` (default 20000) so CI can run a tiny
 smoke variant of the same benchmark.
@@ -18,29 +28,94 @@ smoke variant of the same benchmark.
 from __future__ import annotations
 
 import os
+import tempfile
+import time
 
-from repro.core.simulator import ParrotSimulator
+from repro.core.simulator import ColdPlanCache, ParrotSimulator, RunOptions
 from repro.models.configs import model_config
+from repro.pipeline.columnar import ExecutionBackend
+from repro.sampling.config import SamplingConfig
 from repro.workloads.suite import application
+from repro.workloads.tracefile import compile_artifact
 
 LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "20000"))
 
 
-def _simulate(app, config, length):
-    return ParrotSimulator(config).run(app, length)
+def _simulate(source, config, options, **kwargs):
+    return ParrotSimulator(config).simulate(source, options, **kwargs)
+
+
+def _timeit(fn, *args, **kwargs) -> float:
+    start = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - start
 
 
 def test_single_run_throughput(benchmark):
     app = application("swim")
     config = model_config("TON")
-    _simulate(app, config, LENGTH)  # warm decode/plan flyweights + caches
+    options = RunOptions()
+    _simulate(app, config, options, length=LENGTH)  # warm flyweights+caches
 
-    result = benchmark(_simulate, app, config, LENGTH)
+    result = benchmark(_simulate, app, config, options, length=LENGTH)
 
     seconds = benchmark.stats.stats.mean
     benchmark.extra_info["instructions"] = LENGTH
     benchmark.extra_info["instructions_per_second"] = round(LENGTH / seconds)
 
     # Sanity only — the benchmark is a trajectory, not a gate.
+    assert result.ipc > 0
+    assert result.cycles > 0
+
+
+def test_columnar_run_throughput(benchmark):
+    """The columnar stack: artifact replay + shared plans + columnar.
+
+    This times what a grid cell pays once the worker memo is warm —
+    compiled artifact, shared segment list, a populated
+    :class:`ColdPlanCache` — which is where the columnar executors run in
+    production.  The scalar reference round below walks the generator
+    path, i.e. the pre-stack cost of the same cell.
+    """
+    app = application("swim")
+    config = model_config("TON")
+
+    with tempfile.TemporaryDirectory(prefix="repro-hotpath-") as workdir:
+        artifact = compile_artifact(app, app.seed, LENGTH, root=workdir)
+        segments = artifact.segments()
+        columnar = RunOptions(
+            backend=ExecutionBackend.COLUMNAR,
+            segments=segments, cold_plans=ColdPlanCache(segments),
+        )
+        _simulate(artifact, config, columnar)  # warm plans + caches
+
+        result = benchmark(_simulate, artifact, config, columnar)
+
+        seconds = benchmark.stats.stats.mean
+        benchmark.extra_info["instructions"] = LENGTH
+        benchmark.extra_info["instructions_per_second"] = round(
+            LENGTH / seconds
+        )
+
+        # Reference rounds for the archived ratios: the scalar generator
+        # path (what test_single_run_throughput times) and the sampled
+        # regime compounding on top of the columnar stack.
+        scalar_seconds = min(
+            _timeit(_simulate, app, config, RunOptions(), length=LENGTH)
+            for _ in range(3)
+        )
+        sampled = RunOptions(
+            sampling=SamplingConfig(), backend=ExecutionBackend.COLUMNAR
+        )
+        sampled_seconds = min(
+            _timeit(_simulate, artifact, config, sampled) for _ in range(3)
+        )
+        benchmark.extra_info["speedup_vs_scalar"] = round(
+            scalar_seconds / seconds, 2
+        )
+        benchmark.extra_info["sampled_speedup_vs_scalar"] = round(
+            scalar_seconds / sampled_seconds, 2
+        )
+
     assert result.ipc > 0
     assert result.cycles > 0

@@ -12,7 +12,7 @@ Quickstart::
     from repro import ParrotSimulator, model_config, application
 
     sim = ParrotSimulator(model_config("TON"))
-    result = sim.run(application("swim"), 20_000)
+    result = sim.simulate(application("swim"), length=20_000)
     print(result.ipc, result.total_energy, result.coverage)
 
 Package map:

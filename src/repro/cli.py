@@ -20,15 +20,16 @@ clear`` empties it.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 
-from repro.core.simulator import ParrotSimulator
-from repro.experiments.engine import ENV_SAMPLING, ResultStore, Scale
+from repro.core.simulator import ParrotSimulator, RunOptions
+from repro.experiments.engine import ResultStore, Scale, resolve_run_options
 from repro.experiments.figures import FIGURE_GENERATORS, table3_1, table3_2
 from repro.experiments.runner import ExperimentRunner
 from repro.models.configs import MODEL_NAMES, model_config
-from repro.sampling.config import SamplingConfig
+from repro.pipeline.columnar import ExecutionBackend
 from repro.workloads.suite import ALL_APPS, application, benchmark_suite
 from repro.workloads.tracefile import ArtifactCache
 
@@ -36,7 +37,8 @@ _EXAMPLES = """\
 examples:
   repro run swim --model TON --length 20000
   repro run swim --model TON --length 200000 --sampling
-  repro profile swim TON --length 20000
+  repro run swim --model TON --backend columnar
+  repro profile swim TON --length 20000 --backend columnar
   repro sweep --models N,TON --apps 15 --jobs 4
   repro sweep --models N,TON --length 200000 --sampling
   repro figure fig4_1 headline --apps all
@@ -50,6 +52,7 @@ environment:
   REPRO_BENCH_CACHE=0                     disable the result store
   REPRO_BENCH_SAMPLING                    default sampling regime (off)
   REPRO_BENCH_ARTIFACTS=0                 disable compiled trace artifacts
+  REPRO_BENCH_BACKEND                     default execution backend (scalar)
   REPRO_CACHE_DIR                         store location (~/.cache/repro)
 """
 
@@ -101,16 +104,27 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         help="walk the workload generator per cell instead of replaying "
              "compiled trace artifacts",
     )
-    _add_sampling_arg(parser)
+    _add_run_option_args(parser)
 
 
-def _add_sampling_arg(parser: argparse.ArgumentParser) -> None:
+def _add_run_option_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sampling", nargs="?", const="on", default=None,
         metavar="SPEC",
         help="sampled simulation: 'on' (bare flag), 'off', or "
              "'DETAIL:GAP:WARMUP[:FUNC_WARM][:CONFIDENCE]' "
              "(default: REPRO_BENCH_SAMPLING or off)",
+    )
+    _add_backend_arg(parser)
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default=None,
+        choices=[b.value for b in ExecutionBackend],
+        help="batch executor for planned segments; both backends are "
+             "bit-identical, columnar is faster "
+             "(default: REPRO_BENCH_BACKEND or scalar)",
     )
 
 
@@ -140,11 +154,12 @@ def _print_engine_summary(runner: ExperimentRunner) -> None:
     print(line, file=sys.stderr)
 
 
-def _sampling_from_args(args: argparse.Namespace) -> SamplingConfig | None:
-    spec = getattr(args, "sampling", None)
-    if spec is None:
-        spec = os.environ.get(ENV_SAMPLING)
-    return SamplingConfig.parse(spec)
+def _options_from_args(args: argparse.Namespace) -> RunOptions:
+    """Per-run options from CLI flags (the shared parsing seam)."""
+    return resolve_run_options(
+        getattr(args, "sampling", None),
+        getattr(args, "backend", None),
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -155,14 +170,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown application {args.app!r}; run `repro list` to see "
               f"the {len(ALL_APPS)} available applications", file=sys.stderr)
         return 2
-    sampling = _sampling_from_args(args)
+    options = _options_from_args(args)
     simulator = ParrotSimulator(model_config(args.model))
     estimate = None
-    if sampling is not None:
-        sampled = simulator.run_sampled(app, args.length, sampling=sampling)
+    if options.sampling is not None:
+        sampled = simulator.simulate(
+            app, dataclasses.replace(options, estimate=True),
+            length=args.length,
+        )
         result, estimate = sampled.result, sampled.estimate
     else:
-        result = simulator.run(app, args.length)
+        result = simulator.simulate(app, options, length=args.length)
     print(f"{app.name} ({app.suite}) on {args.model}: "
           f"{args.length} instructions")
     print(f"  IPC            {result.ipc:8.3f}")
@@ -187,7 +205,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.profiling import profile_run
 
     try:
-        report = profile_run(args.app, args.model, args.length)
+        report = profile_run(
+            args.app, args.model, args.length,
+            backend=_options_from_args(args).backend,
+        )
     except KeyError:
         print(f"unknown application {args.app!r}; run `repro list` to see "
               f"the {len(ALL_APPS)} available applications", file=sys.stderr)
@@ -301,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("app", help=f"application name (one of the {len(ALL_APPS)})")
     run.add_argument("--model", default="TON", choices=MODEL_NAMES)
     run.add_argument("--length", type=_positive_int, default=20_000)
-    _add_sampling_arg(run)
+    _add_run_option_args(run)
     run.set_defaults(func=cmd_run)
 
     profile = sub.add_parser(
@@ -316,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="functions shown in the self-time table")
     profile.add_argument("--output", default="repro-profile.pstats",
                          metavar="FILE", help="cProfile dump destination")
+    _add_backend_arg(profile)
     profile.set_defaults(func=cmd_profile)
 
     sweep = sub.add_parser("sweep", help="sweep models over applications")

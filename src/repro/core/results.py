@@ -25,7 +25,11 @@ from repro.trace.tid import TraceId
 #: v2: hot-path rework (batched executors, per-TID plan caches) — results
 #: are parity-checked bit-identical, but stored records predating the
 #: parity gate are retired rather than trusted.
-SCHEMA_VERSION = 2
+#: v3: the simulate()/RunOptions API unification and the columnar batch
+#: executor.  Run keys now derive from RunOptions (sampling + prewarm;
+#: the backend is excluded — scalar and columnar are pinned bit-identical
+#: by the golden parity suite), so pre-unification records are retired.
+SCHEMA_VERSION = 3
 
 
 def _encode_exec_key(key: "TraceId | int") -> str:

@@ -34,6 +34,7 @@ Two simulation regimes share this machinery:
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
@@ -43,9 +44,16 @@ from repro.core.config import MachineConfig
 from repro.core.results import SimulationResult, TraceUnitStats
 from repro.errors import SimulationError
 from repro.frontend.branch_predictor import BranchPredictor
-from repro.frontend.fetch import plan_cold_groups, trace_fetch_cycles
+from repro.frontend.fetch import FetchParams, plan_cold_groups, trace_fetch_cycles
 from repro.frontend.trace_predictor import TracePredictor
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.columnar import (
+    ExecutionBackend,
+    compile_cold_columnar,
+    compile_hot_columnar,
+    run_cold_columnar,
+    run_hot_columnar,
+)
 from repro.pipeline.core import TimingCore, compile_plan_stats, compile_uop_row
 from repro.pipeline.resources import ExecProfile
 from repro.power.energy import EnergyModel
@@ -64,6 +72,7 @@ from repro.trace.trace import TRACE_CAPACITY_UOPS, Trace
 from repro.workloads.program import Program
 from repro.workloads.stream import InstructionStream
 from repro.workloads.suite import Application
+from repro.workloads.tracefile import TraceArtifact
 
 
 #: Instructions pulled from the walker per bulk step of the segmentation
@@ -139,11 +148,13 @@ class _Machine:
         "background",
         "cold_plans",
         "last_pipeline",
+        "backend",
     )
 
     def __init__(self, config, events, result, core, hot_profile,
                  cold_profile, hierarchy, bpred, tpred, background,
-                 cold_plans=None):
+                 cold_plans=None,
+                 backend: ExecutionBackend = ExecutionBackend.SCALAR):
         self.config = config
         self.events = events
         self.result = result
@@ -164,6 +175,7 @@ class _Machine:
             {} if cold_plans is None else cold_plans
         )
         self.last_pipeline = "cold"
+        self.backend = backend
 
 
 @dataclass(slots=True)
@@ -180,6 +192,112 @@ class SampledRun:
     estimate: SampledEstimate
 
 
+@dataclass(frozen=True)
+class RunOptions:
+    """How to simulate a source — the options half of :meth:`simulate`.
+
+    One immutable bundle replaces the kwarg spread of the four legacy
+    entry points:
+
+    * ``sampling`` — sampled simulation (detail intervals + fast-forward);
+      ``None`` falls back to ``config.sampling``, which is ``None`` — full
+      detail — for every stock model;
+    * ``prewarm`` — start the memory hierarchy in steady state (the
+      paper's 30-100M-instruction traces amortise compulsory misses; our
+      much shorter runs must not be dominated by them);
+    * ``backend`` — which batch executor evaluates planned segments (see
+      :class:`~repro.pipeline.columnar.ExecutionBackend`); both are
+      bit-identical, columnar is faster;
+    * ``segments`` — a precomputed segment partition of an artifact's
+      stream (full-detail artifact runs only): segmentation is a pure
+      function of the committed stream, so one partition is shared across
+      every model simulating the same artifact;
+    * ``cold_plans`` — a shared :class:`ColdPlanCache` over those
+      segments (or, deprecated, a bare per-(segment-list, fetch) dict);
+    * ``estimate`` — return the :class:`SampledRun` (result + confidence
+      intervals) instead of just the extrapolated result.
+    """
+
+    sampling: SamplingConfig | None = None
+    prewarm: bool = True
+    backend: ExecutionBackend = ExecutionBackend.SCALAR
+    segments: Sequence[TraceSegment] | None = None
+    cold_plans: "ColdPlanCache | dict | None" = None
+    estimate: bool = False
+
+    def fingerprint(self) -> str:
+        """Result-affecting identity, for persistent run keys.
+
+        Covers exactly the fields that select *what result is computed*:
+        the sampling plan and prewarming.  ``backend`` is included for
+        attributability (both backends are bit-identical, but a cached
+        row should name the executor that produced it); ``segments`` /
+        ``cold_plans`` are caches of pure functions of the stream and
+        ``estimate`` only changes the return shape, so none of them
+        belong in the key.
+        """
+        sampling = (
+            "off" if self.sampling is None else self.sampling.fingerprint()
+        )
+        return (
+            f"sampling={sampling}|prewarm={int(self.prewarm)}"
+            f"|backend={self.backend.value}"
+        )
+
+
+class ColdPlanCache:
+    """A validated shared cold-plan store, bound to one segment list.
+
+    Cold fetch-group plans are pure functions of (segment instruction
+    path, fetch parameters), and complete segments are keyed by TID — so
+    models with equal :class:`~repro.frontend.fetch.FetchParams` replaying
+    the *same* segment list can share compiled plans.  The historical
+    sharing contract was a docstring warning on ``run_artifact``: pass a
+    fresh dict per (application, fetch-parameter) pair, or TID aliasing
+    between applications could silently serve a stale plan.
+
+    This class turns that contract into code.  The cache holds a strong
+    reference to the segment list it was built over (list identity is the
+    fingerprint — segment lists are never copied on the sharing paths),
+    and :meth:`plans_for` refuses to serve plans for any other list.
+    Plans are further partitioned by (fetch parameters, backend), so one
+    cache instance can cover a whole model grid over one artifact.
+    """
+
+    __slots__ = ("segments", "_plans")
+
+    def __init__(self, segments: Sequence[TraceSegment]):
+        self.segments = segments
+        self._plans: dict[tuple, dict[TraceId, tuple]] = {}
+
+    def plans_for(
+        self,
+        segments: Sequence[TraceSegment],
+        fetch: FetchParams,
+        backend: ExecutionBackend,
+    ) -> dict[TraceId, tuple]:
+        """The shared plan dict for one (segment list, fetch, backend).
+
+        Raises :class:`~repro.errors.SimulationError` if ``segments`` is
+        not the very list this cache was built over — the cross-stream
+        aliasing case the old contract could not detect.
+        """
+        if segments is not self.segments:
+            raise SimulationError(
+                "cold-plan cache was built over a different segment list; "
+                "TID aliasing across streams could serve a stale plan — "
+                "build one ColdPlanCache per segment list"
+            )
+        return self._plans.setdefault((fetch, backend), {})
+
+
+#: What :meth:`ParrotSimulator.simulate` accepts as a source: an
+#: :class:`~repro.workloads.suite.Application` (plus ``length``), a raw
+#: :class:`~repro.workloads.stream.InstructionStream`, or a compiled
+#: :class:`~repro.workloads.tracefile.TraceArtifact`.
+SimSource = "Application | InstructionStream | TraceArtifact"
+
+
 class ParrotSimulator:
     """Simulate one machine model; reusable across applications."""
 
@@ -187,6 +305,187 @@ class ParrotSimulator:
         self.config = config
 
     # -- public API --------------------------------------------------------
+
+    def simulate(
+        self,
+        source: SimSource,
+        options: RunOptions | None = None,
+        *,
+        length: int | None = None,
+        app_name: str | None = None,
+        suite: str | None = None,
+        program: Program | None = None,
+    ) -> SimulationResult | SampledRun:
+        """Simulate ``source`` under ``options``; the one run entry point.
+
+        ``source`` is an :class:`~repro.workloads.suite.Application` (pass
+        ``length``), an :class:`~repro.workloads.stream.InstructionStream`
+        (``app_name``/``suite`` label the result, ``program`` prewarms the
+        hierarchy, ``length`` is required only for sampled runs), or a
+        compiled :class:`~repro.workloads.tracefile.TraceArtifact` (which
+        carries its own length, labels and prewarm image).  All three are
+        bit-identical over the same dynamic stream, as are both execution
+        backends — pinned by the golden parity suite.
+
+        ``options`` is a :class:`RunOptions`; ``None`` means the defaults
+        (full detail, prewarmed, scalar backend).  Returns the
+        :class:`~repro.core.results.SimulationResult`, or the
+        :class:`SampledRun` (result + confidence intervals) when
+        ``options.estimate`` is set.
+
+        Raises :class:`~repro.errors.SimulationError`, naming the
+        offending source, for degenerate inputs (non-positive length,
+        empty artifact) and option/source mismatches — validation lives
+        here and nowhere else.
+        """
+        if options is None:
+            options = RunOptions()
+        sampling = options.sampling
+        if sampling is None:
+            sampling = self.config.sampling
+        sampled = sampling is not None or options.estimate
+        segments = options.segments
+
+        if isinstance(source, Application):
+            label = f"simulate({source.name})"
+            if length is None:
+                raise SimulationError(
+                    f"{label}: an Application source needs an explicit "
+                    f"run length"
+                )
+            if length < 1:
+                raise SimulationError(
+                    f"{label}: run length {length} must be positive"
+                )
+            self._reject_stream_kwargs(label, app_name, suite, program)
+            self._reject_shared_caches(label, options)
+            workload = source.build()
+            stream = workload.stream(length)
+            total = length
+            name, suite_name = source.name, source.suite
+            image = (
+                self._prewarm_image(workload.program)
+                if options.prewarm else None
+            )
+        elif isinstance(source, TraceArtifact):
+            label = f"simulate({source.app_name} artifact)"
+            total = len(source)
+            if total < 1:
+                raise SimulationError(
+                    f"{label}: degenerate artifact at {source.path} "
+                    f"({total} instructions)"
+                )
+            if length is not None:
+                raise SimulationError(
+                    f"{label}: an artifact carries its own length "
+                    f"({total}); do not pass one"
+                )
+            self._reject_stream_kwargs(label, app_name, suite, program)
+            if sampled:
+                self._reject_shared_caches(label, options)
+            name, suite_name = source.app_name, source.suite
+            image = (
+                (source.prewarm_code, source.prewarm_data)
+                if options.prewarm else None
+            )
+            stream = source.stream() if segments is None or sampled else None
+        elif isinstance(source, InstructionStream):
+            name = app_name if app_name is not None else "custom"
+            suite_name = suite if suite is not None else "Custom"
+            label = f"simulate({name} stream)"
+            self._reject_shared_caches(label, options)
+            if length is not None and length < 1:
+                raise SimulationError(
+                    f"{label}: run length {length} must be positive"
+                )
+            if sampled and length is None:
+                raise SimulationError(
+                    f"{label}: a sampled run over a raw stream needs an "
+                    f"explicit length"
+                )
+            stream = source
+            total = length
+            image = (
+                self._prewarm_image(program) if options.prewarm else None
+            )
+        else:
+            raise SimulationError(
+                f"simulate() cannot run a {type(source).__name__}; pass an "
+                f"Application, InstructionStream or TraceArtifact"
+            )
+
+        if sampled:
+            run = self._run_sampled(
+                stream, total, sampling,
+                app_name=name, suite=suite_name, prewarm=image,
+                backend=options.backend,
+            )
+            return run if options.estimate else run.result
+
+        plans = self._resolve_cold_plans(label, options, segments)
+        machine = self._assemble(
+            app_name=name, suite=suite_name, prewarm=image,
+            cold_plans=plans, backend=options.backend,
+        )
+        if segments is not None:
+            self._execute_segments(machine, iter(segments))
+        else:
+            self._execute_segments(machine, segment_stream(stream, length))
+        return self._conclude(machine)
+
+    @staticmethod
+    def _reject_stream_kwargs(label, app_name, suite, program) -> None:
+        if app_name is not None or suite is not None or program is not None:
+            raise SimulationError(
+                f"{label}: app_name/suite/program apply to "
+                f"InstructionStream sources only"
+            )
+
+    @staticmethod
+    def _reject_shared_caches(label: str, options: RunOptions) -> None:
+        if options.segments is not None or options.cold_plans is not None:
+            raise SimulationError(
+                f"{label}: segments/cold_plans apply to full-detail "
+                f"artifact runs only"
+            )
+
+    def _resolve_cold_plans(
+        self,
+        label: str,
+        options: RunOptions,
+        segments: Sequence[TraceSegment] | None,
+    ) -> dict[TraceId, tuple] | None:
+        """The machine's cold-plan dict under ``options`` (None = private).
+
+        A :class:`ColdPlanCache` is validated against the segment list and
+        partitioned by (fetch parameters, backend); a bare dict is the
+        deprecated unvalidated contract, accepted scalar-only.
+        """
+        cold_plans = options.cold_plans
+        if cold_plans is None:
+            return None
+        if isinstance(cold_plans, ColdPlanCache):
+            if segments is None:
+                raise SimulationError(
+                    f"{label}: a shared ColdPlanCache needs the matching "
+                    f"segments list in the same RunOptions"
+                )
+            return cold_plans.plans_for(
+                segments, self.config.fetch, options.backend
+            )
+        if isinstance(cold_plans, dict):
+            if options.backend is not ExecutionBackend.SCALAR:
+                raise SimulationError(
+                    f"{label}: bare cold-plan dicts predate backends and "
+                    f"are scalar-only; share a ColdPlanCache instead"
+                )
+            return cold_plans
+        raise SimulationError(
+            f"{label}: cold_plans must be a ColdPlanCache or dict, "
+            f"not {type(cold_plans).__name__}"
+        )
+
+    # -- deprecated entry points (thin shims over simulate()) --------------
 
     def run(
         self,
@@ -196,31 +495,15 @@ class ParrotSimulator:
         prewarm: bool = True,
         sampling: SamplingConfig | None = None,
     ) -> SimulationResult:
-        """Simulate ``length`` instructions of ``app``; returns the result.
-
-        ``prewarm`` starts the memory hierarchy in steady state (the paper's
-        30-100M-instruction traces amortise compulsory misses; our much
-        shorter runs must not be dominated by them).
-
-        ``sampling`` switches to sampled simulation (detail intervals +
-        fast-forward); ``None`` falls back to ``config.sampling``, which is
-        ``None`` — full detail — for every stock model.  Sampled runs
-        return the extrapolated result; use :meth:`run_sampled` to also get
-        the confidence intervals.
-        """
-        if sampling is None:
-            sampling = self.config.sampling
-        if sampling is not None:
-            return self.run_sampled(
-                app, length, prewarm=prewarm, sampling=sampling
-            ).result
-        if length < 1:
-            raise SimulationError(f"run length {length} must be positive")
-        workload = app.build()
-        stream = workload.stream(length)
-        return self._run_stream(
-            stream, app_name=app.name, suite=app.suite,
-            prewarm=self._prewarm_image(workload.program) if prewarm else None,
+        """Deprecated: ``simulate(app, RunOptions(...), length=...)``."""
+        warnings.warn(
+            "ParrotSimulator.run() is deprecated; use "
+            "simulate(app, RunOptions(...), length=...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.simulate(
+            app, RunOptions(sampling=sampling, prewarm=prewarm),
+            length=length,
         )
 
     def run_sampled(
@@ -231,37 +514,31 @@ class ParrotSimulator:
         prewarm: bool = True,
         sampling: SamplingConfig | None = None,
     ) -> SampledRun:
-        """Sampled simulation of ``length`` instructions of ``app``.
-
-        Alternates fast-forward gaps (architectural state only), functional
-        warmup windows and fully detailed intervals, then aggregates the
-        per-interval measurements into a population estimate.  With
-        ``sampling=None`` (and no config default) the plan degenerates to
-        one full-detail interval and the "estimate" is exact.
-        """
-        if length < 1:
-            raise SimulationError(f"run length {length} must be positive")
-        if sampling is None:
-            sampling = self.config.sampling
-        workload = app.build()
-        stream = workload.stream(length)
-        return self._run_sampled(
-            stream, length, sampling,
-            app_name=app.name, suite=app.suite,
-            prewarm=self._prewarm_image(workload.program) if prewarm else None,
+        """Deprecated: ``simulate`` with ``RunOptions(estimate=True)``."""
+        warnings.warn(
+            "ParrotSimulator.run_sampled() is deprecated; use "
+            "simulate(app, RunOptions(sampling=..., estimate=True), "
+            "length=...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.simulate(
+            app,
+            RunOptions(sampling=sampling, prewarm=prewarm, estimate=True),
+            length=length,
         )
 
     def run_stream(
         self, stream: InstructionStream, *, app_name: str = "custom",
         suite: str = "Custom", program: Program | None = None,
     ) -> SimulationResult:
-        """Simulate an arbitrary dynamic stream (custom-workload API).
-
-        Pass the static ``program`` to start with prewarmed caches.
-        """
-        return self._run_stream(
-            stream, app_name=app_name, suite=suite,
-            prewarm=self._prewarm_image(program),
+        """Deprecated: ``simulate(stream, app_name=..., program=...)``."""
+        warnings.warn(
+            "ParrotSimulator.run_stream() is deprecated; use "
+            "simulate(stream, app_name=..., suite=..., program=...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.simulate(
+            stream, app_name=app_name, suite=suite, program=program
         )
 
     def run_artifact(
@@ -273,51 +550,25 @@ class ParrotSimulator:
         prewarm: bool = True,
         cold_plans: dict[TraceId, tuple] | None = None,
     ) -> SimulationResult:
-        """Simulate a compiled trace artifact (the engine's grid fast path).
-
-        ``artifact`` is a
-        :class:`~repro.workloads.tracefile.TraceArtifact`; the whole
-        recorded stream is simulated.  Bit-identical to :meth:`run` of the
-        same application and length: the artifact carries the full program
-        prewarm image, and its replay walker reproduces the generating
-        walker's stream and warming effects exactly.
-
-        ``segments`` accepts a precomputed segment partition of the
-        artifact's stream (full-detail only).  Segmentation is a pure
-        function of the committed stream — model-independent — so one
-        partition can be computed per application and shared across every
-        model's run, which is exactly what the experiment engine does with
-        the cells of an application chunk.
-
-        ``cold_plans`` likewise accepts a shared cold-plan cache
-        (full-detail only).  A plan is a pure function of a segment's
-        instruction path and the model's fetch parameters, so models with
-        equal :attr:`MachineConfig.fetch` running over the *same* segment
-        list may share one dict — pass a fresh dict per (application,
-        fetch-parameter) pair and never reuse it across different segment
-        lists, or TID aliasing between applications could serve a stale
-        plan.
-        """
-        if sampling is None:
-            sampling = self.config.sampling
-        image = (
-            (artifact.prewarm_code, artifact.prewarm_data) if prewarm else None
+        """Deprecated: ``simulate(artifact, RunOptions(...))``."""
+        warnings.warn(
+            "ParrotSimulator.run_artifact() is deprecated; use "
+            "simulate(artifact, RunOptions(segments=..., cold_plans=...))",
+            DeprecationWarning, stacklevel=2,
         )
-        if sampling is not None:
-            return self._run_sampled(
-                artifact.stream(), len(artifact), sampling,
-                app_name=artifact.app_name, suite=artifact.suite,
-                prewarm=image,
-            ).result
-        machine = self._assemble(
-            app_name=artifact.app_name, suite=artifact.suite, prewarm=image,
-            cold_plans=cold_plans,
+        resolved = sampling if sampling is not None else self.config.sampling
+        if resolved is not None:
+            # Historical behaviour: the sampled artifact path silently
+            # ignored shared caches (simulate() rejects the combination).
+            segments = None
+            cold_plans = None
+        return self.simulate(
+            artifact,
+            RunOptions(
+                sampling=sampling, prewarm=prewarm,
+                segments=segments, cold_plans=cold_plans,
+            ),
         )
-        if segments is None:
-            self._execute_segments(machine, segment_stream(artifact.stream()))
-        else:
-            self._execute_segments(machine, iter(segments))
-        return self._conclude(machine)
 
     # -- machine assembly ------------------------------------------------------
 
@@ -344,12 +595,14 @@ class ParrotSimulator:
         suite: str,
         prewarm: tuple | None,
         cold_plans: dict[TraceId, tuple] | None = None,
+        backend: ExecutionBackend = ExecutionBackend.SCALAR,
     ) -> _Machine:
         """Build every structure of one run: core, hierarchy, predictors.
 
         ``cold_plans`` seeds the machine's cold-plan cache with a shared
-        dict (see :meth:`run_artifact`); by default every machine gets a
-        private one.
+        dict (see :meth:`simulate`); by default every machine gets a
+        private one.  ``backend`` selects the batch executor for planned
+        segments.
         """
         config = self.config
         events = EventCounts()
@@ -397,6 +650,7 @@ class ParrotSimulator:
         return _Machine(
             config, events, result, core, hot_profile, cold_profile,
             hierarchy, bpred, tpred, background, cold_plans=cold_plans,
+            backend=backend,
         )
 
     def _energy_model(self) -> EnergyModel:
@@ -411,20 +665,6 @@ class ParrotSimulator:
         )
 
     # -- full-detail regime ----------------------------------------------------
-
-    def _run_stream(
-        self,
-        stream: InstructionStream,
-        *,
-        app_name: str,
-        suite: str,
-        prewarm: tuple | None = None,
-    ) -> SimulationResult:
-        machine = self._assemble(
-            app_name=app_name, suite=suite, prewarm=prewarm
-        )
-        self._execute_segments(machine, segment_stream(stream))
-        return self._conclude(machine)
 
     def _conclude(self, machine: _Machine) -> SimulationResult:
         """Finish a full-detail run: invariants, cycles, energy, events."""
@@ -460,6 +700,21 @@ class ParrotSimulator:
         tpred = machine.tpred
         background = machine.background
         cold_plans = machine.cold_plans
+        columnar = machine.backend is ExecutionBackend.COLUMNAR
+
+        # Selector-loop events accumulate in locals and fold into
+        # ``events`` once per call — per-plan reductions, like the
+        # executors' own batched stats.  All counts are integer-valued,
+        # so the fold is exact; the zero-guards below keep a key absent
+        # whenever the per-occurrence form never created it, and each
+        # first occurrence still registers its key immediately because
+        # the energy model's float accumulation follows event insertion
+        # order.  Interval snapshots only read ``events`` after this
+        # method returns.
+        n_tpred_lookup = 0
+        n_tcache_tag = 0
+        n_tpred_update = 0
+        n_bpred_update = 0
 
         last_pipeline = machine.last_pipeline
         for segment in segments:
@@ -468,10 +723,14 @@ class ParrotSimulator:
             predicted = None
             if tpred is not None and background is not None and segment.complete:
                 predicted = tpred.predict()
-                events.add("tpred_lookup")
+                n_tpred_lookup += 1
+                if n_tpred_lookup == 1:
+                    events.add("tpred_lookup", 0.0)
                 if predicted is not None:
                     trace = background.trace_cache.lookup(predicted)
-                    events.add("tcache_read")  # tag lookup
+                    n_tcache_tag += 1  # tag lookup
+                    if n_tcache_tag == 1:
+                        events.add("tcache_read", 0.0)
                     if trace is None:
                         stats.tcache_miss_on_predict += 1
                     elif predicted == segment.tid:
@@ -480,7 +739,8 @@ class ParrotSimulator:
                             core.stall_fetch(1)
                         core.set_profile(hot_profile)
                         self._execute_hot(
-                            core, hierarchy, events, result, trace, segment
+                            core, hierarchy, events, result, trace, segment,
+                            columnar,
                         )
                         background.after_hot_execution(trace, core.cycles)
                         # Retire-time training: hot-committed CTIs still
@@ -502,7 +762,9 @@ class ParrotSimulator:
                                 dyn.instr, dyn.taken, dyn.next_address
                             )
                         if cti_indices:
-                            events.add("bpred_update", len(cti_indices))
+                            if not n_bpred_update:
+                                events.add("bpred_update", 0.0)
+                            n_bpred_update += len(cti_indices)
                         executed_hot = True
                         last_pipeline = "hot"
                     else:
@@ -521,7 +783,8 @@ class ParrotSimulator:
                     core.stall_fetch(1)
                 core.set_profile(cold_profile)
                 self._execute_cold(
-                    core, hierarchy, bpred, events, result, segment, cold_plans
+                    core, hierarchy, bpred, events, result, segment,
+                    cold_plans, columnar,
                 )
                 last_pipeline = "cold"
 
@@ -533,10 +796,21 @@ class ParrotSimulator:
             if segment.complete:
                 if tpred is not None:
                     tpred.train(segment.tid)
-                    events.add("tpred_update")
+                    n_tpred_update += 1
+                    if n_tpred_update == 1:
+                        events.add("tpred_update", 0.0)
                 if background is not None:
                     background.after_commit(segment, core.cycles)
         machine.last_pipeline = last_pipeline
+
+        if n_tpred_lookup:
+            events.add("tpred_lookup", n_tpred_lookup)
+        if n_tcache_tag:
+            events.add("tcache_read", n_tcache_tag)
+        if n_bpred_update:
+            events.add("bpred_update", n_bpred_update)
+        if n_tpred_update:
+            events.add("tpred_update", n_tpred_update)
 
     # -- sampled regime --------------------------------------------------------
 
@@ -549,9 +823,10 @@ class ParrotSimulator:
         app_name: str,
         suite: str,
         prewarm: tuple | None = None,
+        backend: ExecutionBackend = ExecutionBackend.SCALAR,
     ) -> SampledRun:
         machine = self._assemble(
-            app_name=app_name, suite=suite, prewarm=prewarm
+            app_name=app_name, suite=suite, prewarm=prewarm, backend=backend,
         )
         model = self._energy_model()
         if sampling is not None:
@@ -737,6 +1012,7 @@ class ParrotSimulator:
         result: SimulationResult,
         trace: Trace,
         segment: TraceSegment,
+        columnar: bool = False,
     ) -> None:
         """Execute a correctly predicted trace on the hot pipeline.
 
@@ -751,22 +1027,39 @@ class ParrotSimulator:
         # boundaries and uop rows are static per trace (uops never change
         # once installed; optimization installs a new Trace).  One group of
         # ``trace_uops`` rows streams from the trace cache per cycle.
-        plan = trace._hot_plan
-        if plan is None:
-            per_cycle = self.config.fetch.trace_uops
-            rows = [compile_uop_row(uop) for uop in uops]
-            groups = [
-                tuple(rows[i:i + per_cycle])
-                for i in range(0, len(rows), per_cycle)
-            ]
-            plan = (groups, *compile_plan_stats(rows))
-            trace._hot_plan = plan
-        core.run_hot_plan(
-            plan,
-            segment.instructions,
-            hierarchy.load_latency,
-            hierarchy.store_access,
-        )
+        # Each backend caches its own plan shape on the trace; hot plans
+        # are machine-private (traces live in this machine's trace cache),
+        # so the columnar plan may bake this core's front-end depth.
+        if columnar:
+            plan = trace._hot_plan_columnar
+            if plan is None:
+                rows = [compile_uop_row(uop) for uop in uops]
+                plan = compile_hot_columnar(
+                    rows, self.config.fetch.trace_uops,
+                    self.config.core.front_depth,
+                )
+                trace._hot_plan_columnar = plan
+            run_hot_columnar(
+                core, plan, segment.instructions,
+                hierarchy.load_latency, hierarchy.store_access,
+            )
+        else:
+            plan = trace._hot_plan
+            if plan is None:
+                per_cycle = self.config.fetch.trace_uops
+                rows = [compile_uop_row(uop) for uop in uops]
+                groups = [
+                    tuple(rows[i:i + per_cycle])
+                    for i in range(0, len(rows), per_cycle)
+                ]
+                plan = (groups, *compile_plan_stats(rows))
+                trace._hot_plan = plan
+            core.run_hot_plan(
+                plan,
+                segment.instructions,
+                hierarchy.load_latency,
+                hierarchy.store_access,
+            )
         if trace.optimized and trace.virtual_renames:
             events.add("rename_virtual", trace.virtual_renames)
         trace.exec_count += 1
@@ -876,29 +1169,53 @@ class ParrotSimulator:
         result: SimulationResult,
         segment: TraceSegment,
         cold_plans: dict[TraceId, tuple],
+        columnar: bool = False,
     ) -> None:
-        """Execute a segment on the cold pipeline (icache fetch + decode)."""
+        """Execute a segment on the cold pipeline (icache fetch + decode).
+
+        ``cold_plans`` caches whichever plan shape the machine's backend
+        replays; shared dicts are already partitioned by backend
+        (:class:`ColdPlanCache`), private ones serve a single backend.
+        """
         instructions = segment.instructions
         complete_segment = segment.complete
         plan = cold_plans.get(segment.tid) if complete_segment else None
-        if plan is None:
-            plan = self._compile_cold_plan(instructions, self.config.fetch)
-            if complete_segment:
-                cold_plans[segment.tid] = plan
-
-        n_misp = core.run_cold_plan(
-            plan,
-            instructions,
-            hierarchy.fetch_latency,
-            hierarchy.load_latency,
-            hierarchy.store_access,
-            bpred.predict_and_train,
-        )
-        groups, n_uops, _n_reads, _n_writes, _fu_counts, n_cti = plan
+        if columnar:
+            if plan is None:
+                plan = compile_cold_columnar(instructions, self.config.fetch)
+                if complete_segment:
+                    cold_plans[segment.tid] = plan
+            n_misp = run_cold_columnar(
+                core, plan, instructions,
+                hierarchy.fetch_latency,
+                hierarchy.load_latency,
+                hierarchy.store_access,
+                bpred.predict_and_train,
+            )
+            n_groups = len(plan[1])
+            n_uops = plan[0]
+            n_cti = plan[6]
+        else:
+            if plan is None:
+                plan = self._compile_cold_plan(
+                    instructions, self.config.fetch
+                )
+                if complete_segment:
+                    cold_plans[segment.tid] = plan
+            n_misp = core.run_cold_plan(
+                plan,
+                instructions,
+                hierarchy.fetch_latency,
+                hierarchy.load_latency,
+                hierarchy.store_access,
+                bpred.predict_and_train,
+            )
+            groups, n_uops, _n_reads, _n_writes, _fu_counts, n_cti = plan
+            n_groups = len(groups)
         # Event totals, batched per segment (guarded: a zero count must not
         # materialise an event key the per-occurrence form never created).
-        if groups:
-            events.add("fetch_cycle", len(groups))
+        if n_groups:
+            events.add("fetch_cycle", n_groups)
         n_instrs = len(instructions)
         if n_instrs:
             events.add("decode_instr", n_instrs)

@@ -14,24 +14,31 @@ seed).  That purity buys two things:
 
 The store key is a SHA-256 digest over the full model configuration
 (``repr`` of the frozen :class:`~repro.core.config.MachineConfig`
-dataclass tree), the application name, its generator seed, the run length
-and :data:`~repro.core.results.SCHEMA_VERSION` — any change to a model
-parameter, a workload profile seed or the result schema silently keys to
-fresh entries, so stale records can never be served.
+dataclass tree), the application name, its generator seed, the run length,
+:data:`~repro.core.results.SCHEMA_VERSION` and the run regime carried by
+:class:`~repro.core.simulator.RunOptions` (sampling fingerprint, prewarm
+when disabled; the execution backend is excluded — the backends are
+pinned bit-identical) — any change to a model parameter, a workload
+profile seed or the result schema silently keys to fresh entries, so
+stale records can never be served.
 
 A third property — every model of an application consumes the
 bit-identical dynamic stream — drives the scheduler: missing cells are
 grouped into per-application **chunks**, each submitted to the pool as one
 call, so a worker resolves the application's compiled trace artifact
-(:class:`~repro.workloads.tracefile.ArtifactCache`) and its shared segment
-partition once and replays them for every model in the chunk.  Workers
-are reused processes, so per-worker memos also amortise model configs,
-simulators and applications across everything a worker executes.
+(:class:`~repro.workloads.tracefile.ArtifactCache`), its shared segment
+partition and a :class:`~repro.core.simulator.ColdPlanCache` over it once,
+and replays them for every model in the chunk (models with equal fetch
+parameters and backend share compiled cold plans through the cache).
+Workers are reused processes, so per-worker memos also amortise model
+configs, simulators and applications across everything a worker executes.
 
 Scale knobs (application count, run length, worker count, cache on/off,
-artifact cache on/off) are unified in the :class:`Scale` dataclass, parsed
-once from either the environment (``REPRO_BENCH_*`` / ``REPRO_CACHE_DIR``)
-or CLI arguments.
+artifact cache on/off, sampling regime, execution backend) are unified in
+the :class:`Scale` dataclass; :func:`resolve_run_options` is the single
+seam where sampling/backend specs from the environment
+(``REPRO_BENCH_*``) or CLI arguments become a
+:class:`~repro.core.simulator.RunOptions`.
 """
 
 from __future__ import annotations
@@ -53,9 +60,10 @@ from typing import Any, Callable, Sequence
 
 from repro.core.config import MachineConfig
 from repro.core.results import SCHEMA_VERSION, SimulationResult
-from repro.core.simulator import ParrotSimulator, segment_stream
+from repro.core.simulator import ColdPlanCache, ParrotSimulator, RunOptions
 from repro.errors import ExperimentError
 from repro.models.configs import MODEL_NAMES, model_config
+from repro.pipeline.columnar import ExecutionBackend
 from repro.sampling.config import SamplingConfig
 from repro.workloads.suite import Application, app_seed, application
 from repro.workloads.tracefile import ArtifactCache, TraceArtifact
@@ -69,6 +77,7 @@ ENV_TIMEOUT = "REPRO_BENCH_TIMEOUT"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_SAMPLING = "REPRO_BENCH_SAMPLING"
 ENV_ARTIFACTS = "REPRO_BENCH_ARTIFACTS"
+ENV_BACKEND = "REPRO_BENCH_BACKEND"
 
 DEFAULT_APPS = 15
 DEFAULT_LENGTH = 20_000
@@ -108,6 +117,47 @@ def _env_flag(name: str, default: bool = True) -> bool:
     return raw.strip().lower() not in ("0", "false", "no", "off", "")
 
 
+def parse_backend(spec: str | None) -> ExecutionBackend:
+    """Parse an execution-backend spec (``scalar``/``columnar``).
+
+    ``None`` or an empty string selects the scalar reference backend.
+    """
+    if spec is None:
+        return ExecutionBackend.SCALAR
+    text = str(spec).strip().lower()
+    if not text:
+        return ExecutionBackend.SCALAR
+    try:
+        return ExecutionBackend(text)
+    except ValueError:
+        choices = ", ".join(b.value for b in ExecutionBackend)
+        raise ValueError(
+            f"unknown execution backend {spec!r}; choose from: {choices}"
+        ) from None
+
+
+def resolve_run_options(
+    sampling_spec: str | None = None,
+    backend_spec: str | None = None,
+) -> RunOptions:
+    """Parse user-facing regime specs into a :class:`RunOptions`.
+
+    The single spec-parsing seam shared by the CLI, the engine and the
+    benchmark runner: ``sampling_spec`` follows
+    :meth:`~repro.sampling.config.SamplingConfig.parse` (falling back to
+    ``REPRO_BENCH_SAMPLING``), ``backend_spec`` follows
+    :func:`parse_backend` (falling back to ``REPRO_BENCH_BACKEND``).
+    """
+    if sampling_spec is None:
+        sampling_spec = os.environ.get(ENV_SAMPLING)
+    if backend_spec is None:
+        backend_spec = os.environ.get(ENV_BACKEND)
+    return RunOptions(
+        sampling=SamplingConfig.parse(sampling_spec),
+        backend=parse_backend(backend_spec),
+    )
+
+
 @dataclass(frozen=True, slots=True)
 class Scale:
     """The unified scale knobs of one experiment-grid evaluation.
@@ -116,9 +166,11 @@ class Scale:
     44-app roster), ``length`` the instructions simulated per application,
     ``jobs`` the process-pool width, ``cache`` whether runs are served
     from / written to the persistent result store, ``sampling`` the
-    sampled-simulation regime (``None`` = full detail), and ``artifacts``
+    sampled-simulation regime (``None`` = full detail), ``artifacts``
     whether runs ingest compiled trace artifacts instead of re-walking the
-    workload generator per cell.
+    workload generator per cell, and ``backend`` the batch executor
+    evaluating planned segments (scalar reference or its bit-identical
+    columnar twin).
     """
 
     apps: int | None = DEFAULT_APPS
@@ -127,6 +179,11 @@ class Scale:
     cache: bool = True
     sampling: SamplingConfig | None = None
     artifacts: bool = True
+    backend: ExecutionBackend = ExecutionBackend.SCALAR
+
+    def run_options(self) -> RunOptions:
+        """The per-run regime knobs as a :class:`RunOptions`."""
+        return RunOptions(sampling=self.sampling, backend=self.backend)
 
     @classmethod
     def from_environment(cls) -> "Scale":
@@ -136,37 +193,43 @@ class Scale:
         ``REPRO_BENCH_JOBS`` (default: all cores), ``REPRO_BENCH_CACHE``
         (``0`` disables the result store), ``REPRO_BENCH_SAMPLING``
         (``off``/``on``/``D:G:W[:F][:CONF]``; see
-        :meth:`~repro.sampling.config.SamplingConfig.parse`) and
-        ``REPRO_BENCH_ARTIFACTS`` (``0`` disables the artifact fast path).
+        :meth:`~repro.sampling.config.SamplingConfig.parse`),
+        ``REPRO_BENCH_ARTIFACTS`` (``0`` disables the artifact fast path)
+        and ``REPRO_BENCH_BACKEND`` (``scalar``/``columnar``).
         """
+        options = resolve_run_options()
         return cls(
             apps=parse_apps(os.environ.get(ENV_APPS, str(DEFAULT_APPS))),
             length=int(os.environ.get(ENV_LENGTH, str(DEFAULT_LENGTH))),
             jobs=default_jobs(),
             cache=_env_flag(ENV_CACHE),
-            sampling=SamplingConfig.parse(os.environ.get(ENV_SAMPLING)),
+            sampling=options.sampling,
             artifacts=_env_flag(ENV_ARTIFACTS),
+            backend=options.backend,
         )
 
     @classmethod
     def from_args(cls, args: Any) -> "Scale":
         """Resolve from parsed CLI arguments (``--apps/--length/--jobs/
-        --no-cache/--sampling/--no-artifacts``); unset ``--jobs`` falls
-        back to the environment, and an absent ``--sampling`` falls back
-        to ``REPRO_BENCH_SAMPLING``."""
+        --no-cache/--sampling/--no-artifacts/--backend``); unset
+        ``--jobs`` falls back to the environment, and absent
+        ``--sampling``/``--backend`` fall back to
+        ``REPRO_BENCH_SAMPLING``/``REPRO_BENCH_BACKEND``."""
         jobs = getattr(args, "jobs", None)
         no_cache = bool(getattr(args, "no_cache", False))
         no_artifacts = bool(getattr(args, "no_artifacts", False))
-        sampling_spec = getattr(args, "sampling", None)
-        if sampling_spec is None:
-            sampling_spec = os.environ.get(ENV_SAMPLING)
+        options = resolve_run_options(
+            getattr(args, "sampling", None),
+            getattr(args, "backend", None),
+        )
         return cls(
             apps=parse_apps(args.apps),
             length=args.length,
             jobs=default_jobs() if jobs is None else jobs,
             cache=not no_cache and _env_flag(ENV_CACHE),
-            sampling=SamplingConfig.parse(sampling_spec),
+            sampling=options.sampling,
             artifacts=not no_artifacts and _env_flag(ENV_ARTIFACTS),
+            backend=options.backend,
         )
 
 
@@ -187,7 +250,7 @@ def run_key(
     config: MachineConfig,
     app_name: str,
     length: int,
-    sampling: SamplingConfig | None = None,
+    options: "SamplingConfig | RunOptions | None" = None,
 ) -> str:
     """Content key of one simulation run in the result store.
 
@@ -196,15 +259,31 @@ def run_key(
     fingerprint` otherwise — so a sampled estimate can never be served
     where a full-detail result was asked for (or vice versa), and two
     different sampling configurations never collide either.
+
+    ``options`` accepts either a bare :class:`SamplingConfig` (historical
+    call shape) or a full :class:`RunOptions`.  Of the run options, only
+    the result-affecting regime knobs enter the key: sampling always,
+    prewarm when disabled.  The execution *backend* is deliberately
+    excluded — scalar and columnar are pinned bit-identical by the golden
+    parity suite, so either backend may serve a stored cell.
     """
-    material = "|".join((
+    prewarm = True
+    if isinstance(options, RunOptions):
+        sampling = options.sampling
+        prewarm = options.prewarm
+    else:
+        sampling = options
+    parts = [
         f"schema={SCHEMA_VERSION}",
         f"model={config_fingerprint(config)}",
         f"app={app_name}",
         f"seed={app_seed(app_name)}",
         f"length={length}",
         f"sampling={'off' if sampling is None else sampling.fingerprint()}",
-    ))
+    ]
+    if not prewarm:
+        parts.append("prewarm=0")
+    material = "|".join(parts)
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
@@ -386,33 +465,35 @@ def _worker_artifact(
     app_name: str,
     length: int,
     want_segments: bool,
-) -> tuple[TraceArtifact, list | None, dict]:
-    """The (artifact, shared segments, plan memo) for one worker-memoized app.
+) -> tuple[TraceArtifact, list | None, ColdPlanCache | None]:
+    """The (artifact, shared segments, plan cache) for one worker-memoized app.
 
     The segment partition is model-independent (the selector segments the
-    raw dynamic stream before any model state exists), so it is computed
-    once per (app, length) and replayed for every model — but only in
-    full-detail mode (``want_segments``); sampled runs drive their own
-    interval schedule off the stream.  The plan memo maps a model's fetch
-    parameters to the cold-plan dict shared by every model in that fetch
-    group over this entry's segment list (see
-    :meth:`ParrotSimulator.run_artifact`); it lives and dies with the
-    entry, so plans can never leak across applications.
+    raw dynamic stream before any model state exists), so it is resolved
+    once per (app, length) via :meth:`TraceArtifact.segments` and replayed
+    for every model — but only in full-detail mode (``want_segments``);
+    sampled runs drive their own interval schedule off the stream.  The
+    :class:`~repro.core.simulator.ColdPlanCache` is bound to that segment
+    list and partitions plans by (fetch parameters, backend); it lives and
+    dies with the entry, so plans can never leak across applications.
     """
     memo_key = (str(cache.root), app_name, length)
     entry = _WORKER_ARTIFACTS.get(memo_key)
     if entry is None:
         artifact = cache.get_or_compile(_worker_application(app_name), length)
-        entry = [artifact, None, {}]
+        entry = [artifact, None, None]
         _WORKER_ARTIFACTS[memo_key] = entry
         while len(_WORKER_ARTIFACTS) > _WORKER_ARTIFACT_LIMIT:
             _WORKER_ARTIFACTS.popitem(last=False)
     else:
         _WORKER_ARTIFACTS.move_to_end(memo_key)
     artifact = entry[0]
-    if want_segments and entry[1] is None:
-        entry[1] = list(segment_stream(artifact.stream()))
-    return artifact, entry[1] if want_segments else None, entry[2]
+    if not want_segments:
+        return artifact, None, None
+    if entry[1] is None:
+        entry[1] = artifact.segments()
+        entry[2] = ColdPlanCache(entry[1])
+    return artifact, entry[1], entry[2]
 
 
 def simulate_task(
@@ -420,6 +501,7 @@ def simulate_task(
     app_name: str,
     length: int,
     sampling: SamplingConfig | None = None,
+    backend: ExecutionBackend = ExecutionBackend.SCALAR,
 ) -> dict:
     """Worker entry point: run one grid cell, return its serialized result.
 
@@ -430,8 +512,10 @@ def simulate_task(
     extrapolated result.  The simulator and application handle come from
     the worker-local memos, so a reused worker never rebuilds them.
     """
-    result = _worker_simulator(model_name).run(
-        _worker_application(app_name), length, sampling=sampling
+    result = _worker_simulator(model_name).simulate(
+        _worker_application(app_name),
+        RunOptions(sampling=sampling, backend=backend),
+        length=length,
     )
     return result.to_dict()
 
@@ -442,6 +526,7 @@ def simulate_chunk(
     sampling: SamplingConfig | None = None,
     artifact_root: str | None = None,
     task_fn: Callable[..., dict] | None = None,
+    backend: ExecutionBackend = ExecutionBackend.SCALAR,
 ) -> dict:
     """Worker entry point: run a chunk of grid cells in one pool call.
 
@@ -469,7 +554,7 @@ def simulate_chunk(
     if artifact_root is None:
         return {
             "results": [
-                simulate_task(model, app, length, sampling)
+                simulate_task(model, app, length, sampling, backend)
                 for model, app in cells
             ],
             "artifact_hits": 0,
@@ -479,17 +564,15 @@ def simulate_chunk(
     hits0, compiles0 = cache.hits, cache.compiles
     results = []
     for model_name, app_name in cells:
-        artifact, segments, plans = _worker_artifact(
+        artifact, segments, plan_cache = _worker_artifact(
             cache, app_name, length, want_segments=sampling is None
         )
-        simulator = _worker_simulator(model_name)
-        cold_plans = (
-            plans.setdefault(simulator.config.fetch, {})
-            if segments is not None else None
-        )
-        result = simulator.run_artifact(
-            artifact, sampling=sampling, segments=segments,
-            cold_plans=cold_plans,
+        result = _worker_simulator(model_name).simulate(
+            artifact,
+            RunOptions(
+                sampling=sampling, backend=backend,
+                segments=segments, cold_plans=plan_cache,
+            ),
         )
         results.append(result.to_dict())
     return {
@@ -537,6 +620,7 @@ class ExperimentEngine:
         sampling: SamplingConfig | None = None,
         artifacts: bool = True,
         artifact_root: str | Path | None = None,
+        backend: ExecutionBackend = ExecutionBackend.SCALAR,
     ):
         if timeout is None:
             raw = os.environ.get(ENV_TIMEOUT, "").strip()
@@ -549,6 +633,7 @@ class ExperimentEngine:
         self.task_fn = task_fn
         self.mp_context = mp_context
         self.sampling = sampling
+        self.backend = backend
         self.artifact_cache = ArtifactCache(artifact_root) if artifacts else None
         self.simulations_run = 0
         self._simulators: dict[str, ParrotSimulator] = {}
@@ -646,23 +731,24 @@ class ExperimentEngine:
 
     def _serial_artifact(
         self, app_name: str
-    ) -> tuple[TraceArtifact, list | None, dict]:
+    ) -> tuple[TraceArtifact, list | None, ColdPlanCache | None]:
         """In-process analogue of the worker artifact memo (LRU of 2)."""
         entry = self._artifact_memo.get(app_name)
         if entry is None:
             artifact = self.artifact_cache.get_or_compile(
                 application(app_name), self.length
             )
-            entry = [artifact, None, {}]
+            entry = [artifact, None, None]
             self._artifact_memo[app_name] = entry
             while len(self._artifact_memo) > _WORKER_ARTIFACT_LIMIT:
                 self._artifact_memo.popitem(last=False)
         else:
             self._artifact_memo.move_to_end(app_name)
         if self.sampling is not None:
-            return entry[0], None, entry[2]
+            return entry[0], None, None
         if entry[1] is None:
-            entry[1] = list(segment_stream(entry[0].stream()))
+            entry[1] = entry[0].segments()
+            entry[2] = ColdPlanCache(entry[1])
         return entry[0], entry[1], entry[2]
 
     def _run_serial(
@@ -681,24 +767,28 @@ class ExperimentEngine:
         )
         results: dict[Task, SimulationResult] = {}
         for app_name, model_names in by_app.items():
-            artifact = segments = plans = None
+            artifact = segments = plan_cache = None
             if use_artifacts:
-                artifact, segments, plans = self._serial_artifact(app_name)
+                artifact, segments, plan_cache = self._serial_artifact(
+                    app_name
+                )
             for model_name in model_names:
                 simulator = self._simulator(model_name)
                 if artifact is not None:
-                    cold_plans = (
-                        plans.setdefault(simulator.config.fetch, {})
-                        if segments is not None else None
-                    )
-                    result = simulator.run_artifact(
-                        artifact, sampling=self.sampling, segments=segments,
-                        cold_plans=cold_plans,
+                    result = simulator.simulate(
+                        artifact,
+                        RunOptions(
+                            sampling=self.sampling, backend=self.backend,
+                            segments=segments, cold_plans=plan_cache,
+                        ),
                     )
                 else:
-                    result = simulator.run(
-                        application(app_name), self.length,
-                        sampling=self.sampling,
+                    result = simulator.simulate(
+                        application(app_name),
+                        RunOptions(
+                            sampling=self.sampling, backend=self.backend,
+                        ),
+                        length=self.length,
                     )
                 results[(model_name, app_name)] = result
                 self.simulations_run += 1
@@ -786,6 +876,7 @@ class ExperimentEngine:
                 pool.submit(
                     simulate_chunk, chunk, self.length, self.sampling,
                     artifact_root=root, task_fn=custom,
+                    backend=self.backend,
                 ): chunk
                 for chunk in chunks
             }

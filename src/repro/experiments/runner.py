@@ -32,6 +32,7 @@ from repro.experiments.engine import (
     ResultStore,
     Scale,
 )
+from repro.pipeline.columnar import ExecutionBackend
 from repro.sampling.config import SamplingConfig
 from repro.workloads.suite import Application, application, benchmark_suite
 
@@ -70,10 +71,11 @@ class ExperimentRunner:
     every run to sampled simulation (keyed separately in the store);
     ``artifacts=False`` disables the compiled-trace-artifact fast path
     (``artifact_dir`` overrides where artifacts live, default beside the
-    result store).  The default construction — serial, no disk store,
-    full detail — behaves exactly like the historical in-process runner
-    apart from the artifact fast path, which is bit-identical by
-    construction.
+    result store); ``backend`` selects the batch executor (scalar
+    reference or its bit-identical columnar twin).  The default
+    construction — serial, no disk store, full detail — behaves exactly
+    like the historical in-process runner apart from the artifact fast
+    path, which is bit-identical by construction.
     """
 
     length: int = DEFAULT_LENGTH
@@ -86,6 +88,7 @@ class ExperimentRunner:
     sampling: SamplingConfig | None = None
     artifacts: bool = True
     artifact_dir: str | Path | None = None
+    backend: ExecutionBackend = ExecutionBackend.SCALAR
     _memo: dict[tuple[str, str], SimulationResult] = field(
         default_factory=dict, repr=False
     )
@@ -102,6 +105,7 @@ class ExperimentRunner:
             sampling=self.sampling,
             artifacts=self.artifacts,
             artifact_root=self.artifact_dir,
+            backend=self.backend,
         )
 
     @classmethod
@@ -114,6 +118,7 @@ class ExperimentRunner:
             cache=scale.cache,
             sampling=scale.sampling,
             artifacts=scale.artifacts,
+            backend=scale.backend,
             **kwargs,
         )
 

@@ -185,6 +185,11 @@ class TimingCore:
 
     def set_profile(self, profile: ExecProfile) -> None:
         """Switch execution widths (split-core machines switch per pipeline)."""
+        # Non-split machines hand the same profile object to both pipeline
+        # selectors, making most switches no-ops; skipping them avoids
+        # rebuilding the per-FU issue triples once per segment.
+        if getattr(self, "profile", None) is profile:
+            return
         self.profile = profile
         # Width caches: switches are per-segment at most, reads are per-uop.
         self._rename_width = profile.rename_width

@@ -20,8 +20,9 @@ import pstats
 import time
 from dataclasses import dataclass, field
 
-from repro.core.simulator import ParrotSimulator
+from repro.core.simulator import ParrotSimulator, RunOptions
 from repro.models.configs import model_config
+from repro.pipeline.columnar import ExecutionBackend
 from repro.workloads.suite import application
 
 #: Ordered (phase, path fragments) buckets; first match wins.  Paths are
@@ -30,6 +31,7 @@ from repro.workloads.suite import application
 _PHASE_BUCKETS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("walk", ("workloads/stream", "workloads/behaviors", "random.py")),
     ("select", ("trace/selection", "trace/tid")),
+    ("columnar", ("pipeline/columnar",)),
     ("execute", ("pipeline/core", "pipeline/resources")),
     ("memory", ("memory/",)),
     ("frontend", ("frontend/",)),
@@ -128,20 +130,26 @@ def attribute_phases(stats: pstats.Stats) -> dict[str, float]:
 
 
 def profile_run(
-    app_name: str, model_name: str, length: int = 20_000
+    app_name: str,
+    model_name: str,
+    length: int = 20_000,
+    backend: ExecutionBackend = ExecutionBackend.SCALAR,
 ) -> ProfileReport:
     """Profile one simulation and attribute its time to phases.
 
     The simulator is constructed outside the profiled region (model
     configuration is one-time setup, not hot-path), so the report isolates
-    the per-run cost the optimization work targets.
+    the per-run cost the optimization work targets.  ``backend`` selects
+    the batch executor; columnar runs surface their executor time under
+    the ``columnar`` phase.
     """
     app = application(app_name)
     simulator = ParrotSimulator(model_config(model_name))
+    options = RunOptions(backend=backend)
     profiler = cProfile.Profile()
     start = time.perf_counter()
     profiler.enable()
-    result = simulator.run(app, length)
+    result = simulator.simulate(app, options, length=length)
     profiler.disable()
     elapsed = time.perf_counter() - start
     stats = pstats.Stats(profiler)

@@ -47,6 +47,11 @@ class Trace:
     #: and replayed on every later one (uops are immutable once the trace
     #: is installed; the optimizer installs a *new* Trace, resetting this).
     _hot_plan: tuple | None = field(default=None, repr=False, compare=False)
+    #: Columnar twin of ``_hot_plan`` (see ``repro.pipeline.columnar``),
+    #: compiled lazily when the owning machine runs the columnar backend.
+    _hot_plan_columnar: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
     #: Indices of CTI instructions within the trace's instruction span,
     #: cached for the retire-time branch-predictor training loop.
     _cti_indices: tuple | None = field(default=None, repr=False, compare=False)

@@ -11,8 +11,8 @@ the generating program:
     >>> wl = application("swim").build()
     >>> capture_trace(wl.stream(100_000), "swim.trace.npz")
     >>> trace = TraceFile.load("swim.trace.npz")
-    >>> result = ParrotSimulator(config).run_stream(
-    ...     trace.stream(), app_name="swim", program=None)
+    >>> result = ParrotSimulator(config).simulate(
+    ...     trace.stream(), app_name="swim")
 
 A trace file is self-contained: it stores the static image of every
 *executed* instruction (addresses, lengths, classes, complete uop
@@ -423,7 +423,7 @@ class TraceArtifact:
     __slots__ = (
         "path", "app_name", "suite", "seed", "length",
         "instructions", "prewarm_code", "prewarm_data",
-        "_dyn", "_cols", "_warm",
+        "_dyn", "_cols", "_warm", "_segments",
     )
 
     def __init__(self, path, *, app_name, suite, seed, length,
@@ -439,6 +439,7 @@ class TraceArtifact:
         self._dyn = dyn
         self._cols = None
         self._warm = None
+        self._segments = None
 
     @classmethod
     def load(cls, directory: str | pathlib.Path) -> "TraceArtifact":
@@ -513,6 +514,23 @@ class TraceArtifact:
     def stream(self, limit: int | None = None) -> InstructionStream:
         """Replay the artifact as an :class:`InstructionStream`."""
         return InstructionStream.from_artifact(self, limit)
+
+    def segments(self) -> list:
+        """The full record pre-partitioned into trace-shaped segments.
+
+        Segmentation depends only on the recorded stream (never on the
+        simulated machine), so the partition is computed once per loaded
+        artifact and shared by every simulator replaying it — the
+        cross-model amortization the engine's worker memos rely on.  The
+        returned list's *identity* doubles as the segment-list fingerprint
+        for :class:`~repro.core.simulator.ColdPlanCache`.  Callers must
+        not mutate it.
+        """
+        if self._segments is None:
+            from repro.core.simulator import segment_stream
+
+            self._segments = list(segment_stream(self.stream()))
+        return self._segments
 
 
 def compile_artifact(

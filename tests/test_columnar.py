@@ -1,0 +1,137 @@
+"""Columnar execution backend: bit-identity with the scalar reference.
+
+The columnar executors (:mod:`repro.pipeline.columnar`) replay
+column-compiled plans instead of per-uop row tuples; their contract is
+exact agreement with the scalar batch executors, which are themselves
+pinned against the golden results in ``tests/golden/``.  These tests pin
+the columnar backend directly against those goldens, against the scalar
+backend across machine models (including the split-pipeline and
+wide-fetch shapes), and across the artifact and sampled regimes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.simulator import ColdPlanCache, ParrotSimulator, RunOptions
+from repro.isa.opcodes import FuClass
+from repro.isa.registers import NUM_ARCH_REGS, REG_NONE
+from repro.models.configs import model_config
+from repro.pipeline.columnar import ExecutionBackend, _dependency_links
+from repro.sampling.config import SamplingConfig
+from repro.workloads.suite import application
+from repro.workloads.tracefile import compile_artifact
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The same pinned runs the scalar parity gate uses.
+PARITY_RUNS = [
+    ("swim", "TON", 4000),
+    ("gcc", "N", 4000),
+    ("eon", "TOW", 4000),
+]
+
+COLUMNAR = RunOptions(backend=ExecutionBackend.COLUMNAR)
+
+
+def _simulate(app_name: str, model_name: str, length: int,
+              options: RunOptions) -> dict:
+    simulator = ParrotSimulator(model_config(model_name))
+    result = simulator.simulate(
+        application(app_name), options, length=length
+    )
+    return result.to_dict()
+
+
+@pytest.mark.parametrize("app_name,model_name,length", PARITY_RUNS)
+def test_columnar_matches_golden(app_name, model_name, length):
+    """The columnar backend reproduces the scalar goldens bit-for-bit."""
+    golden_path = GOLDEN_DIR / f"{app_name}_{model_name}_{length}.json"
+    golden = json.loads(golden_path.read_text())
+    produced = json.loads(
+        json.dumps(_simulate(app_name, model_name, length, COLUMNAR))
+    )
+    assert produced == golden, (
+        f"columnar run of {app_name}/{model_name}/{length} diverged from "
+        f"the golden result — the backends must stay bit-identical"
+    )
+
+
+@pytest.mark.parametrize("app_name,model_name", [
+    ("gzip", "TOS"),   # split pipeline: state switches between cores
+    ("swim", "W"),     # wide baseline, no trace unit at all
+    ("mesa", "TN"),    # narrow trace machine, no optimizer
+])
+def test_columnar_matches_scalar_across_models(app_name, model_name):
+    scalar = _simulate(app_name, model_name, 3000, RunOptions())
+    columnar = _simulate(app_name, model_name, 3000, COLUMNAR)
+    assert columnar == scalar
+
+
+def test_columnar_matches_scalar_sampled():
+    sampling = SamplingConfig(detail=500, gap=1500, warmup=300,
+                              func_warm=500)
+    scalar = _simulate("swim", "TON", 20_000, RunOptions(sampling=sampling))
+    columnar = _simulate(
+        "swim", "TON", 20_000,
+        RunOptions(sampling=sampling, backend=ExecutionBackend.COLUMNAR),
+    )
+    assert columnar == scalar
+
+
+def test_columnar_artifact_with_shared_caches(tmp_path):
+    """Artifact + shared segments + ColdPlanCache replay, both backends.
+
+    Two models with equal fetch parameters share one cache across both
+    backends; every combination must match the generator-path scalar run.
+    """
+    app = application("gcc")
+    artifact = compile_artifact(app, app.seed, 3000, root=tmp_path)
+    segments = artifact.segments()
+    cache = ColdPlanCache(segments)
+    for model_name in ("N", "TON"):
+        reference = _simulate(model_name=model_name, app_name="gcc",
+                              length=3000, options=RunOptions())
+        for backend in (ExecutionBackend.SCALAR, ExecutionBackend.COLUMNAR):
+            result = ParrotSimulator(model_config(model_name)).simulate(
+                artifact,
+                RunOptions(backend=backend, segments=segments,
+                           cold_plans=cache),
+            )
+            assert result.to_dict() == reference
+
+
+class TestDependencyLinks:
+    """The compile-time wake-up resolution the replay loops rely on."""
+
+    @staticmethod
+    def _row(src1=REG_NONE, src2=REG_NONE, extra=(), dest=REG_NONE,
+             dest2=REG_NONE):
+        return (FuClass.INT, 1, src1, src2, tuple(extra), dest, dest2,
+                0, 0)
+
+    def test_in_segment_producers_and_carried_reads(self):
+        rows = [
+            self._row(dest=3),            # uop 0 writes r3
+            self._row(src1=3, src2=4),    # uop 1: r3 in-segment, r4 carried
+        ]
+        producers, carried, last_writers = _dependency_links(rows)
+        assert producers == [None, (0,)]
+        assert carried == [None, (4,)]
+        assert dict(last_writers) == {3: 1 - 1}
+
+    def test_last_writer_wins(self):
+        rows = [self._row(dest=5), self._row(dest=5)]
+        _producers, _carried, last_writers = _dependency_links(rows)
+        assert dict(last_writers) == {5: 1}
+
+    def test_negative_extra_sources_alias_like_the_scalar_loop(self):
+        # The scalar executor reads ``reg_ready[src]`` unguarded for
+        # packed extra sources, so REG_NONE (-1) wraps to the register
+        # file's last cell in CPython; the links must alias identically.
+        rows = [self._row(extra=(REG_NONE,))]
+        _producers, carried, _last_writers = _dependency_links(rows)
+        assert carried == [(REG_NONE + NUM_ARCH_REGS,)]

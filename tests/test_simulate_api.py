@@ -1,0 +1,298 @@
+"""The simulate()/RunOptions API: parity with the legacy entry points.
+
+``ParrotSimulator.simulate`` is the one non-deprecated run entry point;
+the four historical methods (``run``/``run_sampled``/``run_stream``/
+``run_artifact``) are thin shims over it.  These tests pin three
+contracts:
+
+* every legacy call shape produces the bit-identical result through
+  ``simulate`` — for all three source types and both execution backends;
+* the legacy methods warn ``DeprecationWarning`` (they still work);
+* validation is unified in ``simulate`` and raises
+  :class:`~repro.errors.SimulationError` naming the offending source.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.simulator import (
+    ColdPlanCache,
+    ParrotSimulator,
+    RunOptions,
+    SampledRun,
+    segment_stream,
+)
+from repro.errors import SimulationError
+from repro.experiments.engine import parse_backend, resolve_run_options, run_key
+from repro.models.configs import model_config
+from repro.pipeline.columnar import ExecutionBackend
+from repro.sampling.config import SamplingConfig
+from repro.workloads.suite import application
+from repro.workloads.tracefile import compile_artifact
+
+LENGTH = 2000
+
+
+def _legacy(method, *args, **kwargs):
+    """Call a deprecated entry point with its warning silenced."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return method(*args, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    app = application("gzip")
+    root = tmp_path_factory.mktemp("artifacts")
+    return compile_artifact(app, app.seed, LENGTH, root=root)
+
+
+class TestLegacyParity:
+    """simulate() is bit-identical to each legacy path it replaces."""
+
+    @pytest.mark.parametrize(
+        "backend", [ExecutionBackend.SCALAR, ExecutionBackend.COLUMNAR]
+    )
+    def test_application_source_matches_run(self, backend):
+        app = application("swim")
+        legacy = _legacy(
+            ParrotSimulator(model_config("TON")).run, app, LENGTH
+        )
+        unified = ParrotSimulator(model_config("TON")).simulate(
+            app, RunOptions(backend=backend), length=LENGTH
+        )
+        assert unified.to_dict() == legacy.to_dict()
+
+    @pytest.mark.parametrize(
+        "backend", [ExecutionBackend.SCALAR, ExecutionBackend.COLUMNAR]
+    )
+    def test_stream_source_matches_run_stream(self, backend):
+        workload = application("gcc").build()
+        legacy = _legacy(
+            ParrotSimulator(model_config("N")).run_stream,
+            workload.stream(LENGTH),
+            app_name="gcc", suite="SpecInt", program=workload.program,
+        )
+        workload = application("gcc").build()
+        unified = ParrotSimulator(model_config("N")).simulate(
+            workload.stream(LENGTH), RunOptions(backend=backend),
+            app_name="gcc", suite="SpecInt", program=workload.program,
+        )
+        assert unified.to_dict() == legacy.to_dict()
+
+    @pytest.mark.parametrize(
+        "backend", [ExecutionBackend.SCALAR, ExecutionBackend.COLUMNAR]
+    )
+    def test_artifact_source_matches_run_artifact(self, artifact, backend):
+        legacy = _legacy(
+            ParrotSimulator(model_config("TON")).run_artifact, artifact
+        )
+        unified = ParrotSimulator(model_config("TON")).simulate(
+            artifact, RunOptions(backend=backend)
+        )
+        assert unified.to_dict() == legacy.to_dict()
+
+    def test_artifact_shared_caches_match_private_ones(self, artifact):
+        segments = artifact.segments()
+        cache = ColdPlanCache(segments)
+        private = ParrotSimulator(model_config("TON")).simulate(artifact)
+        shared = ParrotSimulator(model_config("TON")).simulate(
+            artifact, RunOptions(segments=segments, cold_plans=cache)
+        )
+        assert shared.to_dict() == private.to_dict()
+
+    def test_sampled_matches_run_sampled(self):
+        app = application("swim")
+        sampling = SamplingConfig(detail=400, gap=1000, warmup=200,
+                                  func_warm=300)
+        legacy = _legacy(
+            ParrotSimulator(model_config("TON")).run_sampled,
+            app, 8000, sampling=sampling,
+        )
+        unified = ParrotSimulator(model_config("TON")).simulate(
+            app, RunOptions(sampling=sampling, estimate=True), length=8000
+        )
+        assert isinstance(unified, SampledRun)
+        assert unified.result.to_dict() == legacy.result.to_dict()
+        assert unified.estimate.ipc.mean == legacy.estimate.ipc.mean
+
+    def test_sampling_without_estimate_returns_bare_result(self):
+        app = application("swim")
+        sampling = SamplingConfig(detail=400, gap=1000, warmup=200,
+                                  func_warm=300)
+        result = ParrotSimulator(model_config("TON")).simulate(
+            app, RunOptions(sampling=sampling), length=8000
+        )
+        sampled = ParrotSimulator(model_config("TON")).simulate(
+            app, RunOptions(sampling=sampling, estimate=True), length=8000
+        )
+        assert result.to_dict() == sampled.result.to_dict()
+
+
+class TestDeprecationShims:
+    def test_run_warns(self):
+        with pytest.deprecated_call(match="run\\(\\) is deprecated"):
+            ParrotSimulator(model_config("N")).run(
+                application("gzip"), 1000
+            )
+
+    def test_run_sampled_warns(self):
+        with pytest.deprecated_call(match="run_sampled\\(\\) is deprecated"):
+            ParrotSimulator(model_config("N")).run_sampled(
+                application("gzip"), 6000,
+                sampling=SamplingConfig(detail=400, gap=1000, warmup=200,
+                                        func_warm=300),
+            )
+
+    def test_run_stream_warns(self):
+        workload = application("gzip").build()
+        with pytest.deprecated_call(match="run_stream\\(\\) is deprecated"):
+            ParrotSimulator(model_config("N")).run_stream(
+                workload.stream(1000), app_name="gzip"
+            )
+
+    def test_run_artifact_warns(self, artifact):
+        with pytest.deprecated_call(match="run_artifact\\(\\) is deprecated"):
+            ParrotSimulator(model_config("N")).run_artifact(artifact)
+
+
+class TestUnifiedValidation:
+    """simulate() raises SimulationError naming the offending source."""
+
+    def test_application_requires_length(self):
+        with pytest.raises(SimulationError, match="simulate\\(swim\\).*length"):
+            ParrotSimulator(model_config("N")).simulate(application("swim"))
+
+    def test_application_rejects_non_positive_length(self):
+        with pytest.raises(SimulationError, match="simulate\\(swim\\).*0"):
+            ParrotSimulator(model_config("N")).simulate(
+                application("swim"), length=0
+            )
+
+    def test_application_rejects_stream_kwargs(self):
+        with pytest.raises(SimulationError,
+                           match="simulate\\(swim\\).*InstructionStream"):
+            ParrotSimulator(model_config("N")).simulate(
+                application("swim"), length=1000, app_name="other"
+            )
+
+    def test_application_rejects_shared_caches(self):
+        with pytest.raises(SimulationError,
+                           match="simulate\\(swim\\).*artifact runs only"):
+            ParrotSimulator(model_config("N")).simulate(
+                application("swim"), RunOptions(segments=[]), length=1000
+            )
+
+    def test_artifact_rejects_explicit_length(self, artifact):
+        with pytest.raises(SimulationError,
+                           match="gzip artifact.*its own length"):
+            ParrotSimulator(model_config("N")).simulate(artifact, length=500)
+
+    def test_sampled_stream_requires_length(self):
+        workload = application("gzip").build()
+        with pytest.raises(SimulationError,
+                           match="custom stream.*explicit length"):
+            ParrotSimulator(model_config("N")).simulate(
+                workload.stream(1000),
+                RunOptions(sampling=SamplingConfig()),
+            )
+
+    def test_unknown_source_type_is_named(self):
+        with pytest.raises(SimulationError, match="cannot run a str"):
+            ParrotSimulator(model_config("N")).simulate("swim", length=1000)
+
+    def test_cold_plan_cache_requires_matching_segments(self, artifact):
+        segments = artifact.segments()
+        foreign = list(segment_stream(artifact.stream()))
+        cache = ColdPlanCache(foreign)
+        with pytest.raises(SimulationError, match="different segment list"):
+            ParrotSimulator(model_config("N")).simulate(
+                artifact, RunOptions(segments=segments, cold_plans=cache)
+            )
+
+    def test_cold_plan_cache_requires_segments_alongside(self, artifact):
+        cache = ColdPlanCache(artifact.segments())
+        with pytest.raises(SimulationError, match="matching segments"):
+            ParrotSimulator(model_config("N")).simulate(
+                artifact, RunOptions(cold_plans=cache)
+            )
+
+    def test_bare_dict_cold_plans_are_scalar_only(self, artifact):
+        segments = artifact.segments()
+        options = RunOptions(
+            segments=segments, cold_plans={},
+            backend=ExecutionBackend.COLUMNAR,
+        )
+        with pytest.raises(SimulationError, match="scalar-only"):
+            ParrotSimulator(model_config("N")).simulate(artifact, options)
+        # The deprecated bare-dict contract still works on the scalar path.
+        scalar = ParrotSimulator(model_config("N")).simulate(
+            artifact, RunOptions(segments=segments, cold_plans={})
+        )
+        assert scalar.instructions == LENGTH
+
+
+class TestRunOptionsKeys:
+    """RunOptions round-trips into the persistent store's run keys."""
+
+    def test_run_key_accepts_options_or_sampling(self):
+        config = model_config("TON")
+        sampling = SamplingConfig()
+        assert run_key(config, "swim", 2000, RunOptions()) == run_key(
+            config, "swim", 2000
+        )
+        assert run_key(
+            config, "swim", 2000, RunOptions(sampling=sampling)
+        ) == run_key(config, "swim", 2000, sampling)
+
+    def test_backend_never_splits_the_key(self):
+        # Scalar and columnar are pinned bit-identical, so either backend
+        # may serve a stored cell: the key must not depend on it.
+        config = model_config("TON")
+        assert run_key(
+            config, "swim", 2000,
+            RunOptions(backend=ExecutionBackend.COLUMNAR),
+        ) == run_key(config, "swim", 2000, RunOptions())
+
+    def test_prewarm_splits_the_key(self):
+        # Prewarming changes results, so it must key separately.
+        config = model_config("TON")
+        assert run_key(
+            config, "swim", 2000, RunOptions(prewarm=False)
+        ) != run_key(config, "swim", 2000, RunOptions())
+
+    def test_fingerprint_covers_regime_fields(self):
+        base = RunOptions()
+        assert base.fingerprint() == "sampling=off|prewarm=1|backend=scalar"
+        varied = [
+            RunOptions(sampling=SamplingConfig()),
+            RunOptions(prewarm=False),
+            RunOptions(backend=ExecutionBackend.COLUMNAR),
+        ]
+        prints = {options.fingerprint() for options in varied}
+        assert len(prints) == 3 and base.fingerprint() not in prints
+
+
+class TestBackendParsing:
+    def test_parse_backend(self):
+        assert parse_backend(None) is ExecutionBackend.SCALAR
+        assert parse_backend("") is ExecutionBackend.SCALAR
+        assert parse_backend("scalar") is ExecutionBackend.SCALAR
+        assert parse_backend("COLUMNAR") is ExecutionBackend.COLUMNAR
+
+    def test_parse_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            parse_backend("vectorised")
+
+    def test_resolve_run_options_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "columnar")
+        monkeypatch.setenv("REPRO_BENCH_SAMPLING", "on")
+        options = resolve_run_options()
+        assert options.backend is ExecutionBackend.COLUMNAR
+        assert options.sampling == SamplingConfig()
+        # Explicit specs win over the environment.
+        explicit = resolve_run_options("off", "scalar")
+        assert explicit == RunOptions()

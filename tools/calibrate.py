@@ -35,7 +35,9 @@ def main() -> None:
     for model_name in models:
         sim = ParrotSimulator(model_config(model_name))
         for app in apps:
-            results[model_name][app.name] = sim.run(app, args.length)
+            results[model_name][app.name] = sim.simulate(
+                app, length=args.length
+            )
     print(f"ran {len(models)}x{len(apps)} in {time.time()-t0:.0f}s\n")
 
     def ratio(model, base, metric):

@@ -18,6 +18,7 @@ import argparse
 import time
 
 from repro.core import ParrotSimulator
+from repro.core.simulator import RunOptions
 from repro.models import model_config
 from repro.sampling import SamplingConfig
 from repro.workloads import application
@@ -50,10 +51,13 @@ def main() -> None:
         full_times, sampled_times = [], []
         for _ in range(args.repeat):
             t0 = time.perf_counter()
-            full = sim.run(app, args.length)
+            full = sim.simulate(app, length=args.length)
             full_times.append(time.perf_counter() - t0)
             t0 = time.perf_counter()
-            sampled = sim.run_sampled(app, args.length, sampling=sampling)
+            sampled = sim.simulate(
+                app, RunOptions(sampling=sampling, estimate=True),
+                length=args.length,
+            )
             sampled_times.append(time.perf_counter() - t0)
         estimate = sampled.estimate
 
