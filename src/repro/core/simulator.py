@@ -25,11 +25,15 @@ Two simulation regimes share this machinery:
 * **full detail** (the default): every instruction of the stream runs on
   the timing core — bit-identical to the historical simulator, pinned by
   the parity goldens;
-* **sampled** (:meth:`ParrotSimulator.run_sampled`): short detailed
-  intervals alternate with cheap fast-forward gaps; functional warmup
+* **sampled** (``RunOptions(sampling=...)``): short detailed intervals
+  alternate with cheap fast-forward gaps; functional warmup
   re-establishes cache/predictor/trace state before each interval, and the
   per-interval measurements aggregate into population estimates with
-  confidence intervals.
+  confidence intervals.  With ``mode="adaptive"``, each period's
+  fast-forward lead additionally collects a phase signature
+  (:mod:`repro.sampling.phases`) and recurring phases reuse their
+  existing measurements instead of spending another detailed interval —
+  detail is budgeted by confidence targets, not by period count.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ from dataclasses import dataclass
 from repro.core.background import BackgroundProcessor
 from repro.core.config import MachineConfig
 from repro.core.results import SimulationResult, TraceUnitStats
-from repro.errors import SimulationError
+from repro.errors import SamplingWarning, SimulationError
 from repro.frontend.branch_predictor import BranchPredictor
 from repro.frontend.fetch import FetchParams, plan_cold_groups, trace_fetch_cycles
 from repro.frontend.trace_predictor import TracePredictor
@@ -63,6 +67,11 @@ from repro.sampling.estimator import (
     IntervalMeasurement,
     SampledEstimate,
     build_estimate,
+)
+from repro.sampling.phases import (
+    PhaseClassifier,
+    PhaseSignature,
+    PhaseTracker,
 )
 from repro.sampling.scheduler import Interval, plan_intervals
 from repro.sampling.warmup import WarmupPolicy
@@ -825,6 +834,12 @@ class ParrotSimulator:
         prewarm: tuple | None = None,
         backend: ExecutionBackend = ExecutionBackend.SCALAR,
     ) -> SampledRun:
+        if sampling is not None and sampling.mode == "adaptive":
+            return self._run_adaptive(
+                stream, length, sampling,
+                app_name=app_name, suite=suite, prewarm=prewarm,
+                backend=backend,
+            )
         machine = self._assemble(
             app_name=app_name, suite=suite, prewarm=prewarm, backend=backend,
         )
@@ -909,6 +924,201 @@ class ParrotSimulator:
         )
         return SampledRun(result=result, estimate=estimate)
 
+    def _run_adaptive(
+        self,
+        stream: InstructionStream,
+        length: int,
+        sampling: SamplingConfig,
+        *,
+        app_name: str,
+        suite: str,
+        prewarm: tuple | None = None,
+        backend: ExecutionBackend = ExecutionBackend.SCALAR,
+    ) -> SampledRun:
+        """Phase-aware sampled run: detail only where the phase needs it.
+
+        Every sampling period fast-forwards its lead while profiling the
+        branch-target signature of the skipped instructions; the signature
+        classifies the period into a phase.  A phase whose confidence
+        targets are already met plain-skips the rest of the period (warmup
+        and detail included) and *reuses* its existing measurements; an
+        open phase pays the usual functional-warmup + detailed interval
+        and records a fresh sample.  Per-phase measurements combine by
+        stratified estimation (period counts are the strata weights), and
+        extrapolation scales each phase's events by its own period share.
+        """
+        periods = length // sampling.period
+        if periods < sampling.min_intervals:
+            warnings.warn(
+                f"adaptive sampling of {app_name}: only {periods} full "
+                f"sampling periods fit in {length} instructions "
+                f"(minimum {sampling.min_intervals}); falling back to "
+                f"fixed-interval sampling",
+                SamplingWarning,
+                stacklevel=2,
+            )
+            return self._run_sampled(
+                stream, length, sampling.as_fixed(),
+                app_name=app_name, suite=suite, prewarm=prewarm,
+                backend=backend,
+            )
+
+        machine = self._assemble(
+            app_name=app_name, suite=suite, prewarm=prewarm, backend=backend,
+        )
+        model = self._energy_model()
+        warmup_policy = WarmupPolicy(
+            machine.hierarchy, machine.bpred, machine.tpred,
+            machine.background, machine.core,
+        )
+        classifier = PhaseClassifier(
+            threshold=sampling.phase_threshold,
+            max_phases=sampling.max_phases,
+        )
+        tracker = PhaseTracker(
+            confidence=sampling.confidence,
+            ipc_target=sampling.ipc_target,
+            epi_target=sampling.epi_target,
+            min_phase_intervals=sampling.min_phase_intervals,
+            phase_refresh=sampling.phase_refresh,
+        )
+
+        # Period layout mirrors the fixed planner: the profiled lead is
+        # the plain-skip prefix of the gap, and the reuse window is what a
+        # closed phase may skip wholesale (functional-warm tail + warmup +
+        # detail).  ``plan_intervals`` guarantees gap >= warmup; the lead
+        # can still be zero when func_warm fills the remainder, in which
+        # case every period classifies from an empty signature (one phase).
+        funcwarm = min(sampling.func_warm, sampling.gap - sampling.warmup)
+        lead = sampling.gap - sampling.warmup - funcwarm
+        reuse_window = funcwarm + sampling.warmup + sampling.detail
+
+        # Per-phase measurement cohorts, parallel to the tracker's
+        # coverage counts: cohorts[phase][i] = (events, cycles,
+        # instructions) of the phase's i-th detailed interval.  Each
+        # cohort extrapolates by its own coverage (itself + the reuses it
+        # served), so a drifting phase's early samples do not out-weigh
+        # the periods they actually stood for.
+        cohorts: dict[int, list[tuple[EventCounts, float, int]]] = {}
+        measured_instructions = 0
+        measured_cycles = 0.0
+
+        for _ in range(periods):
+            profile: dict[int, int] = {}
+            if lead:
+                stream.skip(lead, profile=profile)
+            phase = classifier.classify(PhaseSignature.from_profile(profile))
+            tracker.observe(phase)
+            if not tracker.needs_detail(phase):
+                stream.skip(reuse_window)
+                tracker.reuse(phase)
+                continue
+            cpi = (
+                measured_cycles / measured_instructions
+                if measured_instructions
+                else 1.0
+            )
+            if funcwarm:
+                warmup_policy.functional_skip(stream, funcwarm)
+            selector = TraceSelector()
+            if sampling.warmup:
+                warmup_policy.warm(stream, sampling.warmup, selector, cpi)
+            before = self._interval_snapshot(machine)
+            self._execute_segments(
+                machine, segment_stream(stream, sampling.detail, selector)
+            )
+            after = self._interval_snapshot(machine)
+            delta, instructions, cycles = self._interval_delta(before, after)
+            if not instructions:
+                continue
+            cohorts.setdefault(phase, []).append(
+                (delta, cycles, instructions)
+            )
+            measured_instructions += instructions
+            measured_cycles += cycles
+            tracker.record(phase, IntervalMeasurement(
+                instructions=instructions,
+                cycles=cycles,
+                energy=model.evaluate(delta, cycles).total,
+            ))
+
+        machine.core.check_invariants()
+        if not measured_instructions:
+            raise SimulationError(
+                f"adaptive sampled run of {app_name} measured no "
+                f"instructions (length={length}, {periods} periods)"
+            )
+        if not tracker.reused:
+            warnings.warn(
+                f"adaptive sampling of {app_name}: no phase recurrence was "
+                f"reusable within {periods} periods "
+                f"({len(tracker.phases())} phases observed); the run "
+                f"degraded to fixed-interval behaviour",
+                SamplingWarning,
+                stacklevel=2,
+            )
+        else:
+            open_phases = tracker.open_phases()
+            if open_phases:
+                warnings.warn(
+                    f"adaptive sampling of {app_name}: "
+                    f"{len(open_phases)} of {len(tracker.phases())} phases "
+                    f"ended with confidence targets unmet "
+                    f"(ipc<={sampling.ipc_target:g}, "
+                    f"epi<={sampling.epi_target:g})",
+                    SamplingWarning,
+                    stacklevel=2,
+                )
+
+        estimate = tracker.build_estimate(total_instructions=length)
+        result = self._extrapolate_phases(
+            machine, model, length, tracker, cohorts,
+            measured_instructions,
+        )
+        return SampledRun(result=result, estimate=estimate)
+
+    def _extrapolate_phases(
+        self,
+        machine: _Machine,
+        model: EnergyModel,
+        length: int,
+        tracker: PhaseTracker,
+        cohorts: dict[int, list[tuple[EventCounts, float, int]]],
+        measured_instructions: int,
+    ) -> SimulationResult:
+        """Stratified ratio extrapolation over the measurement cohorts.
+
+        Each detailed interval's events and cycles scale by that cohort's
+        own factor — (periods the measurement covered / total covered
+        periods) times the represented-length ratio — so a measurement
+        reused for many periods contributes their share, and a drifting
+        phase's early samples stay confined to the periods they stood
+        for.  Reduces to :meth:`_extrapolate` when every period is its own
+        cohort of identical size.
+        """
+        covered = sum(
+            sum(tracker.coverage(phase)) for phase in cohorts
+        )
+        result = machine.result
+        scaled_events = EventCounts()
+        total_cycles = 0.0
+        for phase, measurements in cohorts.items():
+            counts = tracker.coverage(phase)
+            for count, (events, cycles, instructions) in zip(
+                counts, measurements
+            ):
+                factor = (count / covered) * length / instructions
+                for event, value in events.items():
+                    scaled_events.add(event, value * factor)
+                total_cycles += cycles * factor
+
+        result.instructions = length
+        result.cycles = max(total_cycles, 1.0)
+        self._scale_result_counters(machine, length / measured_instructions)
+        result.energy = model.evaluate(scaled_events, result.cycles)
+        result.events = scaled_events.as_dict()
+        return result
+
     @staticmethod
     def _interval_snapshot(machine: _Machine) -> tuple:
         """Counter snapshot at an interval boundary (events drained)."""
@@ -968,9 +1178,26 @@ class ParrotSimulator:
         for event, count in aggregate.items():
             scaled_events.add(event, count * factor)
 
-        scale = lambda v: round(v * factor)  # noqa: E731
         result.instructions = length
         result.cycles = max(measured_cycles * factor, 1.0)
+        self._scale_result_counters(machine, factor)
+        result.energy = model.evaluate(scaled_events, result.cycles)
+        result.events = scaled_events.as_dict()
+        return result
+
+    @staticmethod
+    def _scale_result_counters(machine: _Machine, factor: float) -> None:
+        """Ratio-scale the result's integer counters and trace stats.
+
+        Shared by the fixed and adaptive extrapolations.  These counters
+        are machine-global (not snapshotted per interval), so the adaptive
+        path scales them by the overall measured ratio even though its
+        events extrapolate per phase — a documented approximation for the
+        diagnostic counts; the accuracy-bearing metrics (cycles, events,
+        energy) never go through here.
+        """
+        result = machine.result
+        scale = lambda v: round(v * factor)  # noqa: E731
         result.uops_cold = scale(result.uops_cold)
         result.uops_hot = scale(result.uops_hot)
         result.uops_wasted = scale(result.uops_wasted)
@@ -997,10 +1224,6 @@ class ParrotSimulator:
             tid: scale(count)
             for tid, count in stats.optimized_exec_counts.items()
         }
-
-        result.energy = model.evaluate(scaled_events, result.cycles)
-        result.events = scaled_events.as_dict()
-        return result
 
     # -- hot pipeline ----------------------------------------------------------
 

@@ -38,3 +38,14 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment/figure harness was invoked with unusable parameters."""
+
+
+class SamplingWarning(UserWarning):
+    """A sampled run degraded gracefully instead of failing.
+
+    Emitted when the adaptive sampler falls back to fixed-interval (or
+    full-detail) behaviour — stream too short to classify, no phase ever
+    recurring, confidence targets unreachable within the stream — so the
+    run completes with honest statistics but the caller is told the
+    requested regime was not achievable.
+    """

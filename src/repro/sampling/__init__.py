@@ -11,10 +11,18 @@ intervals.
 Kept import-light on purpose (no machine modules): ``repro.core.config``
 embeds :class:`SamplingConfig`, so this package must sit below the core in
 the import graph.  :class:`~repro.sampling.warmup.WarmupPolicy` is
-import-free and is pulled in directly by the simulator.
+import-free and is pulled in directly by the simulator.  The one
+deliberate exception is :mod:`repro.sampling.accuracy` — the differential
+validation harness *runs* simulations, so it imports the core and is
+never re-exported here; import it directly
+(``from repro.sampling.accuracy import AccuracyHarness``).
 """
 
-from repro.sampling.config import SUPPORTED_CONFIDENCES, SamplingConfig
+from repro.sampling.config import (
+    SAMPLING_MODES,
+    SUPPORTED_CONFIDENCES,
+    SamplingConfig,
+)
 from repro.sampling.estimator import (
     IntervalMeasurement,
     MetricEstimate,
@@ -23,9 +31,17 @@ from repro.sampling.estimator import (
     estimate_metric,
     student_t,
 )
+from repro.sampling.phases import (
+    PhaseClassifier,
+    PhaseEstimate,
+    PhaseSignature,
+    PhaseTracker,
+    combine_phase_metric,
+)
 from repro.sampling.scheduler import Interval, plan_intervals
 
 __all__ = [
+    "SAMPLING_MODES",
     "SUPPORTED_CONFIDENCES",
     "SamplingConfig",
     "Interval",
@@ -36,4 +52,9 @@ __all__ = [
     "build_estimate",
     "estimate_metric",
     "student_t",
+    "PhaseClassifier",
+    "PhaseEstimate",
+    "PhaseSignature",
+    "PhaseTracker",
+    "combine_phase_metric",
 ]

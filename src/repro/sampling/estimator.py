@@ -157,6 +157,13 @@ class SampledEstimate:
     ``detail_instructions`` of it were simulated in full detail.  ``exact``
     is True when the plan degenerated to one full-detail interval (the
     estimate then *is* the full-detail result).
+
+    ``mode`` names the scheduling regime that produced the estimate
+    (``"fixed"`` or ``"adaptive"``); an adaptive run additionally reports
+    its per-phase breakdown in ``phases`` — a tuple of
+    :class:`~repro.sampling.phases.PhaseEstimate`, one per classified
+    phase, in first-seen order (the estimator stays import-light, so the
+    field is typed loosely here).
     """
 
     intervals: tuple[IntervalMeasurement, ...]
@@ -166,6 +173,8 @@ class SampledEstimate:
     epi: MetricEstimate
     cmpw: MetricEstimate
     exact: bool = False
+    mode: str = "fixed"
+    phases: tuple = ()
 
     @property
     def detail_instructions(self) -> int:

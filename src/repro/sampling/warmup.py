@@ -101,6 +101,7 @@ class WarmupPolicy:
         consumed = 0
         last_line = -1
         try:
+            consumed = self._warm_columns(stream, count, selector, cpi, clock)
             while consumed < count:
                 batch = stream.take_batch(min(_WARMUP_BATCH, count - consumed))
                 if not batch:
@@ -126,6 +127,72 @@ class WarmupPolicy:
                             train_segment(segment, now)
         finally:
             self._unshield(saved)
+        return consumed
+
+    def _warm_columns(self, stream, count: int, selector, cpi: float,
+                      clock: float) -> int:
+        """Columnar fast path of :meth:`warm` over recorded artifact rows.
+
+        When the stream replays a compiled artifact, the window is warmed
+        from raw column slices: the warming side effects (icache probe
+        per new line, dcache touch per access, predictor training per
+        CTI) replay without decoding instruction objects, and segment
+        selection runs through the selector's columnar scanner, which
+        hands its in-progress state to ``selector`` at the end of the
+        window.  Warming effects and trace-machinery training touch
+        disjoint components, so batching them per column block is
+        state-identical to the reference interleaved loop — the synthetic
+        clock each completed segment trains against depends only on its
+        stream position, which the scanner reports exactly.
+
+        Returns the number of instructions consumed; ``0`` means the fast
+        path does not apply (generating walker, buffered lookahead, or a
+        selector that already holds state) and the caller must run the
+        reference loop.
+        """
+        consume_raw = getattr(stream, "consume_raw", None)
+        if (consume_raw is None or count <= 0
+                or not getattr(selector, "pristine", False)):
+            return 0
+        hierarchy = self.hierarchy
+        fetch = hierarchy.warm_fetch
+        touch_data = hierarchy.warm_data
+        predict_and_train = self.bpred.warm_train
+        train_segment = self._train_segment
+        line_shift = self._line_shift
+        consumed = 0
+        last_line = -1
+        scanner = None
+
+        def on_segment(segment, position):
+            train_segment(segment, clock + position * cpi)
+
+        while consumed < count:
+            raw = consume_raw(count - consumed)
+            if raw is None:
+                break
+            walker, lo, index, taken, nxt, mem = raw
+            if not index:
+                break
+            if scanner is None:
+                instructions, addresses, flow, uop_counts = (
+                    walker.select_tables()
+                )
+                scan_tables = getattr(walker, "scan_tables", None)
+                scanner = selector.columnar_scanner(
+                    walker.materialize, flow, uop_counts, addresses,
+                    scan=(
+                        scan_tables() if scan_tables is not None else None
+                    ),
+                )
+            last_line = walker.warm_effects(
+                lo, lo + len(index), fetch, touch_data, predict_and_train,
+                line_shift, last_line,
+            )
+            scanner.consume(lo, index, taken, nxt, consumed, on_segment)
+            consumed += len(index)
+        if scanner is not None:
+            scanner.transfer(selector)
         return consumed
 
     # -- trace-machinery training ------------------------------------------

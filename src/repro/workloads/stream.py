@@ -20,7 +20,19 @@ from collections.abc import Iterator
 
 from repro.errors import WorkloadError
 from repro.isa.instruction import DynamicInstruction
-from repro.isa.opcodes import FLOW_SOFTWARE_INT
+from repro.isa.opcodes import (
+    FLOW_COND_BRANCH,
+    FLOW_INDIRECT_JUMP,
+    FLOW_RETURN,
+    FLOW_SOFTWARE_INT,
+)
+
+#: Flow codes whose outcome consumes dynamic state (conditional branch,
+#: return, indirect jump).  Phase signatures count the resolved targets of
+#: exactly these instructions: the set is a pure function of the
+#: instruction sequence, so the generating walker and artifact replay
+#: profile identically (see :mod:`repro.sampling.phases`).
+_DYN_CTI_FLOWS = (FLOW_COND_BRANCH, FLOW_RETURN, FLOW_INDIRECT_JUMP)
 from repro.workloads.behaviors import (
     make_branch_state,
     make_mem_state,
@@ -213,7 +225,7 @@ class StreamWalker:
         self._skip_blocks[start] = block
         return block
 
-    def skip(self, count: int) -> int:
+    def skip(self, count: int, profile: dict | None = None) -> int:
         """Advance ``count`` instructions without materialising them.
 
         The fast-forward path of the sampled simulator: identical control
@@ -225,6 +237,12 @@ class StreamWalker:
         (one dict probe + the block's behaviour calls); only instructions
         with dynamic outcomes step individually.  Returns the number of
         instructions skipped (always ``count`` unless control flow faults).
+
+        ``profile`` — a mutable mapping — additionally counts the resolved
+        successor of every dynamic CTI (:data:`_DYN_CTI_FLOWS`) into it,
+        the phase-signature observer of the adaptive sampler.  Dynamic
+        CTIs are exactly the instructions this path steps individually, so
+        profiling adds no work to the block-granular fast path.
         """
         plans_get = self._plans.get
         blocks_get = self._skip_blocks.get
@@ -281,6 +299,8 @@ class StreamWalker:
                         pc = switch_targets[next_index()]
                 else:
                     pc = fallthrough
+                if profile is not None and (code == 1 or code >= 4):
+                    profile[pc] = profile.get(pc, 0) + 1
                 if next_mem is not None:
                     next_mem()
                 skipped += 1
@@ -319,6 +339,8 @@ class StreamWalker:
                 else:
                     pc = fallthrough
 
+                if profile is not None and (code == 1 or code >= 4):
+                    profile[pc] = profile.get(pc, 0) + 1
                 if next_mem is not None:
                     next_mem()
                 skipped += 1
@@ -684,7 +706,35 @@ class InstructionStream:
         self.consumed += len(out)
         return out
 
-    def skip(self, count: int, warm: tuple | None = None) -> int:
+    def consume_raw(self, count: int):
+        """Bulk-consume up to ``count`` instructions as raw column slices.
+
+        The columnar-warmup fast path: when the stream replays a
+        recorded artifact (a walker exposing ``raw_batch``) and nothing
+        is buffered, the rows are consumed without decoding
+        :class:`DynamicInstruction` objects and returned as
+        ``(walker, lo, index, taken, next, mem)`` — stream bookkeeping
+        (``consumed``, the remaining budget) advances exactly as a
+        ``take_batch`` of the same rows would.  Returns ``None`` when the
+        fast path does not apply (buffered lookahead, a generating
+        walker, or an exhausted budget); callers must then fall back to
+        the object interface.
+        """
+        if self._buffer or self._remaining <= 0:
+            return None
+        walker = self._walker
+        raw_batch = getattr(walker, "raw_batch", None)
+        if raw_batch is None:
+            return None
+        n = min(count, self._remaining)
+        lo, index, taken, nxt, mem = raw_batch(n)
+        took = len(index)
+        self._remaining -= took
+        self.consumed += took
+        return walker, lo, index, taken, nxt, mem
+
+    def skip(self, count: int, warm: tuple | None = None,
+             profile: dict | None = None) -> int:
         """Fast-forward past up to ``count`` instructions; returns how many.
 
         Buffered (already-walked) instructions are discarded first; the
@@ -696,7 +746,29 @@ class InstructionStream:
         ``warm`` — a ``(fetch, touch, train, line_shift)`` tuple — routes
         the fast-forward through :meth:`StreamWalker.warm_skip`, training
         caches and the branch predictor while skipping.
+
+        ``profile`` counts the resolved successor of every dynamic CTI in
+        the skipped window into the given mapping (buffered instructions
+        included), on the plain and the warmed path alike — the adaptive
+        sampler's phase-signature observer.  Identical windows produce
+        identical profiles on every path (plain/warm, walker/artifact
+        replay); foreign duck-typed walkers must accept
+        ``skip(count, profile)`` to be profiled.
         """
+        if warm is not None and profile is not None:
+            # Route warm-path profiling through the train callback: every
+            # dynamic CTI trains exactly once on the warmed walk, so
+            # wrapping train observes the same successor sequence a plain
+            # profiled skip of the window would.
+            fetch, touch, train, line_shift = warm
+
+            def train(instr, taken, next_address, _train=train,
+                      _profile=profile):
+                if instr.flow_code in _DYN_CTI_FLOWS:
+                    _profile[next_address] = _profile.get(next_address, 0) + 1
+                _train(instr, taken, next_address)
+
+            warm = (fetch, touch, train, line_shift)
         skipped = 0
         buffer = self._buffer
         last_line = -1
@@ -713,6 +785,11 @@ class InstructionStream:
                     touch(dyn.mem_addr)
                 if instr.is_cti:
                     train(instr, dyn.taken, dyn.next_address)
+            elif (profile is not None
+                    and dyn.instr.flow_code in _DYN_CTI_FLOWS):
+                profile[dyn.next_address] = (
+                    profile.get(dyn.next_address, 0) + 1
+                )
             skipped += 1
         n = count - skipped
         if n > self._remaining:
@@ -730,12 +807,20 @@ class InstructionStream:
                     return skipped
             walker_skip = getattr(walker, "skip", None)
             if walker_skip is not None:
-                n = walker_skip(n)
+                if profile is not None:
+                    n = walker_skip(n, profile)
+                else:
+                    n = walker_skip(n)
             else:
                 done = 0
                 try:
                     for _ in range(n):
-                        next(walker)
+                        dyn = next(walker)
+                        if (profile is not None
+                                and dyn.instr.flow_code in _DYN_CTI_FLOWS):
+                            profile[dyn.next_address] = (
+                                profile.get(dyn.next_address, 0) + 1
+                            )
                         done += 1
                 except StopIteration:
                     self._remaining = done

@@ -82,6 +82,42 @@ def test_columnar_matches_scalar_sampled():
     assert columnar == scalar
 
 
+def test_columnar_matches_scalar_adaptive():
+    """Adaptive sampling is backend-independent, estimate included.
+
+    Extends the fixed-mode parity gate above: the phase classifier's
+    decisions (which periods re-measure, which reuse) and the resulting
+    per-phase estimate must be bit-identical across backends, not just
+    the machine counters.
+    """
+    sampling = SamplingConfig(mode="adaptive", detail=500, gap=1500,
+                              warmup=300, func_warm=500,
+                              phase_threshold=0.3)
+    runs = {}
+    for backend in (ExecutionBackend.SCALAR, ExecutionBackend.COLUMNAR):
+        simulator = ParrotSimulator(model_config("TON"))
+        runs[backend] = simulator.simulate(
+            application("swim"),
+            RunOptions(sampling=sampling, backend=backend, estimate=True),
+            length=30_000,
+        )
+    scalar, columnar = (runs[ExecutionBackend.SCALAR],
+                        runs[ExecutionBackend.COLUMNAR])
+    assert columnar.result.to_dict() == scalar.result.to_dict()
+    assert columnar.estimate.intervals == scalar.estimate.intervals
+    assert columnar.estimate.ipc.mean == scalar.estimate.ipc.mean
+    assert columnar.estimate.epi.mean == scalar.estimate.epi.mean
+    assert len(columnar.estimate.phases) == len(scalar.estimate.phases)
+    for c_phase, s_phase in zip(columnar.estimate.phases,
+                                scalar.estimate.phases):
+        assert (c_phase.phase, c_phase.periods, c_phase.measured,
+                c_phase.closed, c_phase.reused) == (
+            s_phase.phase, s_phase.periods, s_phase.measured,
+            s_phase.closed, s_phase.reused)
+        assert c_phase.ipc.mean == s_phase.ipc.mean
+        assert c_phase.epi.mean == s_phase.epi.mean
+
+
 def test_columnar_artifact_with_shared_caches(tmp_path):
     """Artifact + shared segments + ColdPlanCache replay, both backends.
 

@@ -132,31 +132,86 @@ class TestLegacyParity:
         assert result.to_dict() == sampled.result.to_dict()
 
 
+def _sole_deprecation(invoke):
+    """Invoke a shim, returning its single captured DeprecationWarning."""
+    with warnings.catch_warnings(record=True) as captured:
+        warnings.simplefilter("always")
+        invoke()
+    records = [w for w in captured
+               if issubclass(w.category, DeprecationWarning)]
+    assert len(records) == 1, (
+        f"expected exactly one DeprecationWarning, got "
+        f"{[str(w.message) for w in records]}"
+    )
+    return records[0]
+
+
 class TestDeprecationShims:
-    def test_run_warns(self):
-        with pytest.deprecated_call(match="run\\(\\) is deprecated"):
-            ParrotSimulator(model_config("N")).run(
+    """Each shim warns once, names its replacement, and blames the caller.
+
+    The warning text must carry the full migration target (so the fix is
+    copy-pasteable from the console), and ``stacklevel=2`` must attribute
+    the warning to the *calling* file — this one — not to the module the
+    shim lives in.
+    """
+
+    def test_run_warning_text_and_stacklevel(self):
+        record = _sole_deprecation(
+            lambda: ParrotSimulator(model_config("N")).run(
                 application("gzip"), 1000
             )
+        )
+        assert str(record.message) == (
+            "ParrotSimulator.run() is deprecated; use "
+            "simulate(app, RunOptions(...), length=...)"
+        )
+        assert record.filename == __file__
 
-    def test_run_sampled_warns(self):
-        with pytest.deprecated_call(match="run_sampled\\(\\) is deprecated"):
-            ParrotSimulator(model_config("N")).run_sampled(
+    def test_run_sampled_warning_text_and_stacklevel(self):
+        record = _sole_deprecation(
+            lambda: ParrotSimulator(model_config("N")).run_sampled(
                 application("gzip"), 6000,
                 sampling=SamplingConfig(detail=400, gap=1000, warmup=200,
                                         func_warm=300),
             )
+        )
+        assert str(record.message) == (
+            "ParrotSimulator.run_sampled() is deprecated; use "
+            "simulate(app, RunOptions(sampling=..., estimate=True), "
+            "length=...)"
+        )
+        assert record.filename == __file__
 
-    def test_run_stream_warns(self):
+    def test_run_stream_warning_text_and_stacklevel(self):
         workload = application("gzip").build()
-        with pytest.deprecated_call(match="run_stream\\(\\) is deprecated"):
-            ParrotSimulator(model_config("N")).run_stream(
+        record = _sole_deprecation(
+            lambda: ParrotSimulator(model_config("N")).run_stream(
                 workload.stream(1000), app_name="gzip"
             )
+        )
+        assert str(record.message) == (
+            "ParrotSimulator.run_stream() is deprecated; use "
+            "simulate(stream, app_name=..., suite=..., program=...)"
+        )
+        assert record.filename == __file__
 
-    def test_run_artifact_warns(self, artifact):
-        with pytest.deprecated_call(match="run_artifact\\(\\) is deprecated"):
-            ParrotSimulator(model_config("N")).run_artifact(artifact)
+    def test_run_artifact_warning_text_and_stacklevel(self, artifact):
+        record = _sole_deprecation(
+            lambda: ParrotSimulator(model_config("N")).run_artifact(artifact)
+        )
+        assert str(record.message) == (
+            "ParrotSimulator.run_artifact() is deprecated; use "
+            "simulate(artifact, RunOptions(segments=..., cold_plans=...))"
+        )
+        assert record.filename == __file__
+
+    def test_bench_scale_warning_text_and_stacklevel(self):
+        from repro.experiments.runner import bench_scale
+        record = _sole_deprecation(lambda: bench_scale())
+        assert str(record.message) == (
+            "bench_scale() is deprecated; use Scale.from_environment()"
+        )
+        assert record.filename == __file__
 
 
 class TestUnifiedValidation:

@@ -1,85 +1,91 @@
 #!/usr/bin/env python
 """Sampled-simulation validation harness: sampled vs full-detail runs.
 
-For each (application, model) pair, runs the full-detail simulation and
-the sampled simulation over the same stream and reports the IPC/EPI point
+A thin CLI over :mod:`repro.sampling.accuracy` — the same harness the
+accuracy-regression suite (``tests/test_sampling_accuracy.py``) and the
+CI smoke jobs run, so the tool and the tests cannot drift.  For each
+(application, model) pair it runs the full-detail simulation and the
+sampled simulation over the same stream and reports the IPC/EPI point
 errors, whether the full-detail value falls inside the sampled run's
-confidence intervals, and the wall-clock speedup.  The default pairs are
-the golden apps the acceptance criteria are phrased over; the numbers in
-the EXPERIMENTS.md "Sampling" section come from this harness.
+confidence intervals (per phase too, in adaptive mode), and the
+wall-clock speedup.  The default pairs are the golden apps the acceptance
+criteria are phrased over; the numbers in the EXPERIMENTS.md sampling
+sections come from this harness.
 
 Usage:  python tools/validate_sampling.py [--length L] [--pairs swim:TON,...]
-        [--sampling DETAIL:GAP:WARMUP[:FUNC_WARM][:CONFIDENCE]] [--repeat N]
+        [--sampling [adaptive:]DETAIL:GAP:WARMUP[:FUNC_WARM][:CONFIDENCE]]
+        [--backend scalar|columnar] [--source generator|artifact]
+        [--repeat N]
 """
 
 from __future__ import annotations
 
 import argparse
-import time
+import tempfile
 
-from repro.core import ParrotSimulator
-from repro.core.simulator import RunOptions
-from repro.models import model_config
+from repro.pipeline.columnar import ExecutionBackend
 from repro.sampling import SamplingConfig
-from repro.workloads import application
-
-GOLDEN_PAIRS = "swim:TON,gcc:N,eon:TOW"
+from repro.sampling.accuracy import (
+    GOLDEN_PAIRS,
+    AccuracyHarness,
+    aggregate_speedup,
+    format_report,
+    parse_pairs,
+)
 
 
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--length", type=int, default=200_000)
-    parser.add_argument("--pairs", type=str, default=GOLDEN_PAIRS,
+    parser.add_argument("--pairs", type=str,
+                        default=",".join(f"{a}:{m}" for a, m in GOLDEN_PAIRS),
                         help="comma-separated app:model pairs")
     parser.add_argument("--sampling", type=str, default="on",
-                        help="sampling spec (default: tuned defaults)")
+                        help="sampling spec: 'on' (tuned fixed defaults), "
+                             "'adaptive' (tuned phase-aware defaults), or "
+                             "an explicit [adaptive:]DETAIL:GAP:WARMUP spec")
+    parser.add_argument("--backend", type=str, default="scalar",
+                        choices=[b.value for b in ExecutionBackend],
+                        help="execution backend for both sides of the "
+                             "comparison")
+    parser.add_argument("--source", type=str, default="generator",
+                        choices=["generator", "artifact"],
+                        help="simulate the live generator stream or a "
+                             "compiled trace artifact (both sides alike)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="timing repetitions (speedup = best of N)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="also fail unless the pooled wall-clock "
+                             "speedup (sum of full seconds / sum of "
+                             "sampled seconds) reaches this floor")
     args = parser.parse_args()
 
     sampling = SamplingConfig.parse(args.sampling) or SamplingConfig()
-    pairs = [pair.split(":") for pair in args.pairs.split(",")]
+    pairs = parse_pairs(args.pairs)
     print(f"sampling: {sampling.fingerprint()}")
     print(f"length:   {args.length}  "
           f"(detail fraction {sampling.detail_fraction:.1%})\n")
 
-    all_ok = True
-    for app_name, model_name in pairs:
-        app = application(app_name)
-        sim = ParrotSimulator(model_config(model_name))
+    with tempfile.TemporaryDirectory() as tmp:
+        harness = AccuracyHarness(
+            length=args.length,
+            backend=ExecutionBackend(args.backend),
+            source=args.source,
+            root=(tmp if args.source == "artifact" else None),
+            repeat=args.repeat,
+        )
+        results = harness.sweep(sampling, pairs)
 
-        full_times, sampled_times = [], []
-        for _ in range(args.repeat):
-            t0 = time.perf_counter()
-            full = sim.simulate(app, length=args.length)
-            full_times.append(time.perf_counter() - t0)
-            t0 = time.perf_counter()
-            sampled = sim.simulate(
-                app, RunOptions(sampling=sampling, estimate=True),
-                length=args.length,
-            )
-            sampled_times.append(time.perf_counter() - t0)
-        estimate = sampled.estimate
-
-        full_ipc = full.instructions / full.cycles
-        full_epi = full.energy.total / full.instructions
-        ipc_err = abs(estimate.ipc.mean - full_ipc) / full_ipc
-        epi_err = abs(estimate.epi.mean - full_epi) / full_epi
-        speedup = min(full_times) / min(sampled_times)
-        ipc_in = estimate.ipc.contains(full_ipc)
-        epi_in = estimate.epi.contains(full_epi)
-        all_ok &= ipc_in and epi_in
-
-        print(f"{app_name}/{model_name}:")
-        print(f"  intervals {len(estimate.intervals):3d}   "
-              f"speedup {speedup:4.2f}x   "
-              f"({min(full_times):.2f}s full, {min(sampled_times):.2f}s sampled)")
-        print(f"  IPC  full {full_ipc:7.4f}   sampled {estimate.ipc.format()}"
-              f"   err {ipc_err:6.2%}   {'ok' if ipc_in else 'OUTSIDE CI'}")
-        print(f"  EPI  full {full_epi:7.4f}   sampled {estimate.epi.format()}"
-              f"   err {epi_err:6.2%}   {'ok' if epi_in else 'OUTSIDE CI'}")
-
+    print(format_report(results))
+    all_ok = all(r.ipc_in_ci and r.epi_in_ci for r in results)
     print(f"\n{'all full-detail values inside the reported CIs' if all_ok else 'CI MISSES — see above'}")
+    if args.min_speedup is not None:
+        pooled = aggregate_speedup(results)
+        fast_enough = pooled >= args.min_speedup
+        print(f"pooled speedup {pooled:.2f}x "
+              f"({'meets' if fast_enough else 'BELOW'} the "
+              f"{args.min_speedup:g}x floor)")
+        all_ok = all_ok and fast_enough
     raise SystemExit(0 if all_ok else 1)
 
 
