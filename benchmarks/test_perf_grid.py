@@ -13,8 +13,8 @@ Scale follows the ``REPRO_BENCH_*`` knobs: ``REPRO_BENCH_LENGTH``
 (default 20000), ``REPRO_BENCH_APPS`` (default 3 here — the benchmark
 re-simulates the grid every round, so it keeps its own smaller roster
 default), ``REPRO_BENCH_JOBS`` (default: all cores) and
-``REPRO_BENCH_BACKEND`` (execution backend for the engine grid;
-default scalar).  Like the
+``REPRO_BENCH_BACKEND`` (execution backend for the engine grid:
+``scalar``, ``columnar`` or ``compiled``; default scalar).  Like the
 hot-path benchmark this is a trajectory, not a gate: throughput lands in
 ``benchmark.extra_info`` and the perf-smoke job archives the JSON as
 ``BENCH_grid.json``.

@@ -30,6 +30,7 @@ from repro.experiments.figures import FIGURE_GENERATORS, table3_1, table3_2
 from repro.experiments.runner import ExperimentRunner
 from repro.models.configs import MODEL_NAMES, model_config
 from repro.pipeline.columnar import ExecutionBackend
+from repro.pipeline.specialize import CompiledPlanCache
 from repro.workloads.suite import ALL_APPS, application, benchmark_suite
 from repro.workloads.tracefile import ArtifactCache
 
@@ -37,7 +38,7 @@ _EXAMPLES = """\
 examples:
   repro run swim --model TON --length 20000
   repro run swim --model TON --length 200000 --sampling
-  repro run swim --model TON --backend columnar
+  repro run swim --model TON --backend compiled
   repro profile swim TON --length 20000 --backend columnar
   repro sweep --models N,TON --apps 15 --jobs 4
   repro sweep --models N,TON --length 200000 --sampling
@@ -53,6 +54,7 @@ environment:
   REPRO_BENCH_SAMPLING                    default sampling regime (off)
   REPRO_BENCH_ARTIFACTS=0                 disable compiled trace artifacts
   REPRO_BENCH_BACKEND                     default execution backend (scalar)
+  REPRO_COMPILED_CACHE=0                  disable the compiled-plan disk cache
   REPRO_CACHE_DIR                         store location (~/.cache/repro)
 """
 
@@ -122,8 +124,9 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", default=None,
         choices=[b.value for b in ExecutionBackend],
-        help="batch executor for planned segments; both backends are "
-             "bit-identical, columnar is faster "
+        help="batch executor for planned segments; all backends are "
+             "bit-identical, columnar is faster, compiled (per-plan "
+             "generated code) is fastest "
              "(default: REPRO_BENCH_BACKEND or scalar)",
     )
 
@@ -272,9 +275,10 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect or clear the result store and the artifact cache."""
+    """Inspect or clear the result store, artifact and compiled-plan caches."""
     store = ResultStore()
     artifacts = ArtifactCache()
+    plans = CompiledPlanCache()
     if args.action == "info":
         info = store.info()
         print(f"store     {info.path}")
@@ -290,11 +294,23 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"  schema    v{ainfo.schema_version}")
         if ainfo.stale_tmp:
             print(f"  swept     {ainfo.stale_tmp} stale tmp dir(s)")
+        pinfo = plans.info()
+        print(f"plans     {pinfo.path}")
+        print(f"  compiled  {pinfo.entries}")
+        print(f"  size      {pinfo.total_bytes} bytes")
+        print(f"  schema    v{pinfo.schema_version}")
+        if pinfo.quarantined:
+            print(f"  quarantined {pinfo.quarantined} corrupt/stale entr"
+                  f"{'y' if pinfo.quarantined == 1 else 'ies'}")
+        if pinfo.stale_tmp:
+            print(f"  swept     {pinfo.stale_tmp} stale tmp file(s)")
     else:  # clear
         removed = store.clear()
         print(f"removed {removed} stored result(s) from {store.root}")
         swept = artifacts.clear()
         print(f"removed {swept} compiled artifact(s) from {artifacts.root}")
+        dropped = plans.clear()
+        print(f"removed {dropped} compiled plan(s) from {plans.root}")
     return 0
 
 

@@ -58,6 +58,12 @@ from repro.pipeline.columnar import (
     run_cold_columnar,
     run_hot_columnar,
 )
+from repro.pipeline.specialize import (
+    compile_cold_specialized,
+    compile_hot_specialized,
+    run_cold_compiled,
+    run_hot_compiled,
+)
 from repro.pipeline.core import TimingCore, compile_plan_stats, compile_uop_row
 from repro.pipeline.resources import ExecProfile
 from repro.power.energy import EnergyModel
@@ -709,7 +715,7 @@ class ParrotSimulator:
         tpred = machine.tpred
         background = machine.background
         cold_plans = machine.cold_plans
-        columnar = machine.backend is ExecutionBackend.COLUMNAR
+        backend = machine.backend
 
         # Selector-loop events accumulate in locals and fold into
         # ``events`` once per call — per-plan reductions, like the
@@ -749,7 +755,7 @@ class ParrotSimulator:
                         core.set_profile(hot_profile)
                         self._execute_hot(
                             core, hierarchy, events, result, trace, segment,
-                            columnar,
+                            backend,
                         )
                         background.after_hot_execution(trace, core.cycles)
                         # Retire-time training: hot-committed CTIs still
@@ -793,7 +799,7 @@ class ParrotSimulator:
                 core.set_profile(cold_profile)
                 self._execute_cold(
                     core, hierarchy, bpred, events, result, segment,
-                    cold_plans, columnar,
+                    cold_plans, backend,
                 )
                 last_pipeline = "cold"
 
@@ -1235,7 +1241,7 @@ class ParrotSimulator:
         result: SimulationResult,
         trace: Trace,
         segment: TraceSegment,
-        columnar: bool = False,
+        backend: ExecutionBackend = ExecutionBackend.SCALAR,
     ) -> None:
         """Execute a correctly predicted trace on the hot pipeline.
 
@@ -1252,8 +1258,21 @@ class ParrotSimulator:
         # ``trace_uops`` rows streams from the trace cache per cycle.
         # Each backend caches its own plan shape on the trace; hot plans
         # are machine-private (traces live in this machine's trace cache),
-        # so the columnar plan may bake this core's front-end depth.
-        if columnar:
+        # so the columnar/compiled plans may bake this core's front-end
+        # depth (and, for compiled, the hot profile's widths).
+        if backend is ExecutionBackend.COMPILED:
+            plan = trace._hot_plan_compiled
+            if plan is None:
+                rows = [compile_uop_row(uop) for uop in uops]
+                plan = compile_hot_specialized(
+                    rows, self.config.fetch.trace_uops, self.config.core
+                )
+                trace._hot_plan_compiled = plan
+            run_hot_compiled(
+                core, plan, segment.instructions,
+                hierarchy.load_latency, hierarchy.store_access,
+            )
+        elif backend is ExecutionBackend.COLUMNAR:
             plan = trace._hot_plan_columnar
             if plan is None:
                 rows = [compile_uop_row(uop) for uop in uops]
@@ -1392,7 +1411,7 @@ class ParrotSimulator:
         result: SimulationResult,
         segment: TraceSegment,
         cold_plans: dict[TraceId, tuple],
-        columnar: bool = False,
+        backend: ExecutionBackend = ExecutionBackend.SCALAR,
     ) -> None:
         """Execute a segment on the cold pipeline (icache fetch + decode).
 
@@ -1403,7 +1422,22 @@ class ParrotSimulator:
         instructions = segment.instructions
         complete_segment = segment.complete
         plan = cold_plans.get(segment.tid) if complete_segment else None
-        if columnar:
+        if backend is ExecutionBackend.COMPILED:
+            if plan is None:
+                plan = compile_cold_specialized(
+                    instructions, self.config.fetch
+                )
+                if complete_segment:
+                    cold_plans[segment.tid] = plan
+            n_misp = run_cold_compiled(
+                core, plan, instructions,
+                hierarchy.fetch_latency,
+                hierarchy.load_latency,
+                hierarchy.store_access,
+                bpred.predict_and_train,
+            )
+            _fn, _probes, n_uops, n_groups, n_cti = plan
+        elif backend is ExecutionBackend.COLUMNAR:
             if plan is None:
                 plan = compile_cold_columnar(instructions, self.config.fetch)
                 if complete_segment:

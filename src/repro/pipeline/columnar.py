@@ -30,12 +30,17 @@ one step further and replays them with a leaner fused loop:
   charge per executed segment.
 
 The dispatch/issue/commit recurrence itself stays a sequential fused
-loop: the ROB gate applies ``int(gate) + 1`` *inside* a running max and
-the issue scan consumes shared slot-table state, so the recurrence is not
-associative and cannot be expressed as a prefix-scan over arrays without
-changing results.  Bit-identity with the scalar executors — pinned by the
-golden parity suite — is the contract here; the columnar win comes from
-moving everything that *is* order-free out of the loop.
+loop here: the ROB gate applies ``int(gate) + 1`` *inside* a running max
+and the issue scan consumes shared slot-table state, so the recurrence is
+not associative and cannot be expressed as a prefix-scan over arrays
+without changing results *in general*.  The ``compiled`` backend
+(:mod:`repro.pipeline.specialize`) attacks that residual from two sides:
+per-plan generated straight-line code takes the interpreter overhead out
+of the sequential loop, and a verified max-plus pre-pass vectorizes the
+segments whose constraints provably never bind.  Bit-identity with the
+scalar executors — pinned by the golden parity suite — is the contract
+for every backend; the columnar win comes from moving everything that
+*is* order-free out of the loop.
 """
 
 from __future__ import annotations
@@ -59,13 +64,16 @@ class ExecutionBackend(Enum):
 
     ``SCALAR`` is the historical row-replay path (and the reference
     semantics, itself pinned against :meth:`TimingCore.run_uop`);
-    ``COLUMNAR`` replays column-compiled plans.  Both are bit-identical;
-    the enum exists so callers opt into the faster backend explicitly and
-    regressions stay attributable.
+    ``COLUMNAR`` replays column-compiled plans; ``COMPILED`` replays
+    per-plan generated functions with a vectorized max-plus issue
+    pre-pass (:mod:`repro.pipeline.specialize`).  All are bit-identical;
+    the enum exists so callers opt into the faster backends explicitly
+    and regressions stay attributable.
     """
 
     SCALAR = "scalar"
     COLUMNAR = "columnar"
+    COMPILED = "compiled"
 
 
 def _dependency_links(rows: list) -> tuple[list, list, tuple]:

@@ -1,0 +1,1198 @@
+"""Plan-specialized replay: per-plan generated code + max-plus pre-pass.
+
+The columnar backend (:mod:`repro.pipeline.columnar`) hoisted everything
+order-free out of the replay loop but left the dispatch/issue/commit
+recurrence as a *generic* sequential CPython loop: per uop it unpacks a
+replay tuple, chases producer/carried link tuples, resolves the FU issue
+triple from a dict and branches on properties that are static per plan.
+This module compiles each plan one step further, into a dedicated Python
+function:
+
+* **straight-line specialization** — one generated code block per uop,
+  with the dispatch base, latency, ring sizes, widths and the commit
+  step baked in as literals (hot plans are machine-private), producer
+  wake-up unrolled to local-variable reads (``c17``), carried-in
+  register reads hoisted to function entry (sound because in-segment
+  register-file writes are deferred to the last-writer epilogue), and
+  memory/branch bindings hoisted into a tiny wrapper prologue that
+  preserves the exact scalar probe order;
+* **content-keyed caching** — generated sources are loaded through a
+  memory LRU keyed by ``sha256(SCHEMA_VERSION + source)`` plus an
+  optional on-disk cache of marshalled code objects under
+  ``$REPRO_CACHE_DIR/compiled`` (invalidated by ``SCHEMA_VERSION`` and
+  the interpreter's bytecode magic; corrupt or stale entries are
+  quarantined).  Cold generated sources bake nothing machine-specific
+  beyond the fetch parameters, so cold compiled plans keep the
+  cross-model sharing contract of :class:`ColdPlanCache`;
+* **max-plus issue pre-pass** — for eligible hot plans the compile-time
+  contention analysis emits the fetch-relative dispatch bases, per-level
+  dependency edges and per-FU-class index columns.  At run time the
+  gate-free dispatch pattern is solved first: the rename-width-W greedy
+  recurrence ``D[k] = max(A[k], D[k-W] + 1)`` decomposes into W
+  independent residue classes, each a ``maximum.accumulate`` over one
+  column of the reshaped availability array (carry-in occupancy of the
+  entry cycle is modelled as virtual prefix uops), so a dirty dispatch
+  backlog — the steady state of back-to-back hot replays — is handled
+  exactly, not bailed on.  Then the unconstrained fixed point ``issue =
+  ready = max(dispatch+1, producers, carried)`` is solved as a
+  vectorized max-plus scan over the dependency columns, and everything
+  is *verified*: ROB/window gates at or below the pre-gate dispatch
+  values ``P[k] = max(A[k], D[k-1])`` (the exact quantity the scalar
+  recurrence compares gates against), and per-cycle issue/FU demand
+  (ours plus pre-booked slots) within the widths.  When the check
+  passes, the greedy sequential recurrence provably produces exactly
+  these values — each gate comparison resolves the same way and every
+  issue scan stops at ``ready`` because the per-cycle prefix counts
+  never reach the width — so the state is written back wholesale.
+  Genuinely contended (or gate-blocked) segments fall back to the
+  specialized sequential function; a plan whose scan keeps failing
+  verification stops attempting it (``MAXPLUS_FAIL_LIMIT`` consecutive
+  misses) so structurally contended traces pay no numpy overhead.
+
+Bit-identity notes: all gates and latencies are ints; only ROB commit
+times are floats.  The vectorized commit scan ``commit_k =
+max_j<=k(c_j + (k-j)*s)`` is evaluated as ``maximum.accumulate(c - k*s)
++ k*s`` and is exact only when the commit step ``s`` is a power-of-two
+reciprocal (every value is then a multiple of ``s`` well below the
+float53 granularity), so eligibility statically requires a power-of-two
+commit width and dynamically a ``commit_time`` on the same grid.  The
+scalar parity suite pins the whole backend bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import marshal
+import os
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.isa.opcodes import FuClass
+from repro.pipeline.core import (
+    _PRUNE_INTERVAL,
+    compile_plan_stats,
+    compile_uop_row,
+)
+from repro.pipeline.columnar import _dependency_links
+from repro.pipeline.resources import ExecProfile
+
+# SCHEMA_VERSION lives in repro.core.results; imported lazily where used
+# to keep this module import-light for the generated-code hot path.
+
+
+def _schema_version() -> int:
+    from repro.core.results import SCHEMA_VERSION
+
+    return SCHEMA_VERSION
+
+
+# --------------------------------------------------------------------------
+# Content-keyed loader: memory LRU + optional on-disk code-object cache.
+# --------------------------------------------------------------------------
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+_ENV_DISK_CACHE = "REPRO_COMPILED_CACHE"
+_FILE_PREFIX = b"RPSC"
+_MEMORY_LIMIT = 512
+
+#: Memory LRU of materialized replay functions, keyed by content hash.
+#: Ordered least- to most-recently used; shared by every simulator in the
+#: process (engine workers each hold their own copy).
+_MEMORY: OrderedDict[str, object] = OrderedDict()
+
+#: Loader statistics: plan compiles vs memory/disk hits, plus whole-plan
+#: memo hits (codegen skipped entirely, not just the compile step).
+LOADER_STATS = {"compiles": 0, "memory_hits": 0, "disk_hits": 0,
+                "plan_hits": 0}
+
+_PLAN_MEMO_LIMIT = 512
+
+#: Whole-plan memo for hot traces, keyed by (rows, fetch grouping, core
+#: geometry).  Traces are rebuilt per run, but their planned rows — and
+#: therefore the generated source, probe plan and max-plus columns — are
+#: pure functions of this key, so repeat runs skip codegen outright
+#: (string assembly costs real time for a 2000-line source even when the
+#: compile step hits the source LRU).
+_PLAN_MEMO: OrderedDict[tuple, tuple] = OrderedDict()
+
+#: Globals shared by every generated module: the FuClass members under
+#: stable positional names, so disk-cached code objects never depend on
+#: the environment that generated them.
+_EXEC_GLOBALS = {f"FU_{int(fu)}": fu for fu in FuClass}
+
+
+def default_compiled_root() -> Path:
+    """Root of the compiled-plan disk cache (honours $REPRO_CACHE_DIR)."""
+    root = os.environ.get(_ENV_CACHE_DIR)
+    base = Path(root).expanduser() if root else Path.home() / ".cache" / "repro"
+    return base / "compiled"
+
+
+def disk_cache_enabled() -> bool:
+    """The on-disk layer is optional: ``REPRO_COMPILED_CACHE=0`` disables."""
+    return os.environ.get(_ENV_DISK_CACHE, "1") != "0"
+
+
+def _header() -> bytes:
+    return (_FILE_PREFIX + importlib.util.MAGIC_NUMBER
+            + struct.pack("<I", _schema_version()))
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledCacheInfo:
+    """Summary of the on-disk compiled-plan cache (`repro cache info`)."""
+
+    path: str
+    entries: int
+    total_bytes: int
+    schema_version: int
+    stale_tmp: int
+    quarantined: int
+
+
+class CompiledPlanCache:
+    """On-disk cache of marshalled replay code objects.
+
+    Mirrors the artifact cache's layout and hygiene: content-keyed
+    entries sharded two levels deep, atomic ``.tmp.<pid>`` + rename
+    writes, and corrupt or stale records quarantined (deleted and
+    counted) rather than served.  An entry is stale when its header does
+    not match this interpreter's bytecode magic and the current
+    ``SCHEMA_VERSION`` — either invalidates every generated source.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else default_compiled_root()
+        self.hits = 0
+        self.compiles = 0
+        self.quarantined = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.rpc"
+
+    def load(self, key: str):
+        """Return the cached code object for ``key``, or None on miss.
+
+        Corrupt and stale entries are quarantined on the way out.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        header = _header()
+        if not blob.startswith(header):
+            self._quarantine(path)
+            return None
+        try:
+            code = marshal.loads(blob[len(header):])
+        except (ValueError, EOFError, TypeError):
+            self._quarantine(path)
+            return None
+        self.hits += 1
+        return code
+
+    def store(self, key: str, code) -> None:
+        """Atomically persist a compiled code object (best effort)."""
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            tmp.write_bytes(_header() + marshal.dumps(code))
+            os.replace(tmp, path)
+            self.compiles += 1
+        except OSError:
+            pass
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.quarantined += 1
+
+    def _entries(self) -> list[Path]:
+        return [p for p in self.root.glob("*/*.rpc") if p.is_file()]
+
+    def _sweep_stale_tmp(self) -> int:
+        removed = 0
+        for path in self.root.glob("*/*.rpc.tmp.*"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def info(self) -> CompiledCacheInfo:
+        """Enumerate the cache, quarantining corrupt/stale entries."""
+        header = _header()
+        kept = 0
+        total = 0
+        quarantined = 0
+        for path in self._entries():
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            if not blob.startswith(header):
+                self._quarantine(path)
+                quarantined += 1
+                continue
+            kept += 1
+            total += len(blob)
+        stale_tmp = self._sweep_stale_tmp()
+        return CompiledCacheInfo(
+            path=str(self.root),
+            entries=kept,
+            total_bytes=total,
+            schema_version=_schema_version(),
+            stale_tmp=stale_tmp,
+            quarantined=quarantined,
+        )
+
+    def clear(self) -> int:
+        """Remove every entry (and swept tmp files); returns the count."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._sweep_stale_tmp()
+        for shard in self.root.glob("*"):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+def source_key(source: str) -> str:
+    """Content key of a generated source (schema-versioned)."""
+    material = f"{_schema_version()}\n{source}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def load_replay(source: str):
+    """Materialize a generated replay function, through the cache stack.
+
+    Memory LRU first, then the optional disk cache of marshalled code
+    objects, then ``compile()``.  The pseudo-filename
+    ``<repro-compiled:HASH>`` is stable across processes (it is derived
+    from the content key), so profiler attribution and disk-cached code
+    objects agree.
+    """
+    key = source_key(source)
+    fn = _MEMORY.get(key)
+    if fn is not None:
+        _MEMORY.move_to_end(key)
+        LOADER_STATS["memory_hits"] += 1
+        return fn
+    disk = CompiledPlanCache() if disk_cache_enabled() else None
+    code = disk.load(key) if disk is not None else None
+    if code is not None:
+        LOADER_STATS["disk_hits"] += 1
+    else:
+        code = compile(source, f"<repro-compiled:{key[:16]}>", "exec")
+        LOADER_STATS["compiles"] += 1
+        if disk is not None:
+            disk.store(key, code)
+    namespace = dict(_EXEC_GLOBALS)
+    exec(code, namespace)
+    fn = namespace["replay"]
+    _MEMORY[key] = fn
+    if len(_MEMORY) > _MEMORY_LIMIT:
+        _MEMORY.popitem(last=False)
+    return fn
+
+
+# --------------------------------------------------------------------------
+# Code generation.
+# --------------------------------------------------------------------------
+
+def _fu_name(fu: FuClass) -> str:
+    return f"fu{int(fu)}"
+
+
+def _emit_wakeup(parts: list[str], prods, carry) -> None:
+    if prods is not None:
+        for j in prods:
+            parts.append(f"    if c{j} > ready:\n        ready = c{j}\n")
+    if carry is not None:
+        for reg in carry:
+            parts.append(f"    if g{reg} > ready:\n        ready = g{reg}\n")
+
+
+def _emit_issue(parts: list[str], fu: FuClass, issue_width_expr: str,
+                fu_width_expr: str | None, start: str = "ready") -> None:
+    if fu is FuClass.NONE:
+        parts.append(
+            f"    cycle = {start}\n"
+            "    while True:\n"
+            "        used = issue_get(cycle, 0)\n"
+            f"        if used < {issue_width_expr}:\n"
+            "            break\n"
+            "        cycle += 1\n"
+            "    issue_slots[cycle] = used + 1\n"
+        )
+    else:
+        name = _fu_name(fu)
+        parts.append(
+            f"    cycle = {start}\n"
+            "    while True:\n"
+            "        used = issue_get(cycle, 0)\n"
+            f"        if used < {issue_width_expr}:\n"
+            f"            fu_used = {name}_get(cycle, 0)\n"
+            f"            if fu_used < {fu_width_expr}:\n"
+            "                break\n"
+            "        cycle += 1\n"
+            "    issue_slots[cycle] = used + 1\n"
+            f"    {name}_slots[cycle] = fu_used + 1\n"
+        )
+
+
+def _wrap_lines(idx: str, size) -> str:
+    """Ring-index advance: a mask when the literal size is a power of two."""
+    if isinstance(size, int) and size > 0 and not (size & (size - 1)):
+        return f"    {idx} = ({idx} + 1) & {size - 1}\n"
+    return (
+        f"    {idx} += 1\n"
+        f"    if {idx} == {size}:\n"
+        f"        {idx} = 0\n"
+    )
+
+
+def _emit_commit(parts: list[str], k: int, step_expr: str,
+                 rob_size, win_size) -> None:
+    parts.append(
+        f"    commit = commit_time + {step_expr}\n"
+        f"    if c{k} + 1 > commit:\n"
+        f"        commit = c{k} + 1.0\n"
+        "    commit_time = commit\n"
+        "    rob_ring[rob_idx] = commit\n"
+        + _wrap_lines("rob_idx", rob_size)
+        + "    win_ring[win_idx] = cycle\n"
+        + _wrap_lines("win_idx", win_size)
+    )
+
+
+def _emit_epilogue(parts: list[str], last_writers, n: int, n_groups,
+                   n_reads: int, n_writes: int, fu_counts,
+                   fetch_expr: str) -> None:
+    for reg, j in last_writers:
+        parts.append(f"    reg_ready[{reg}] = c{j}\n")
+    parts.append(
+        f"    core.fetch_cycle = {fetch_expr}\n"
+        "    core._last_dispatch = last_dispatch\n"
+        "    core._disp_cycle = disp_cycle\n"
+        "    core._disp_used = disp_used\n"
+        "    core._rob_idx = rob_idx\n"
+        "    core._win_idx = win_idx\n"
+        "    core._commit_time = commit_time\n"
+        f"    core._n_src_reads += {n_reads}\n"
+        f"    core._n_dest_writes += {n_writes}\n"
+    )
+    if fu_counts:
+        parts.append("    n_exec = core._n_exec\n")
+        for fu, count in fu_counts:
+            parts.append(f"    n_exec[FU_{int(fu)}] += {count}\n")
+    parts.append(
+        f"    core.uops_executed += {n}\n"
+        f"    core._since_prune += {n}\n"
+        f"    if core._since_prune >= {_PRUNE_INTERVAL}:\n"
+        "        core._prune_slots()\n"
+    )
+
+
+def _state_prologue() -> str:
+    return (
+        "    reg_ready = core.reg_ready\n"
+        "    last_dispatch = core._last_dispatch\n"
+        "    disp_cycle = core._disp_cycle\n"
+        "    disp_used = core._disp_used\n"
+        "    rob_ring = core._rob_ring\n"
+        "    rob_idx = core._rob_idx\n"
+        "    win_ring = core._win_ring\n"
+        "    win_idx = core._win_idx\n"
+        "    commit_time = core._commit_time\n"
+        "    issue_slots = core._issue_slots\n"
+        "    issue_get = issue_slots.get\n"
+        "    fu_lookup = core._fu_lookup\n"
+    )
+
+
+def _hot_source(rows: list, per_cycle: int, front_depth: int,
+                profile: ExecProfile, rob_size: int, win_size: int) -> str:
+    """Generate the straight-line hot replay source for one plan.
+
+    Everything machine-specific is baked as a literal: hot plans live in
+    one machine's trace cache and always execute under its hot profile.
+    ``mem_lats`` carries the effective latency of each load uop (override
+    or static), computed by the wrapper in exact scalar probe order.
+    """
+    n = len(rows)
+    producers, carried, last_writers = _dependency_links(rows)
+    _n_uops, n_reads, n_writes, fu_counts = compile_plan_stats(rows)
+    n_groups = -(-n // per_cycle) if n else 0
+    issue_width = profile.issue_width
+    rename_width = profile.rename_width
+    step = 1.0 / profile.commit_width
+    fu_widths = profile.fu_counts
+
+    used_fus = sorted(
+        {row[0] for row in rows if row[0] is not FuClass.NONE}, key=int
+    )
+    load_ks = [k for k, row in enumerate(rows) if row[7] == 1]
+    carried_regs = sorted(
+        {reg for carry in carried if carry for reg in carry}
+    )
+
+    parts: list[str] = ["def replay(core, mem_lats):\n"]
+    parts.append("    fetch0 = core.fetch_cycle\n")
+    parts.append(_state_prologue())
+    for fu in used_fus:
+        name = _fu_name(fu)
+        parts.append(
+            f"    {name}_slots, {name}_get, _ = fu_lookup[FU_{int(fu)}]\n"
+        )
+    if load_ks:
+        targets = ", ".join(f"l{k}" for k in load_ks)
+        parts.append(f"    {targets}, = mem_lats\n")
+    for reg in carried_regs:
+        parts.append(f"    g{reg} = reg_ready[{reg}]\n")
+
+    prev_offset = None
+    for k, row in enumerate(rows):
+        fu, latency = row[0], row[1]
+        offset = k // per_cycle + 1 + front_depth
+        if offset == prev_offset:
+            # Same fetch group: the previous uop dispatched at or above
+            # this very base, so max(base, last_dispatch) IS
+            # last_dispatch.
+            base_lines = "    dispatch = last_dispatch\n"
+        else:
+            base_lines = (
+                f"    dispatch = fetch0 + {offset}\n"
+                "    if last_dispatch > dispatch:\n"
+                "        dispatch = last_dispatch\n"
+            )
+        prev_offset = offset
+        parts.append(
+            base_lines
+            # ROB-full is rare in steady state: compare in place and only
+            # touch the ring a second time on the binding path.
+            + "    if rob_ring[rob_idx] > dispatch:\n"
+            "        dispatch = int(rob_ring[rob_idx]) + 1\n"
+            "    win_gate = win_ring[win_idx]\n"
+            "    if win_gate > dispatch:\n"
+            "        dispatch = win_gate\n"
+            "    if dispatch > disp_cycle:\n"
+            "        disp_cycle = dispatch\n"
+            "        disp_used = 0\n"
+            "    else:\n"
+            "        dispatch = disp_cycle\n"
+            f"    if disp_used >= {rename_width}:\n"
+            "        disp_cycle += 1\n"
+            "        disp_used = 0\n"
+            "        dispatch = disp_cycle\n"
+            "    disp_used += 1\n"
+            "    last_dispatch = dispatch\n"
+        )
+        # Dependency-free uops start probing directly from dispatch + 1;
+        # the ``ready`` accumulator only exists to take wakeup maxes.
+        if producers[k] or carried[k]:
+            parts.append("    ready = dispatch + 1\n")
+            _emit_wakeup(parts, producers[k], carried[k])
+            start = "ready"
+        else:
+            start = "dispatch + 1"
+        _emit_issue(
+            parts, fu, str(issue_width),
+            None if fu is FuClass.NONE else str(fu_widths.get(fu, 1)),
+            start,
+        )
+        lat_expr = f"l{k}" if row[7] == 1 else str(latency)
+        parts.append(f"    c{k} = cycle + {lat_expr}\n")
+        _emit_commit(parts, k, repr(step), rob_size, win_size)
+
+    _emit_epilogue(parts, last_writers, n, n_groups, n_reads, n_writes,
+                   fu_counts, f"fetch0 + {n_groups}")
+    return "".join(parts)
+
+
+def _cold_source(groups: list, producers, carried, last_writers,
+                 n: int, n_reads: int, n_writes: int, fu_counts) -> str:
+    """Generate the straight-line cold replay source for one segment.
+
+    Nothing machine-specific is baked in — widths, depths and ring sizes
+    are read from the core at entry — so cold generated sources (and the
+    functions loaded from them) keep the scalar sharing contract:
+    shareable across models with equal fetch parameters.  The wrapper
+    hoists every hierarchy probe and predictor call into ``fetch_lats``
+    / ``mem_lats`` / ``misps`` (exact scalar order: the probes depend
+    only on the recorded stream, never on timing), so the generated body
+    is the pure timing recurrence, mispredict redirects included.
+
+    ``groups`` is ``((entries), ...)`` with entries ``(flat_ks, is_cti,
+    rows)`` — ``flat_ks`` the flat uop indices of one instruction.
+    """
+    used_fus = sorted(
+        {row[0] for _ks, _cti, rows in (e for g in groups for e in g)
+         for row in rows if row[0] is not FuClass.NONE},
+        key=int,
+    )
+    carried_regs = sorted(
+        {reg for carry in carried if carry for reg in carry}
+    )
+    load_ks = []
+    flat = 0
+    for entries in groups:
+        for _ks, _is_cti, rows in entries:
+            for row in rows:
+                if row[7] == 1:
+                    load_ks.append(flat)
+                flat += 1
+    n_cti = sum(
+        1 for entries in groups for _ks, is_cti, _rows in entries if is_cti
+    )
+
+    parts: list[str] = ["def replay(core, fetch_lats, mem_lats, misps):\n"]
+    parts.append(
+        "    fetch_cycle = core.fetch_cycle\n"
+        "    front_depth = core._front_depth\n"
+        "    rename_width = core._rename_width\n"
+        "    issue_width = core._issue_width\n"
+        "    commit_step = core._commit_step\n"
+        "    rob_size = core._rob_size\n"
+        "    win_size = core._win_size\n"
+    )
+    parts.append(_state_prologue())
+    for fu in used_fus:
+        name = _fu_name(fu)
+        parts.append(
+            f"    {name}_slots, {name}_get, {name}_w = "
+            f"fu_lookup[FU_{int(fu)}]\n"
+        )
+    if groups:
+        targets = ", ".join(f"f{i}" for i in range(len(groups)))
+        parts.append(f"    {targets}, = fetch_lats\n")
+    if load_ks:
+        targets = ", ".join(f"l{k}" for k in load_ks)
+        parts.append(f"    {targets}, = mem_lats\n")
+    if n_cti:
+        targets = ", ".join(f"b{i}" for i in range(n_cti))
+        parts.append(f"    {targets}, = misps\n")
+    for reg in carried_regs:
+        parts.append(f"    g{reg} = reg_ready[{reg}]\n")
+
+    cti_ordinal = 0
+    for i, entries in enumerate(groups):
+        parts.append(
+            f"    fetch_cycle += 1 + f{i}\n"
+            "    group_cycle = fetch_cycle\n"
+        )
+        for flat_ks, is_cti, rows in entries:
+            for k, row in zip(flat_ks, rows):
+                fu = row[0]
+                parts.append(
+                    "    dispatch = group_cycle + front_depth\n"
+                    "    if last_dispatch > dispatch:\n"
+                    "        dispatch = last_dispatch\n"
+                    "    if rob_ring[rob_idx] > dispatch:\n"
+                    "        dispatch = int(rob_ring[rob_idx]) + 1\n"
+                    "    win_gate = win_ring[win_idx]\n"
+                    "    if win_gate > dispatch:\n"
+                    "        dispatch = win_gate\n"
+                    "    if dispatch > disp_cycle:\n"
+                    "        disp_cycle = dispatch\n"
+                    "        disp_used = 0\n"
+                    "    else:\n"
+                    "        dispatch = disp_cycle\n"
+                    "    if disp_used >= rename_width:\n"
+                    "        disp_cycle += 1\n"
+                    "        disp_used = 0\n"
+                    "        dispatch = disp_cycle\n"
+                    "    disp_used += 1\n"
+                    "    last_dispatch = dispatch\n"
+                )
+                if producers[k] or carried[k]:
+                    parts.append("    ready = dispatch + 1\n")
+                    _emit_wakeup(parts, producers[k], carried[k])
+                    start = "ready"
+                else:
+                    start = "dispatch + 1"
+                _emit_issue(
+                    parts, fu, "issue_width",
+                    None if fu is FuClass.NONE else f"{_fu_name(fu)}_w",
+                    start,
+                )
+                lat_expr = f"l{k}" if row[7] == 1 else str(row[1])
+                parts.append(f"    c{k} = cycle + {lat_expr}\n")
+                _emit_commit(parts, k, "commit_step", "rob_size",
+                             "win_size")
+            if is_cti:
+                if rows:
+                    resolved = f"int(c{flat_ks[-1]} + 1)"
+                else:
+                    # The scalar loop resolves an uop-less CTI off its
+                    # initial ``complete = 0.0``.
+                    resolved = "1"
+                parts.append(
+                    f"    if b{cti_ordinal}:\n"
+                    f"        resolved = {resolved}\n"
+                    "        if resolved > fetch_cycle:\n"
+                    "            fetch_cycle = resolved\n"
+                    "        fetch_cycle += 1\n"
+                    "        group_cycle = fetch_cycle\n"
+                )
+                cti_ordinal += 1
+
+    _emit_epilogue(parts, last_writers, n, len(groups), n_reads, n_writes,
+                   fu_counts, "fetch_cycle")
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Max-plus issue pre-pass (hot plans).
+# --------------------------------------------------------------------------
+
+#: Profitability floor, set from measurement: the scan's fixed numpy
+#: overhead (~30 small-array kernel launches) undercuts the generated
+#: straight-line function only well past this many uops, and hot traces
+#: are capped at ``TRACE_CAPACITY_UOPS`` (64) — so production hot plans
+#: build no scan today, and the pre-pass stays exercised through the
+#: property suite (which passes ``min_uops`` explicitly) until frames
+#: outgrow the crossover.
+MAXPLUS_MIN_UOPS = 96
+
+#: Dependency-chain depth bound: past this the level-by-level relaxation
+#: degenerates toward one numpy call per uop.
+MAXPLUS_MAX_DEPTH = 12
+
+
+#: Consecutive verification misses after which a plan's scan is benched:
+#: a structurally contended trace (steady-state demand at the widths)
+#: fails every attempt, and the attempt itself is pure overhead.
+MAXPLUS_FAIL_LIMIT = 16
+
+
+class MaxPlusScan:
+    """Static columns of one hot plan's compile-time contention analysis.
+
+    ``offsets`` holds the fetch-relative dispatch bases (``k //
+    per_cycle + 1 + front_depth``); the actual dispatch pattern —
+    including the rename-width drain and any carried-in backlog — is
+    solved at run time by the residue-class ``maximum.accumulate`` form
+    of ``D[k] = max(A[k], D[k - W] + 1)``, so the scan stays applicable
+    when hot replays run back to back.  ``fails`` counts consecutive
+    runtime verification misses (reset on success); past
+    ``MAXPLUS_FAIL_LIMIT`` the wrapper stops attempting the scan.
+    """
+
+    __slots__ = (
+        "n", "offsets", "rename_width", "lat", "load_rows", "levels",
+        "carried_rows", "carried_regs", "fu_groups", "issue_width",
+        "rob_size", "win_size", "commit_step", "ks", "last_writers",
+        "n_groups", "n_reads", "n_writes", "fu_counts", "fails",
+    )
+
+
+def build_maxplus_scan(rows: list, per_cycle: int, front_depth: int,
+                       profile: ExecProfile, rob_size: int, win_size: int,
+                       *, min_uops: int | None = None,
+                       max_depth: int | None = None) -> MaxPlusScan | None:
+    """Compile-time contention analysis; None when the plan is ineligible.
+
+    Eligibility is static: enough uops to beat numpy overhead, a bounded
+    dependency depth, and a power-of-two commit width (the vectorized
+    commit scan is bit-exact only on a power-of-two grid — see the
+    module docstring).  Everything dynamic (entry state, gate levels,
+    pre-booked slots, actual per-cycle demand) is verified at run time
+    by :func:`run_maxplus`, which falls back when contended.
+    """
+    n = len(rows)
+    if min_uops is None:
+        min_uops = MAXPLUS_MIN_UOPS
+    if max_depth is None:
+        max_depth = MAXPLUS_MAX_DEPTH
+    if n < min_uops or n == 0 or n > rob_size:
+        return None
+    commit_width = profile.commit_width
+    if commit_width & (commit_width - 1):
+        return None
+
+    producers, carried, last_writers = _dependency_links(rows)
+
+    # Dependency levels: level[k] = longest producer chain ending at k.
+    level = [0] * n
+    depth = 0
+    for k, prods in enumerate(producers):
+        if prods:
+            lvl = 1 + max(level[j] for j in prods)
+            level[k] = lvl
+            if lvl > depth:
+                depth = lvl
+    if depth > max_depth:
+        return None
+
+    # Fetch-relative dispatch bases; the width-constrained pattern is
+    # solved at run time so a carried-in backlog stays in scope.
+    offsets = [k // per_cycle + 1 + front_depth for k in range(n)]
+
+    # Per-level dependency edges (src already final when dst relaxes).
+    edges: dict[int, tuple[list, list]] = {}
+    for k, prods in enumerate(producers):
+        if prods:
+            src, dst = edges.setdefault(level[k], ([], []))
+            for j in prods:
+                src.append(j)
+                dst.append(k)
+    levels = tuple(
+        (np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64))
+        for _lvl, (src, dst) in sorted(edges.items())
+    )
+
+    carried_rows: list[int] = []
+    carried_regs: list[int] = []
+    for k, carry in enumerate(carried):
+        if carry:
+            for reg in carry:
+                carried_rows.append(k)
+                carried_regs.append(reg)
+
+    fu_rows: dict[FuClass, list[int]] = {}
+    for k, row in enumerate(rows):
+        if row[0] is not FuClass.NONE:
+            fu_rows.setdefault(row[0], []).append(k)
+    fu_widths = profile.fu_counts
+    fu_groups = tuple(
+        (fu, np.array(ks, dtype=np.int64), fu_widths.get(fu, 1))
+        for fu, ks in fu_rows.items()
+    )
+
+    load_ks = [k for k, row in enumerate(rows) if row[7] == 1]
+    _n_uops, n_reads, n_writes, fu_counts = compile_plan_stats(rows)
+
+    scan = MaxPlusScan()
+    scan.n = n
+    scan.offsets = np.array(offsets, dtype=np.int64)
+    scan.rename_width = profile.rename_width
+    scan.fails = 0
+    scan.lat = np.array([row[1] for row in rows], dtype=np.int64)
+    scan.load_rows = (np.array(load_ks, dtype=np.int64)
+                      if load_ks else None)
+    scan.levels = levels
+    scan.carried_rows = (np.array(carried_rows, dtype=np.int64)
+                         if carried_rows else None)
+    scan.carried_regs = carried_regs
+    scan.fu_groups = fu_groups
+    scan.issue_width = profile.issue_width
+    scan.rob_size = rob_size
+    scan.win_size = win_size
+    scan.commit_step = 1.0 / commit_width
+    scan.ks = np.arange(n, dtype=np.float64) * scan.commit_step
+    scan.last_writers = last_writers
+    scan.n_groups = -(-n // per_cycle)
+    scan.n_reads = n_reads
+    scan.n_writes = n_writes
+    scan.fu_counts = fu_counts
+    return scan
+
+
+def run_maxplus(core, scan: MaxPlusScan, mem_lats: list) -> bool:
+    """Vectorized pre-pass: solve, verify, write back — or bail.
+
+    Returns True when the unconstrained max-plus solution was verified
+    feasible and the core state was advanced; False (state untouched)
+    when any constraint could bind, in which case the caller must run
+    the specialized sequential function instead.
+    """
+    fetch0 = core.fetch_cycle
+    n = scan.n
+    disp_cycle_in = core._disp_cycle
+    if core._last_dispatch != disp_cycle_in:
+        # Every executor leaves last_dispatch == disp_cycle; anything
+        # else is an entry state the closed form does not model.
+        return False
+    width = scan.rename_width
+    u = core._disp_used
+    if u < 0 or u > width:
+        return False
+    commit_time = core._commit_time
+    step = scan.commit_step
+    if not (commit_time / step).is_integer():
+        return False
+
+    # ---- dispatch solve.  Availability per uop is the fetch-group base
+    # clamped to the entry cycle, with the carried-in *window* gates
+    # folded in directly: the scalar recurrence applies them as
+    # ``dispatch = max(dispatch, win_gate)`` — pure max semantics — so
+    # the ring entries for k < win_size (always carried-in state) are
+    # part of the availability, not a verification.  A running max
+    # restores monotonicity (issue cycles in the ring are out of order;
+    # in-order dispatch propagates them forward), then the
+    # rename-width-W greedy recurrence D[k] = max(A[k], D[k - W] + 1)
+    # (carry-in occupancy modelled as u virtual uops at the entry cycle)
+    # decomposes into W independent maximum.accumulate scans — one per
+    # residue class, i.e. per column of the (cycles x W) reshape.
+    raw = scan.offsets + fetch0
+    np.maximum(raw, disp_cycle_in, out=raw)
+
+    win_ring = core._win_ring
+    win_idx = core._win_idx
+    win_size = scan.win_size
+    w = n if n <= win_size else win_size
+    end = win_idx + w
+    if end <= win_size:
+        win_vals = win_ring[win_idx:end]
+    else:
+        win_vals = win_ring[win_idx:] + win_ring[:end - win_size]
+
+    avail = raw.copy()
+    np.maximum(avail[:w], np.asarray(win_vals), out=avail[:w])
+    np.maximum.accumulate(avail, out=avail)
+
+    total = u + n
+    n_rows = -(-total // width)
+    ext = np.empty(n_rows * width, dtype=np.int64)
+    ext[:u] = disp_cycle_in
+    ext[u:total] = avail
+    ext[total:] = avail[-1]
+    mat = ext.reshape(n_rows, width)
+    row_idx = np.arange(n_rows, dtype=np.int64)[:, None]
+    mat -= row_idx
+    np.maximum.accumulate(mat, axis=0, out=mat)
+    mat += row_idx
+    disp = ext[u:total]
+
+    # Pre-gate dispatch values: P[k] = max(A[k], D[k-1]) is what the
+    # scalar recurrence holds when it compares the ROB gate (the window
+    # gate and the width-queueing bump come after), so the remaining
+    # verify-only gates must stay at or below P for the solution to be
+    # exact.
+    pre_gate = raw
+    np.maximum(pre_gate[1:], disp[:-1], out=pre_gate[1:])
+
+    # ROB gates: traces are shorter than the ROB, so every gate read
+    # sees carried-in ring state.  These bump to ``int(gate) + 1`` when
+    # they bind — not a max — so they stay verify-only.
+    rob_ring = core._rob_ring
+    rob_idx = core._rob_idx
+    rob_size = scan.rob_size
+    end = rob_idx + n
+    if end <= rob_size:
+        ring_vals = rob_ring[rob_idx:end]
+    else:
+        ring_vals = rob_ring[rob_idx:] + rob_ring[:end - rob_size]
+    if (np.asarray(ring_vals) > pre_gate).any():
+        return False
+
+    # ---- unconstrained solve: issue = ready = max(dispatch + 1,
+    # producers' completes, carried reads), relaxed level by level.
+    if mem_lats:
+        lat = scan.lat.copy()
+        lat[scan.load_rows] = mem_lats
+    else:
+        lat = scan.lat
+    ready = disp + 1
+    reg_ready = core.reg_ready
+    if scan.carried_rows is not None:
+        vals = np.array([reg_ready[r] for r in scan.carried_regs],
+                        dtype=np.int64)
+        np.maximum.at(ready, scan.carried_rows, vals)
+    for src, dst in scan.levels:
+        np.maximum.at(ready, dst, ready[src] + lat[src])
+    issue = ready
+
+    if n > win_size and (issue[:n - win_size] > pre_gate[win_size:]).any():
+        return False
+
+    # ---- contention verification: per-cycle demand (ours + pre-booked)
+    # within the widths.  The prefix-count argument makes this exact:
+    # when the total at a cycle fits, every intermediate greedy booking
+    # saw used < width, so each sequential scan stops at ready.
+    issue_width = scan.issue_width
+    cyc, cnt = np.unique(issue, return_counts=True)
+    cyc_list = cyc.tolist()
+    cnt_list = cnt.tolist()
+    issue_slots = core._issue_slots
+    if issue_slots:
+        issue_get = issue_slots.get
+        pre = [issue_get(c, 0) for c in cyc_list]
+        for p, m in zip(pre, cnt_list):
+            if p + m > issue_width:
+                return False
+    else:
+        pre = None
+        if max(cnt_list) > issue_width:
+            return False
+    fu_lookup = core._fu_lookup
+    fu_updates = []
+    for fu, fu_ks, width in scan.fu_groups:
+        fcyc, fcnt = np.unique(issue[fu_ks], return_counts=True)
+        fcyc_list = fcyc.tolist()
+        fcnt_list = fcnt.tolist()
+        fu_slots, fu_get, _width = fu_lookup[fu]
+        if fu_slots:
+            fpre = [fu_get(c, 0) for c in fcyc_list]
+            for p, m in zip(fpre, fcnt_list):
+                if p + m > width:
+                    return False
+        else:
+            fpre = None
+            if max(fcnt_list) > width:
+                return False
+        fu_updates.append((fu_slots, fcyc_list, fcnt_list, fpre))
+
+    # ---- feasible: the greedy recurrence reproduces exactly these
+    # values.  Vectorized commit scan (exact on the power-of-two grid),
+    # then wholesale state write-back.
+    completes = issue + lat
+    ks = scan.ks
+    adj = (completes + 1.0) - ks
+    seed = commit_time + step
+    if seed > adj[0]:
+        adj[0] = seed
+    np.maximum.accumulate(adj, out=adj)
+    commit_list = (adj + ks).tolist()
+    completes_list = completes.tolist()
+    issue_list = issue.tolist()
+
+    if pre is None:
+        for c, m in zip(cyc_list, cnt_list):
+            issue_slots[c] = m
+    else:
+        for c, m, p in zip(cyc_list, cnt_list, pre):
+            issue_slots[c] = p + m
+    for fu_slots, fcyc_list, fcnt_list, fpre in fu_updates:
+        if fpre is None:
+            for c, m in zip(fcyc_list, fcnt_list):
+                fu_slots[c] = m
+        else:
+            for c, m, p in zip(fcyc_list, fcnt_list, fpre):
+                fu_slots[c] = p + m
+
+    end = rob_idx + n
+    if end <= rob_size:
+        rob_ring[rob_idx:end] = commit_list
+    else:
+        split = rob_size - rob_idx
+        rob_ring[rob_idx:] = commit_list[:split]
+        rob_ring[:end - rob_size] = commit_list[split:]
+    core._rob_idx = end % rob_size
+
+    if n >= win_size:
+        tail = issue_list[n - win_size:]
+        start = (win_idx + n - win_size) % win_size
+        split = win_size - start
+        win_ring[start:] = tail[:split]
+        win_ring[:start] = tail[split:]
+    else:
+        end = win_idx + n
+        if end <= win_size:
+            win_ring[win_idx:end] = issue_list
+        else:
+            split = win_size - win_idx
+            win_ring[win_idx:] = issue_list[:split]
+            win_ring[:end - win_size] = issue_list[split:]
+    core._win_idx = (win_idx + n) % win_size
+
+    for reg, j in scan.last_writers:
+        reg_ready[reg] = completes_list[j]
+    core.fetch_cycle = fetch0 + scan.n_groups
+    d_last = int(disp[-1])
+    used = int(np.count_nonzero(disp == d_last))
+    if disp_cycle_in == d_last:
+        used += u
+    core._last_dispatch = d_last
+    core._disp_cycle = d_last
+    core._disp_used = used
+    core._commit_time = commit_list[-1]
+    core._n_src_reads += scan.n_reads
+    core._n_dest_writes += scan.n_writes
+    n_exec = core._n_exec
+    for fu, count in scan.fu_counts:
+        n_exec[fu] += count
+    core.uops_executed += n
+    core._since_prune += n
+    if core._since_prune >= _PRUNE_INTERVAL:
+        core._prune_slots()
+    return True
+
+
+# --------------------------------------------------------------------------
+# Plan compilers + run wrappers (the backend surface the simulator uses).
+# --------------------------------------------------------------------------
+
+def compile_hot_specialized(rows: list, per_cycle: int, params) -> tuple:
+    """Compile a hot trace's planned rows into a specialized plan.
+
+    ``params`` is the owning machine's :class:`CoreParams` — hot plans
+    always execute under the hot profile derived from it, so its widths
+    are baked into the generated source.  Layout::
+
+        (replay_fn, probes, scan)
+
+    ``probes`` is ``((origin, mem_code, default_latency), ...)`` in uop
+    order — the wrapper's hierarchy-order-preserving prologue; ``scan``
+    is the compile-time contention analysis (None when ineligible).
+
+    Whole plans are memoized on ``(rows, grouping, geometry)``: traces
+    are rebuilt every run, but the plan is a pure function of the
+    planned rows, so repeat runs skip codegen and scan construction.
+    """
+    profile = ExecProfile.from_params(params)
+    key = (tuple(rows), per_cycle, params.front_depth, params.rob_size,
+           params.window_size, profile.rename_width, profile.issue_width,
+           profile.commit_width,
+           tuple(sorted((int(f), w) for f, w in profile.fu_counts.items())))
+    memo = _PLAN_MEMO
+    plan = memo.get(key)
+    if plan is not None:
+        memo.move_to_end(key)
+        LOADER_STATS["plan_hits"] += 1
+        return plan
+    source = _hot_source(rows, per_cycle, params.front_depth, profile,
+                         params.rob_size, params.window_size)
+    fn = load_replay(source)
+    probes = tuple(
+        (row[8], row[7], row[1]) for row in rows if row[7]
+    )
+    scan = build_maxplus_scan(rows, per_cycle, params.front_depth, profile,
+                              params.rob_size, params.window_size)
+    plan = (fn, probes, scan)
+    memo[key] = plan
+    if len(memo) > _PLAN_MEMO_LIMIT:
+        memo.popitem(last=False)
+    return plan
+
+
+def compile_cold_specialized(instructions: list, params) -> tuple:
+    """Compile a cold segment into a specialized plan.
+
+    Shares the cold contract of the other backends (cacheable per TID,
+    shareable across models with equal fetch parameters — nothing but
+    the fetch grouping is baked into the source).  Layout::
+
+        (replay_fn, probes, n_uops, n_groups, n_cti)
+
+    ``probes`` drives the wrapper prologue in exact scalar order: one
+    ``(op, arg, default)`` per hierarchy/predictor call, with op 0 =
+    icache fetch (arg = start address), 1 = load (arg = instruction
+    index), 2 = store, 3 = CTI predict-and-train.
+    """
+    from repro.frontend.fetch import plan_cold_groups
+
+    all_rows: list = []
+    groups: list = []
+    probes: list = []
+    n_cti = 0
+    flat = 0
+    for start_idx, end_idx, start_address in plan_cold_groups(
+        instructions, params
+    ):
+        probes.append((0, start_address, 0))
+        entries = []
+        for idx in range(start_idx, end_idx):
+            instr = instructions[idx].instr
+            rows = tuple(compile_uop_row(uop) for uop in instr.uops)
+            all_rows.extend(rows)
+            flat_ks = tuple(range(flat, flat + len(rows)))
+            flat += len(rows)
+            for row in rows:
+                if row[7] == 1:
+                    probes.append((1, idx, row[1]))
+                elif row[7]:
+                    probes.append((2, idx, 0))
+            is_cti = instr.is_cti
+            if is_cti:
+                n_cti += 1
+                probes.append((3, idx, 0))
+            entries.append((flat_ks, is_cti, rows))
+        groups.append(entries)
+    producers, carried, last_writers = _dependency_links(all_rows)
+    n_uops, n_reads, n_writes, fu_counts = compile_plan_stats(all_rows)
+    source = _cold_source(groups, producers, carried, last_writers,
+                          n_uops, n_reads, n_writes, fu_counts)
+    fn = load_replay(source)
+    return (fn, tuple(probes), n_uops, len(groups), n_cti)
+
+
+_EMPTY: list = []
+
+
+def run_hot_compiled(core, plan: tuple, instructions: list,
+                     load_latency, store_access) -> None:
+    """Specialized twin of :func:`run_hot_columnar`.
+
+    The prologue probes memory in recorded uop order (shared by both
+    execution paths, so the hierarchy sees exactly one scalar-order
+    pass); the max-plus pre-pass then either advances the whole segment
+    vectorized or defers to the generated sequential function.
+    """
+    fn, probes, scan = plan
+    if probes:
+        mem_lats = []
+        append = mem_lats.append
+        for origin, code, default in probes:
+            dyn = instructions[origin]
+            addr = dyn.mem_addr
+            if addr is None:
+                addr = dyn.instr.address
+            if code == 1:
+                append(load_latency(addr) or default)
+            else:
+                store_access(addr)
+    else:
+        mem_lats = _EMPTY
+    if scan is not None and scan.fails < MAXPLUS_FAIL_LIMIT:
+        if run_maxplus(core, scan, mem_lats):
+            scan.fails = 0
+            return
+        scan.fails += 1
+    fn(core, mem_lats)
+
+
+def run_cold_compiled(core, plan: tuple, instructions: list,
+                      fetch_latency, load_latency, store_access,
+                      predict_and_train) -> int:
+    """Specialized twin of :func:`run_cold_columnar`; returns mispredicts.
+
+    The prologue replays every hierarchy probe and predictor call in
+    exact scalar order (they depend only on the recorded stream, never
+    on timing), then hands the collected latencies and mispredict flags
+    to the pure-timing generated function.
+    """
+    fn, probes, _n_uops, _n_groups, _n_cti = plan
+    fetch_lats = []
+    mem_lats = []
+    misps = []
+    n_misp = 0
+    for op, arg, default in probes:
+        if op == 0:
+            fetch_lats.append(fetch_latency(arg))
+        elif op == 3:
+            dyn = instructions[arg]
+            missed = predict_and_train(dyn.instr, dyn.taken,
+                                       dyn.next_address)
+            misps.append(missed)
+            if missed:
+                n_misp += 1
+        else:
+            dyn = instructions[arg]
+            addr = dyn.mem_addr
+            if addr is None:
+                addr = dyn.instr.address
+            if op == 1:
+                mem_lats.append(load_latency(addr) or default)
+            else:
+                store_access(addr)
+    fn(core, fetch_lats, mem_lats, misps)
+    return n_misp

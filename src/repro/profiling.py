@@ -31,6 +31,11 @@ from repro.workloads.suite import application
 _PHASE_BUCKETS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("walk", ("workloads/stream", "workloads/behaviors", "random.py")),
     ("select", ("trace/selection", "trace/tid")),
+    # Generated replay functions carry the pseudo-filename
+    # ``<repro-compiled:HASH>`` (one per plan); fold every exec'd frame
+    # plus the specializer's wrappers into a single phase instead of
+    # scattering per-hash rows through the table.
+    ("replay(compiled)", ("<repro-compiled", "pipeline/specialize")),
     ("columnar", ("pipeline/columnar",)),
     ("execute", ("pipeline/core", "pipeline/resources")),
     ("memory", ("memory/",)),
@@ -83,7 +88,7 @@ class ProfileReport:
             f"instructions in {self.elapsed:.3f}s "
             f"({self.instructions_per_second:,.0f} instr/s under cProfile)",
             "",
-            f"  {'phase':12}{'seconds':>10}{'share':>9}",
+            f"  {'phase':17}{'seconds':>10}{'share':>9}",
         ]
         total = sum(self.phase_seconds.values()) or 1.0
         for phase in _PHASE_ORDER:
@@ -91,9 +96,9 @@ class ProfileReport:
             if seconds == 0.0 and phase != "other":
                 continue
             lines.append(
-                f"  {phase:12}{seconds:>10.3f}{seconds / total:>8.1%}"
+                f"  {phase:17}{seconds:>10.3f}{seconds / total:>8.1%}"
             )
-        lines.append(f"  {'total':12}{total:>10.3f}{1.0:>8.1%}")
+        lines.append(f"  {'total':17}{total:>10.3f}{1.0:>8.1%}")
         lines.append("")
         lines.append(f"top {top} functions by self time:")
         buffer = io.StringIO()
@@ -141,7 +146,7 @@ def profile_run(
     configuration is one-time setup, not hot-path), so the report isolates
     the per-run cost the optimization work targets.  ``backend`` selects
     the batch executor; columnar runs surface their executor time under
-    the ``columnar`` phase.
+    the ``columnar`` phase, compiled runs under ``replay(compiled)``.
     """
     app = application(app_name)
     simulator = ParrotSimulator(model_config(model_name))

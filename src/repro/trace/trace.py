@@ -52,6 +52,12 @@ class Trace:
     _hot_plan_columnar: tuple | None = field(
         default=None, repr=False, compare=False
     )
+    #: Specialized twin (see ``repro.pipeline.specialize``): the generated
+    #: replay function + probe plan + max-plus scan, compiled lazily when
+    #: the owning machine runs the compiled backend.
+    _hot_plan_compiled: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
     #: Indices of CTI instructions within the trace's instruction span,
     #: cached for the retire-time branch-predictor training loop.
     _cti_indices: tuple | None = field(default=None, repr=False, compare=False)

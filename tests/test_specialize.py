@@ -1,0 +1,424 @@
+"""Compiled execution backend: specialization, caching, max-plus scan.
+
+The compiled backend (:mod:`repro.pipeline.specialize`) generates a
+dedicated Python replay function per plan and, for eligible hot plans, a
+vectorized max-plus issue pre-pass.  Its contract is exact agreement with
+the scalar reference, pinned here the same way the columnar suite pins
+its backend: against the goldens, across machine models, across the
+sampled/adaptive regimes and over the shared artifact stack.  On top of
+the parity gates this file covers the backend's own machinery — the
+content-keyed loader stack (memory LRU, disk cache, quarantine), the
+whole-plan memo, the shared :class:`ColdPlanCache` contract, profiler
+phase attribution for generated frames, and Hypothesis property tests
+that the max-plus scan equals the sequential recurrence on randomly
+generated (mostly uncontended) segments.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.pipeline.specialize as sp
+from repro.core.simulator import ColdPlanCache, ParrotSimulator, RunOptions
+from repro.errors import SimulationError
+from repro.isa.opcodes import FuClass
+from repro.models.configs import model_config
+from repro.pipeline.columnar import ExecutionBackend
+from repro.pipeline.core import TimingCore
+from repro.pipeline.resources import CoreParams, ExecProfile
+from repro.profiling import classify_function
+from repro.sampling.config import SamplingConfig
+from repro.workloads.suite import application
+from repro.workloads.tracefile import compile_artifact
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The same pinned runs the scalar and columnar parity gates use.
+PARITY_RUNS = [
+    ("swim", "TON", 4000),
+    ("gcc", "N", 4000),
+    ("eon", "TOW", 4000),
+]
+
+COMPILED = RunOptions(backend=ExecutionBackend.COMPILED)
+
+
+def _simulate(app_name: str, model_name: str, length: int,
+              options: RunOptions) -> dict:
+    simulator = ParrotSimulator(model_config(model_name))
+    result = simulator.simulate(
+        application(app_name), options, length=length
+    )
+    return result.to_dict()
+
+
+# --------------------------------------------------------------------------
+# Parity gates (mirroring tests/test_columnar.py).
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("app_name,model_name,length", PARITY_RUNS)
+def test_compiled_matches_golden(app_name, model_name, length):
+    """The compiled backend reproduces the scalar goldens bit-for-bit."""
+    golden_path = GOLDEN_DIR / f"{app_name}_{model_name}_{length}.json"
+    golden = json.loads(golden_path.read_text())
+    produced = json.loads(
+        json.dumps(_simulate(app_name, model_name, length, COMPILED))
+    )
+    assert produced == golden, (
+        f"compiled run of {app_name}/{model_name}/{length} diverged from "
+        f"the golden result — the backends must stay bit-identical"
+    )
+
+
+@pytest.mark.parametrize("app_name,model_name", [
+    ("gzip", "TOS"),   # split pipeline: state switches between cores
+    ("swim", "W"),     # wide baseline, no trace unit at all
+    ("mesa", "TN"),    # narrow trace machine, no optimizer
+])
+def test_compiled_matches_scalar_across_models(app_name, model_name):
+    scalar = _simulate(app_name, model_name, 3000, RunOptions())
+    compiled = _simulate(app_name, model_name, 3000, COMPILED)
+    assert compiled == scalar
+
+
+def test_compiled_matches_scalar_sampled():
+    sampling = SamplingConfig(detail=500, gap=1500, warmup=300,
+                              func_warm=500)
+    scalar = _simulate("swim", "TON", 20_000, RunOptions(sampling=sampling))
+    compiled = _simulate(
+        "swim", "TON", 20_000,
+        RunOptions(sampling=sampling, backend=ExecutionBackend.COMPILED),
+    )
+    assert compiled == scalar
+
+
+def test_compiled_matches_scalar_adaptive():
+    """Adaptive sampling is backend-independent, estimate included."""
+    sampling = SamplingConfig(mode="adaptive", detail=500, gap=1500,
+                              warmup=300, func_warm=500,
+                              phase_threshold=0.3)
+    runs = {}
+    for backend in (ExecutionBackend.SCALAR, ExecutionBackend.COMPILED):
+        simulator = ParrotSimulator(model_config("TON"))
+        runs[backend] = simulator.simulate(
+            application("swim"),
+            RunOptions(sampling=sampling, backend=backend, estimate=True),
+            length=30_000,
+        )
+    scalar, compiled = (runs[ExecutionBackend.SCALAR],
+                        runs[ExecutionBackend.COMPILED])
+    assert compiled.result.to_dict() == scalar.result.to_dict()
+    assert compiled.estimate.intervals == scalar.estimate.intervals
+    assert compiled.estimate.ipc.mean == scalar.estimate.ipc.mean
+    assert compiled.estimate.epi.mean == scalar.estimate.epi.mean
+
+
+def test_compiled_artifact_with_shared_caches(tmp_path):
+    """Artifact + shared segments + ColdPlanCache, all three backends.
+
+    Two models with equal fetch parameters share one cache across every
+    backend; each combination must match the generator-path scalar run.
+    """
+    app = application("gcc")
+    artifact = compile_artifact(app, app.seed, 3000, root=tmp_path)
+    segments = artifact.segments()
+    cache = ColdPlanCache(segments)
+    for model_name in ("N", "TON"):
+        reference = _simulate(model_name=model_name, app_name="gcc",
+                              length=3000, options=RunOptions())
+        for backend in ExecutionBackend:
+            result = ParrotSimulator(model_config(model_name)).simulate(
+                artifact,
+                RunOptions(backend=backend, segments=segments,
+                           cold_plans=cache),
+            )
+            assert result.to_dict() == reference, (model_name, backend)
+
+
+# --------------------------------------------------------------------------
+# ColdPlanCache contract (shared by columnar and compiled cold plans).
+# --------------------------------------------------------------------------
+
+class TestColdPlanCache:
+
+    def test_refuses_foreign_segment_list(self, tmp_path):
+        app = application("gcc")
+        artifact = compile_artifact(app, app.seed, 2000, root=tmp_path)
+        segments = artifact.segments()
+        cache = ColdPlanCache(segments)
+        simulator = ParrotSimulator(model_config("TON"))
+        foreign = list(segments)  # equal content, different identity
+        with pytest.raises(SimulationError, match="different segment list"):
+            simulator.simulate(
+                artifact,
+                RunOptions(backend=ExecutionBackend.COMPILED,
+                           segments=foreign, cold_plans=cache),
+            )
+
+    def test_partitions_plans_by_backend(self, tmp_path):
+        """One cache serves every backend without plan cross-talk."""
+        app = application("gcc")
+        artifact = compile_artifact(app, app.seed, 2000, root=tmp_path)
+        segments = artifact.segments()
+        cache = ColdPlanCache(segments)
+        fetch = model_config("TON").fetch
+        partitions = [
+            cache.plans_for(segments, fetch, backend)
+            for backend in ExecutionBackend
+        ]
+        assert len({id(p) for p in partitions}) == len(partitions)
+        # and the same (fetch, backend) pair resolves to the same dict.
+        again = cache.plans_for(segments, fetch, ExecutionBackend.COMPILED)
+        assert again is partitions[-1]
+
+
+# --------------------------------------------------------------------------
+# Loader stack: memory LRU, whole-plan memo, disk cache, quarantine.
+# --------------------------------------------------------------------------
+
+def _nop_source(tag: int) -> str:
+    return f"def replay(core, mem_lats):\n    core.extra = {tag}\n"
+
+
+class TestLoaderStack:
+
+    def test_memory_lru_eviction_order(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_COMPILED_CACHE", "0")
+        monkeypatch.setattr(sp, "_MEMORY_LIMIT", 2)
+        sp._MEMORY.clear()
+        fn0 = sp.load_replay(_nop_source(0))
+        sp.load_replay(_nop_source(1))
+        # Touch 0 so it is most-recently used, then overflow with 2:
+        # the least-recently-used entry (1) must be the one evicted.
+        assert sp.load_replay(_nop_source(0)) is fn0
+        sp.load_replay(_nop_source(2))
+        keys = list(sp._MEMORY)
+        assert sp.source_key(_nop_source(1)) not in keys
+        assert sp.source_key(_nop_source(0)) in keys
+        assert sp.source_key(_nop_source(2)) in keys
+
+    def test_disk_cache_round_trip(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_COMPILED_CACHE", raising=False)
+        sp._MEMORY.clear()
+        before = dict(sp.LOADER_STATS)
+        source = _nop_source(7)
+        sp.load_replay(source)
+        assert sp.LOADER_STATS["compiles"] == before["compiles"] + 1
+        sp._MEMORY.clear()  # force the next load through the disk layer
+        fn = sp.load_replay(source)
+        assert sp.LOADER_STATS["disk_hits"] == before["disk_hits"] + 1
+
+        class Core:
+            pass
+
+        core = Core()
+        fn(core, [])
+        assert core.extra == 7
+
+    def test_disk_cache_quarantines_corrupt_and_stale(self, tmp_path):
+        cache = sp.CompiledPlanCache(root=tmp_path)
+        code = compile(_nop_source(1), "<test>", "exec")
+        key_ok = "ab" + "0" * 62
+        cache.store(key_ok, code)
+        assert cache.load(key_ok) is not None
+
+        key_corrupt = "cd" + "0" * 62
+        cache.store(key_corrupt, code)
+        path = cache._path(key_corrupt)
+        path.write_bytes(path.read_bytes()[:-4] + b"!!!!")
+        assert cache.load(key_corrupt) is None
+        assert not path.exists(), "corrupt entry must be quarantined"
+
+        key_stale = "ef" + "0" * 62
+        cache.store(key_stale, code)
+        path = cache._path(key_stale)
+        blob = path.read_bytes()
+        path.write_bytes(b"XXXX" + blob[4:])  # wrong prefix == stale header
+        info = cache.info()
+        assert info.quarantined == 1
+        assert info.entries == 1  # only the healthy entry survives
+        assert cache.quarantined == 2  # one from load(), one from info()
+        assert cache.clear() == 1
+        assert cache.info().entries == 0
+
+    def test_plan_memo_eviction_order(self, monkeypatch):
+        monkeypatch.setattr(sp, "_PLAN_MEMO_LIMIT", 2)
+        sp._PLAN_MEMO.clear()
+        params = CoreParams(name="memo-test", rename_width=4, issue_width=4,
+                            commit_width=4, rob_size=128, window_size=48)
+
+        def rows(latency):
+            return [(FuClass.INT, latency, -1, -1, (), 3, -1, 0, 0)]
+
+        plan0 = sp.compile_hot_specialized(rows(1), 8, params)
+        sp.compile_hot_specialized(rows(2), 8, params)
+        hits = sp.LOADER_STATS["plan_hits"]
+        # Touch plan 0, then overflow with a third plan: 2 must be evicted.
+        assert sp.compile_hot_specialized(rows(1), 8, params) is plan0
+        assert sp.LOADER_STATS["plan_hits"] == hits + 1
+        sp.compile_hot_specialized(rows(3), 8, params)
+        assert len(sp._PLAN_MEMO) == 2
+        sp.compile_hot_specialized(rows(2), 8, params)  # re-derived, no hit
+        assert sp.LOADER_STATS["plan_hits"] == hits + 1
+
+
+def test_generated_frames_bucket_as_compiled_replay():
+    """Profiler attribution folds exec'd frames into one phase."""
+    assert classify_function("<repro-compiled:deadbeef>") == "replay(compiled)"
+    assert (classify_function("/x/src/repro/pipeline/specialize.py")
+            == "replay(compiled)")
+    assert classify_function("/x/src/repro/pipeline/columnar.py") == "columnar"
+
+
+# --------------------------------------------------------------------------
+# Max-plus scan vs the sequential recurrence (property-based).
+# --------------------------------------------------------------------------
+
+#: Wide-machine geometry: plenty of issue/FU bandwidth so random segments
+#: are mostly uncontended and the scan's success path is the common case.
+_WIDE = CoreParams(
+    name="maxplus-test", rename_width=4, issue_width=16, commit_width=4,
+    rob_size=128, window_size=48,
+    fu_counts={FuClass.INT: 16, FuClass.MEM_LOAD: 16, FuClass.FP: 16},
+)
+_PER_CYCLE = 8
+_FUS = (FuClass.INT, FuClass.MEM_LOAD, FuClass.FP)
+
+
+def _core_state(core: TimingCore) -> tuple:
+    return (
+        list(core.reg_ready), core.fetch_cycle, core._last_dispatch,
+        core._disp_cycle, core._disp_used, list(core._rob_ring),
+        core._rob_idx, list(core._win_ring), core._win_idx,
+        core._commit_time, dict(core._issue_slots),
+        {fu: dict(slots) for fu, slots in core._fu_slots.items()},
+        core.uops_executed, core._n_src_reads, core._n_dest_writes,
+        dict(core._n_exec),
+    )
+
+
+def _types(state) -> list:
+    return [type(v) for v in state[0]] + [type(v) for v in state[5]]
+
+
+@st.composite
+def _segments(draw):
+    """A random planned-row segment plus its per-load latencies."""
+    n = draw(st.integers(min_value=4, max_value=24))
+    rows = []
+    mem_lats = []
+    for k in range(n):
+        fu = draw(st.sampled_from(_FUS))
+        is_load = fu is FuClass.MEM_LOAD
+        latency = draw(st.integers(min_value=1, max_value=4))
+        src1 = draw(st.integers(min_value=-1, max_value=15))
+        src2 = draw(st.integers(min_value=-1, max_value=15))
+        dest = draw(st.integers(min_value=-1, max_value=15))
+        rows.append((fu, latency, src1, src2, (), dest, -1,
+                     1 if is_load else 0, k))
+        if is_load:
+            mem_lats.append(draw(st.integers(min_value=1, max_value=30)))
+    return rows, mem_lats
+
+
+def _compile_pair(rows):
+    profile = ExecProfile.from_params(_WIDE)
+    source = sp._hot_source(rows, _PER_CYCLE, _WIDE.front_depth, profile,
+                            _WIDE.rob_size, _WIDE.window_size)
+    fn = sp.load_replay(source)
+    scan = sp.build_maxplus_scan(
+        rows, _PER_CYCLE, _WIDE.front_depth, profile,
+        _WIDE.rob_size, _WIDE.window_size, min_uops=1, max_depth=64,
+    )
+    return fn, scan
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=_segments(), prefix=_segments())
+def test_maxplus_equals_sequential(data, prefix):
+    """When the scan verifies, its state equals the sequential replay's.
+
+    ``prefix`` is first replayed sequentially on both cores so the scan
+    also faces dirty entry states (dispatch backlog, populated rings and
+    slot tables) — the steady state of back-to-back hot replays.
+    """
+    rows, mem_lats = data
+    p_rows, p_lats = prefix
+    fn, scan = _compile_pair(rows)
+    assert scan is not None, "wide geometry must be statically eligible"
+    p_fn, _ = _compile_pair(p_rows)
+
+    core_scan = TimingCore(_WIDE)
+    core_seq = TimingCore(_WIDE)
+    for core in (core_scan, core_seq):
+        p_fn(core, p_lats)
+
+    before = _core_state(core_scan)
+    ok = sp.run_maxplus(core_scan, scan, mem_lats)
+    fn(core_seq, mem_lats)
+    if ok:
+        after_scan = _core_state(core_scan)
+        after_seq = _core_state(core_seq)
+        assert after_scan == after_seq
+        # Bit-identity includes types: ints stay ints, commits floats.
+        assert _types(after_scan) == _types(after_seq)
+    else:
+        assert _core_state(core_scan) == before, (
+            "a bailed scan must leave the core untouched"
+        )
+
+
+def test_maxplus_engages_on_uncontended_segment():
+    """Deterministic success-path anchor for the property test above."""
+    rows = [(FuClass.INT, 1, -1, -1, (), 3, -1, 0, k) for k in range(8)]
+    fn, scan = _compile_pair(rows)
+    core_scan = TimingCore(_WIDE)
+    core_seq = TimingCore(_WIDE)
+    assert sp.run_maxplus(core_scan, scan, [])
+    fn(core_seq, [])
+    assert _core_state(core_scan) == _core_state(core_seq)
+
+
+def test_maxplus_bails_on_contended_segment():
+    """Per-FU demand beyond the width must refuse, state untouched."""
+    narrow = CoreParams(
+        name="contended", rename_width=8, issue_width=8, commit_width=4,
+        rob_size=128, window_size=48, fu_counts={FuClass.INT: 1},
+    )
+    rows = [(FuClass.INT, 1, -1, -1, (), -1, -1, 0, k) for k in range(8)]
+    profile = ExecProfile.from_params(narrow)
+    scan = sp.build_maxplus_scan(
+        rows, _PER_CYCLE, narrow.front_depth, profile,
+        narrow.rob_size, narrow.window_size, min_uops=1, max_depth=64,
+    )
+    core = TimingCore(narrow)
+    before = _core_state(core)
+    assert not sp.run_maxplus(core, scan, [])
+    assert _core_state(core) == before
+
+
+def test_maxplus_fail_streak_benches_the_scan(monkeypatch):
+    """After MAXPLUS_FAIL_LIMIT consecutive misses the wrapper stops
+    attempting the scan (and a success resets the streak)."""
+    calls = {"n": 0}
+
+    def counting_run_maxplus(core, scan, mem_lats):
+        calls["n"] += 1
+        return False
+
+    monkeypatch.setattr(sp, "run_maxplus", counting_run_maxplus)
+    rows = [(FuClass.INT, 1, -1, -1, (), -1, -1, 0, k) for k in range(8)]
+    fn, scan = _compile_pair(rows)
+    assert scan is not None
+    scan.fails = 0
+    core = TimingCore(_WIDE)
+    plan = (fn, (), scan)
+    for _ in range(sp.MAXPLUS_FAIL_LIMIT + 5):
+        sp.run_hot_compiled(core, plan, [], None, None)
+    assert calls["n"] == sp.MAXPLUS_FAIL_LIMIT
+    assert scan.fails == sp.MAXPLUS_FAIL_LIMIT
