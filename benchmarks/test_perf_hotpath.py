@@ -18,9 +18,17 @@ Reference trajectory on the development machine (swim, TON, 100k):
   ~1.2M instr/s full detail — 1.1-1.3x the warmed columnar stack
   (1.30x on the archived round) and ~2.8x the scalar generator path.
   The remaining gap to the loop-level
-  speedup (~1.7x on the replay recurrence itself) is shared
+  speedup (~1.7x on the replay recurrence itself) was shared
   per-segment work — predictor training, trace-cache bookkeeping,
   energy events — that no backend choice touches.
+* after batching that shared per-segment work
+  (``repro.pipeline.segment_batch``: compiled per-trace training plans,
+  plan-level event folds, journaled LRU refreshes): the warmed-stack
+  cProfile total dropped 0.61s -> 0.24s and the generated replay
+  functions became the largest profile phase; the archived round
+  (1.214M instr/s) edged past the previous archive on a host running
+  the scalar reference ~17% slower, i.e. the like-for-like gain is
+  larger than the headline delta.
 
 The columnar and compiled benchmarks also run interleaved reference
 rounds of the other backends so the archived JSON carries

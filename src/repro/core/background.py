@@ -50,6 +50,11 @@ class BackgroundProcessor:
         self.optimizer = TraceOptimizer(config.optimizer)
         self._optimizer_busy_until = 0.0
         self._pending: list[_PendingOptimization] = []
+        #: Batched ``filter_access`` events: every committed segment and
+        #: every hot execution files one, so the count accumulates here
+        #: and folds into ``events`` at flush points (end of a segment
+        #: batch, and either side of a warmup events-shield swap).
+        self._n_filter_access = 0
 
     # -- cold-side background: TID selection -> hot filter -> construction --
 
@@ -61,7 +66,9 @@ class BackgroundProcessor:
         the hot threshold and is not already resident.
         """
         self.stats.segments += 1
-        self.events.add("filter_access")
+        if not self._n_filter_access:
+            self.events.add("filter_access", 0)
+        self._n_filter_access += 1
         became_hot = self.hot_filter.access(segment.tid)
         if became_hot and not self.trace_cache.contains(segment.tid):
             trace = build_trace(segment.tid, segment.instructions)
@@ -76,13 +83,16 @@ class BackgroundProcessor:
                 self.hot_filter.forget(tid)
                 self.blazing_filter.forget(tid)
             self.stats.traces_constructed += 1
-        self._drain_ready(now)
+        if self._pending:
+            self._drain_ready(now)
 
     # -- hot-side background: blazing filter -> optimizer ----------------------
 
     def after_hot_execution(self, trace: Trace, now: float) -> None:
         """Count a hot execution; queue optimization on a blazing trigger."""
-        self.events.add("filter_access")
+        if not self._n_filter_access:
+            self.events.add("filter_access", 0)
+        self._n_filter_access += 1
         blazing = self.blazing_filter.access(trace.tid)
         if (
             blazing
@@ -90,7 +100,8 @@ class BackgroundProcessor:
             and not trace.optimized
         ):
             self._enqueue_optimization(trace, now)
-        self._drain_ready(now)
+        if self._pending:
+            self._drain_ready(now)
 
     def _enqueue_optimization(self, trace: Trace, now: float) -> None:
         if len(self._pending) >= _OPTIMIZER_QUEUE_DEPTH:
@@ -107,6 +118,17 @@ class BackgroundProcessor:
         self.events.add("optimizer_uop", report.uops_before)
         self._pending.append(_PendingOptimization(finish, optimized))
         self.stats.traces_optimized += 1
+
+    def flush_filter_events(self) -> None:
+        """Fold the batched filter accesses into the bound event counts.
+
+        Must run before ``self.events`` is rebound (the warmup shield
+        swaps it for a throwaway and back) and at the end of every
+        segment batch, so interval snapshots see settled counts.
+        """
+        if self._n_filter_access:
+            self.events.add("filter_access", self._n_filter_access)
+            self._n_filter_access = 0
 
     def _drain_ready(self, now: float) -> None:
         """Install optimized traces whose optimizer latency has elapsed."""

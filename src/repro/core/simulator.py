@@ -65,6 +65,7 @@ from repro.pipeline.specialize import (
     run_hot_compiled,
 )
 from repro.pipeline.core import TimingCore, compile_plan_stats, compile_uop_row
+from repro.pipeline.segment_batch import compile_hot_training, run_hot_training
 from repro.pipeline.resources import ExecProfile
 from repro.power.energy import EnergyModel
 from repro.power.events import EventCounts
@@ -717,74 +718,100 @@ class ParrotSimulator:
         cold_plans = machine.cold_plans
         backend = machine.backend
 
-        # Selector-loop events accumulate in locals and fold into
+        # Segment-loop events accumulate in locals and fold into
         # ``events`` once per call — per-plan reductions, like the
-        # executors' own batched stats.  All counts are integer-valued,
-        # so the fold is exact; the zero-guards below keep a key absent
-        # whenever the per-occurrence form never created it, and each
-        # first occurrence still registers its key immediately because
-        # the energy model's float accumulation follows event insertion
-        # order.  Interval snapshots only read ``events`` after this
-        # method returns.
+        # executors' own batched stats.  This now covers the executors'
+        # per-segment traffic too: hot frame reads and virtual-rename
+        # discounts, and the cold pipeline's fetch/decode/predictor/flush
+        # totals, which the plans report and this loop sums.  All counts
+        # are integer-valued, so the fold is exact; the zero-guards below
+        # keep a key absent whenever the per-occurrence form never
+        # created it, and each first occurrence still registers its key
+        # immediately because the energy model's float accumulation
+        # follows event insertion order.  Interval snapshots only read
+        # ``events`` after this method returns.
         n_tpred_lookup = 0
         n_tcache_tag = 0
         n_tpred_update = 0
         n_bpred_update = 0
+        n_hot_frames = 0
+        n_rename_virtual = 0
+        n_fetch_cycle = 0
+        n_decode_instr = 0
+        n_bpred_lookup = 0
+        n_mispredict_flush = 0
+
+        # The loop body runs once per segment: bind the per-segment call
+        # targets once (attribute chains cost as much as the calls here).
+        trace_machinery = tpred is not None and background is not None
+        if tpred is not None:
+            tpred_predict = tpred.predict
+            tpred_train = tpred.train
+        if background is not None:
+            tcache_lookup = background.trace_cache.lookup
+            after_hot_execution = background.after_hot_execution
+            after_commit = background.after_commit
+        is_split = config.is_split
+        history_bits = bpred.history_bits
 
         last_pipeline = machine.last_pipeline
         for segment in segments:
             executed_hot = False
             trace: Trace | None = None
             predicted = None
-            if tpred is not None and background is not None and segment.complete:
-                predicted = tpred.predict()
+            if trace_machinery and segment.complete:
+                predicted = tpred_predict()
                 n_tpred_lookup += 1
                 if n_tpred_lookup == 1:
-                    events.add("tpred_lookup", 0.0)
+                    events.add("tpred_lookup", 0)
                 if predicted is not None:
-                    trace = background.trace_cache.lookup(predicted)
+                    trace = tcache_lookup(predicted)
                     n_tcache_tag += 1  # tag lookup
                     if n_tcache_tag == 1:
-                        events.add("tcache_read", 0.0)
+                        events.add("tcache_read", 0)
                     if trace is None:
                         stats.tcache_miss_on_predict += 1
                     elif predicted == segment.tid:
-                        if config.is_split and last_pipeline != "hot":
+                        if is_split and last_pipeline != "hot":
                             core.apply_state_switch(config.state_switch_latency)
                             core.stall_fetch(1)
                         core.set_profile(hot_profile)
                         self._execute_hot(
-                            core, hierarchy, events, result, trace, segment,
+                            core, hierarchy, result, trace, segment,
                             backend,
                         )
-                        background.after_hot_execution(trace, core.cycles)
+                        n_hot_frames += 1
+                        if trace.optimized and trace.virtual_renames:
+                            if not n_rename_virtual:
+                                events.add("rename_virtual", 0)
+                            n_rename_virtual += trace.virtual_renames
+                        after_hot_execution(trace, core.cycles)
                         # Retire-time training: hot-committed CTIs still
                         # update the branch predictor (no fetch-time lookup
                         # was needed), keeping its global history coherent
-                        # for the interleaved cold code.  The CTI positions
-                        # are a static property of the trace, cached on it.
-                        cti_indices = trace._cti_indices
-                        instrs = segment.instructions
-                        if cti_indices is None:
-                            cti_indices = tuple(
-                                i for i, dyn in enumerate(instrs)
-                                if dyn.instr.is_cti
+                        # for the interleaved cold code.  The CTI outcomes
+                        # are a static property of the trace (TID path
+                        # identity), so training replays as one compiled
+                        # batch cached on the trace.
+                        train_plan = trace._train_plan
+                        if train_plan is None:
+                            train_plan = compile_hot_training(
+                                segment.instructions, history_bits
                             )
-                            trace._cti_indices = cti_indices
-                        for i in cti_indices:
-                            dyn = instrs[i]
-                            bpred.predict_and_train(
-                                dyn.instr, dyn.taken, dyn.next_address
-                            )
-                        if cti_indices:
+                            trace._train_plan = train_plan
+                        run_hot_training(
+                            bpred, train_plan, segment.instructions
+                        )
+                        n_cti = train_plan[2]
+                        if n_cti:
                             if not n_bpred_update:
-                                events.add("bpred_update", 0.0)
-                            n_bpred_update += len(cti_indices)
+                                events.add("bpred_update", 0)
+                            n_bpred_update += n_cti
                         executed_hot = True
                         last_pipeline = "hot"
                     else:
                         # Wrong trace started on the hot pipeline: flush.
-                        if config.is_split and last_pipeline != "hot":
+                        if is_split and last_pipeline != "hot":
                             core.apply_state_switch(config.state_switch_latency)
                             core.stall_fetch(1)
                             last_pipeline = "hot"
@@ -793,14 +820,34 @@ class ParrotSimulator:
                         )
                         stats.trace_mispredicts += 1
             if not executed_hot:
-                if config.is_split and last_pipeline != "cold":
+                if is_split and last_pipeline != "cold":
                     core.apply_state_switch(config.state_switch_latency)
                     core.stall_fetch(1)
                 core.set_profile(cold_profile)
-                self._execute_cold(
-                    core, hierarchy, bpred, events, result, segment,
+                n_groups, n_cold_cti, n_misp = self._execute_cold(
+                    core, hierarchy, bpred, result, segment,
                     cold_plans, backend,
                 )
+                if n_groups:
+                    if not n_fetch_cycle:
+                        events.add("fetch_cycle", 0)
+                    n_fetch_cycle += n_groups
+                n_instrs = len(segment.instructions)
+                if n_instrs:
+                    if not n_decode_instr:
+                        events.add("decode_instr", 0)
+                    n_decode_instr += n_instrs
+                if n_cold_cti:
+                    if not n_bpred_lookup:
+                        events.add("bpred_lookup", 0)
+                    n_bpred_lookup += n_cold_cti
+                    if not n_bpred_update:
+                        events.add("bpred_update", 0)
+                    n_bpred_update += n_cold_cti
+                if n_misp:
+                    if not n_mispredict_flush:
+                        events.add("mispredict_flush", 0)
+                    n_mispredict_flush += n_misp
                 last_pipeline = "cold"
 
             result.instructions += segment.num_instructions
@@ -810,22 +857,40 @@ class ParrotSimulator:
             # never saw them as traces: no training, no construction.
             if segment.complete:
                 if tpred is not None:
-                    tpred.train(segment.tid)
+                    tpred_train(segment.tid)
                     n_tpred_update += 1
                     if n_tpred_update == 1:
-                        events.add("tpred_update", 0.0)
+                        events.add("tpred_update", 0)
                 if background is not None:
-                    background.after_commit(segment, core.cycles)
+                    after_commit(segment, core.cycles)
         machine.last_pipeline = last_pipeline
 
         if n_tpred_lookup:
             events.add("tpred_lookup", n_tpred_lookup)
         if n_tcache_tag:
-            events.add("tcache_read", n_tcache_tag)
+            # Tag probes plus whole-frame reads for every hot execution
+            # (frame-granular: a short optimized trace still burns a full
+            # frame read).
+            events.add(
+                "tcache_read",
+                n_tcache_tag + n_hot_frames * TRACE_CAPACITY_UOPS,
+            )
         if n_bpred_update:
             events.add("bpred_update", n_bpred_update)
         if n_tpred_update:
             events.add("tpred_update", n_tpred_update)
+        if n_rename_virtual:
+            events.add("rename_virtual", n_rename_virtual)
+        if n_fetch_cycle:
+            events.add("fetch_cycle", n_fetch_cycle)
+        if n_decode_instr:
+            events.add("decode_instr", n_decode_instr)
+        if n_bpred_lookup:
+            events.add("bpred_lookup", n_bpred_lookup)
+        if n_mispredict_flush:
+            events.add("mispredict_flush", n_mispredict_flush)
+        if background is not None:
+            background.flush_filter_events()
 
     # -- sampled regime --------------------------------------------------------
 
@@ -1237,7 +1302,6 @@ class ParrotSimulator:
         self,
         core: TimingCore,
         hierarchy: MemoryHierarchy,
-        events: EventCounts,
         result: SimulationResult,
         trace: Trace,
         segment: TraceSegment,
@@ -1245,13 +1309,11 @@ class ParrotSimulator:
     ) -> None:
         """Execute a correctly predicted trace on the hot pipeline.
 
-        The caller has already selected the hot execution profile.
+        The caller has already selected the hot execution profile, and
+        accumulates the per-execution events (frame read, virtual-rename
+        discount) into its batched segment-loop counters.
         """
         uops = trace.uops
-        # The trace cache reads whole frames: energy is frame-granular, not
-        # per-resident-uop (a short optimized trace still burns a full
-        # frame read).
-        events.add("tcache_read", TRACE_CAPACITY_UOPS)
         # Per-trace execution plan, compiled on first hot execution: group
         # boundaries and uop rows are static per trace (uops never change
         # once installed; optimization installs a new Trace).  One group of
@@ -1302,8 +1364,6 @@ class ParrotSimulator:
                 hierarchy.load_latency,
                 hierarchy.store_access,
             )
-        if trace.optimized and trace.virtual_renames:
-            events.add("rename_virtual", trace.virtual_renames)
         trace.exec_count += 1
         stats = result.trace_stats
         stats.hot_executions += 1
@@ -1407,17 +1467,18 @@ class ParrotSimulator:
         core: TimingCore,
         hierarchy: MemoryHierarchy,
         bpred: BranchPredictor,
-        events: EventCounts,
         result: SimulationResult,
         segment: TraceSegment,
         cold_plans: dict[TraceId, tuple],
         backend: ExecutionBackend = ExecutionBackend.SCALAR,
-    ) -> None:
+    ) -> tuple[int, int, int]:
         """Execute a segment on the cold pipeline (icache fetch + decode).
 
         ``cold_plans`` caches whichever plan shape the machine's backend
         replays; shared dicts are already partitioned by backend
         (:class:`ColdPlanCache`), private ones serve a single backend.
+        Returns ``(n_groups, n_cti, n_misp)`` — the plan-level event
+        totals the segment loop folds into its batched counters.
         """
         instructions = segment.instructions
         complete_segment = segment.complete
@@ -1469,21 +1530,12 @@ class ParrotSimulator:
             )
             groups, n_uops, _n_reads, _n_writes, _fu_counts, n_cti = plan
             n_groups = len(groups)
-        # Event totals, batched per segment (guarded: a zero count must not
-        # materialise an event key the per-occurrence form never created).
-        if n_groups:
-            events.add("fetch_cycle", n_groups)
-        n_instrs = len(instructions)
-        if n_instrs:
-            events.add("decode_instr", n_instrs)
         result.uops_cold += n_uops
         if n_cti:
             result.cold_branch_predictions += n_cti
-            events.add("bpred_lookup", n_cti)
-            events.add("bpred_update", n_cti)
         if n_misp:
             result.cold_branch_mispredicts += n_misp
-            events.add("mispredict_flush", n_misp)
+        return n_groups, n_cti, n_misp
 
     # -- finalisation ---------------------------------------------------------------
 

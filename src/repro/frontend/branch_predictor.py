@@ -63,6 +63,7 @@ class BranchPredictor:
         if entries <= 0 or entries & (entries - 1):
             raise ConfigurationError(f"predictor entries {entries} not a power of two")
         self.entries = entries
+        self.history_bits = history_bits
         self._index_mask = entries - 1
         self._history_mask = (1 << history_bits) - 1
         # 2-bit saturating counters, initialised weakly taken.

@@ -77,6 +77,10 @@ class TracePredictor:
         self._table: list[list[_Entry]] = [[] for _ in range(self._num_sets)]
         self._history: list[Hashable] = []
         self._set_cache: list[_Entry] | None = None
+        # Best-way scan shared by the predict()/train() pair of a segment
+        # (confidences only change in train, so predict's scan stays valid).
+        self._best_cache: "_Entry | None" = None
+        self._best_valid = False
         self.stats = TracePredictorStats()
 
     def _set(self) -> list[_Entry]:
@@ -99,6 +103,8 @@ class TracePredictor:
         """Predict the next TID from current history, or None if unconfident."""
         self.stats.lookups += 1
         best = self._best(self._set())
+        self._best_cache = best
+        self._best_valid = True
         if best is not None and best.confidence >= self._confidence_threshold:
             return best.tid
         return None
@@ -111,7 +117,7 @@ class TracePredictor:
         confident prediction existed and was wrong (a trace mispredict).
         """
         ways = self._set()
-        best = self._best(ways)
+        best = self._best_cache if self._best_valid else self._best(ways)
         confident = (
             best is not None and best.confidence >= self._confidence_threshold
         )
@@ -141,7 +147,10 @@ class TracePredictor:
             ways.append(_Entry(actual_tid))
         else:
             # Weaken the weakest way; replace it once drained.
-            weakest = min(ways, key=lambda e: e.confidence)
+            weakest = ways[0]
+            for entry in ways:
+                if entry.confidence < weakest.confidence:
+                    weakest = entry
             weakest.confidence -= 1
             if weakest.confidence <= 0:
                 ways.remove(weakest)
@@ -151,6 +160,8 @@ class TracePredictor:
         if len(self._history) > self._history_length:
             self._history.pop(0)
         self._set_cache = None  # history changed: next lookup re-hashes
+        self._best_cache = None
+        self._best_valid = False
         return mispredicted
 
     def reset(self) -> None:
@@ -158,4 +169,6 @@ class TracePredictor:
         self._table = [[] for _ in range(self._num_sets)]
         self._history.clear()
         self._set_cache = None
+        self._best_cache = None
+        self._best_valid = False
         self.stats = TracePredictorStats()

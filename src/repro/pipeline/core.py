@@ -207,8 +207,9 @@ class TimingCore:
         ``_fu_lookup`` folds the three per-uop lookups of the issue scan —
         the FU's slot dict, its bound ``.get`` and its width under the
         current profile — into one dict hit.  It caches dict identities,
-        so it must be rebuilt whenever the slot dicts are replaced
-        (:meth:`_prune_slots`) or the widths change (:meth:`set_profile`).
+        so it must be rebuilt whenever a slot dict is added or the widths
+        change (:meth:`set_profile`); :meth:`_prune_slots` prunes in
+        place and leaves every identity intact.
         """
         fu_counts = self._fu_counts
         self._fu_lookup = {
@@ -716,14 +717,26 @@ class TimingCore:
 
         Any future uop dispatches at or after the current fetch cycle (plus
         front depth), so slots strictly below ``fetch_cycle`` are dead.
+        Pruning is in place — the dict identities cached by ``_fu_lookup``
+        and by the executors' entry-time locals stay valid, so no rebuild
+        is needed.  Between prunes the fetch cycle advances far past every
+        occupied slot, so the overwhelmingly common shape is "everything
+        is dead": one C-level ``max`` scan settles it and ``clear()``
+        replaces the per-item dict rebuild.
         """
         horizon = self.fetch_cycle
-        self._issue_slots = {
-            c: n for c, n in self._issue_slots.items() if c >= horizon
-        }
-        for fu, slots in self._fu_slots.items():
-            self._fu_slots[fu] = {c: n for c, n in slots.items() if c >= horizon}
-        self._rebuild_fu_lookup()
+        for slots in (self._issue_slots, *self._fu_slots.values()):
+            if not slots:
+                continue
+            if max(slots) < horizon:
+                slots.clear()
+            else:
+                # A few live future slots amid thousands of dead ones:
+                # rebuild from the survivors (clear + update keeps the
+                # dict identity) instead of deleting key by key.
+                kept = {c: u for c, u in slots.items() if c >= horizon}
+                slots.clear()
+                slots.update(kept)
         self._since_prune = 0
 
     # -- state switches (split-core machines) --------------------------------

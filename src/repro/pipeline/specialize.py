@@ -66,6 +66,7 @@ import importlib.util
 import marshal
 import os
 import struct
+import types
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -194,6 +195,12 @@ class CompiledPlanCache:
         except (ValueError, EOFError, TypeError):
             self._quarantine(path)
             return None
+        if not isinstance(code, types.CodeType):
+            # marshal is not self-validating: a truncated or flipped body
+            # can decode "successfully" into an arbitrary object, which
+            # would blow up in exec() far from the cause.
+            self._quarantine(path)
+            return None
         self.hits += 1
         return code
 
@@ -229,8 +236,24 @@ class CompiledPlanCache:
                 pass
         return removed
 
+    @staticmethod
+    def _body_ok(body: bytes) -> bool:
+        """True when the marshalled body really is a code object."""
+        try:
+            return isinstance(marshal.loads(body), types.CodeType)
+        except (ValueError, EOFError, TypeError):
+            return False
+
     def info(self) -> CompiledCacheInfo:
-        """Enumerate the cache, quarantining corrupt/stale entries."""
+        """Enumerate the cache, quarantining corrupt/stale entries.
+
+        Each shard is counted exactly once: either as a healthy entry
+        (contributing its size to ``total_bytes``) or as quarantined.
+        Body validation matches :meth:`load`, so an entry ``info``
+        reports as healthy cannot later fail to load — previously a
+        header-valid shard with a corrupt body was counted (and sized)
+        as healthy here *and* quarantined on the next load.
+        """
         header = _header()
         kept = 0
         total = 0
@@ -240,7 +263,7 @@ class CompiledPlanCache:
                 blob = path.read_bytes()
             except OSError:
                 continue
-            if not blob.startswith(header):
+            if not blob.startswith(header) or not self._body_ok(blob[len(header):]):
                 self._quarantine(path)
                 quarantined += 1
                 continue
@@ -663,13 +686,19 @@ def _cold_source(groups: list, producers, carried, last_writers,
 # Max-plus issue pre-pass (hot plans).
 # --------------------------------------------------------------------------
 
-#: Profitability floor, set from measurement: the scan's fixed numpy
-#: overhead (~30 small-array kernel launches) undercuts the generated
-#: straight-line function only well past this many uops, and hot traces
-#: are capped at ``TRACE_CAPACITY_UOPS`` (64) — so production hot plans
-#: build no scan today, and the pre-pass stays exercised through the
-#: property suite (which passes ``min_uops`` explicitly) until frames
-#: outgrow the crossover.
+#: Profitability floor, re-measured on the warmed artifact stack (swim,
+#: TON, 100k, compiled backend): forcing the floor to 32 so the scan
+#: engages on production 64-uop hot frames regresses the full-detail run
+#: 73.6ms -> 244.0ms (3.3x) — the scan's fixed numpy overhead (~30
+#: small-array kernel launches) swamps frames this small, while results
+#: stay bit-identical.  The gate is *per plan kind by construction*:
+#: only hot plans build a scan at all (:func:`compile_hot_specialized`);
+#: cold plans never can, because their branch predictions feed back into
+#: the same segment's fetch redirects, which the pure-dataflow scan does
+#: not model.  Hot frames are capped at ``TRACE_CAPACITY_UOPS`` (64), so
+#: the floor deliberately stays above the cap: the pre-pass is exercised
+#: through the property suite (which passes ``min_uops`` explicitly) and
+#: engages automatically the day frames outgrow the crossover.
 MAXPLUS_MIN_UOPS = 96
 
 #: Dependency-chain depth bound: past this the level-by-level relaxation

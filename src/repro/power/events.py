@@ -12,7 +12,6 @@ the simulator.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Iterator
 
 # Canonical event names, grouped by unit.  Keeping them in one place makes
@@ -56,20 +55,31 @@ class EventCounts:
     __slots__ = ("_counts",)
 
     def __init__(self) -> None:
-        self._counts: defaultdict[str, float] = defaultdict(float)
+        self._counts: dict[str, float] = {}
 
-    def add(self, event: str, count: float = 1.0) -> None:
-        """Increment ``event`` by ``count``."""
-        self._counts[event] += count
+    def add(self, event: str, count: float = 1) -> None:
+        """Increment ``event`` by ``count``.
+
+        Integral counts accumulate as Python ints (arbitrary precision),
+        so batched plan-level totals are bit-for-bit equal to
+        uop-at-a-time increments at any scale; a counter only becomes
+        float once a genuinely fractional count (e.g. ``core_cycle``)
+        touches it.
+        """
+        counts = self._counts
+        prior = counts.get(event)
+        counts[event] = count if prior is None else prior + count
 
     def get(self, event: str) -> float:
         """Current count of ``event`` (0 when never seen)."""
-        return self._counts.get(event, 0.0)
+        return self._counts.get(event, 0)
 
     def merge(self, other: "EventCounts") -> None:
         """Accumulate another counter set into this one."""
+        counts = self._counts
         for event, count in other._counts.items():
-            self._counts[event] += count
+            prior = counts.get(event)
+            counts[event] = count if prior is None else prior + count
 
     def items(self) -> Iterator[tuple[str, float]]:
         """Iterate over (event, count) pairs with nonzero counts."""

@@ -36,6 +36,10 @@ _PHASE_BUCKETS: tuple[tuple[str, tuple[str, ...]], ...] = (
     # plus the specializer's wrappers into a single phase instead of
     # scattering per-hash rows through the table.
     ("replay(compiled)", ("<repro-compiled", "pipeline/specialize")),
+    # The batched per-segment bookkeeping (predictor-training plans,
+    # lazy-LRU flushes) gets its own row so the shared-overhead share
+    # the batching attacked stays visible in `repro profile`.
+    ("segment-batch", ("pipeline/segment_batch",)),
     ("columnar", ("pipeline/columnar",)),
     ("execute", ("pipeline/core", "pipeline/resources")),
     ("memory", ("memory/",)),

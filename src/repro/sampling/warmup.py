@@ -235,6 +235,9 @@ class WarmupPolicy:
         if tpred is not None:
             tpred.stats = type(tpred.stats)()
         if background is not None:
+            # Settle batched filter accesses into the *real* counters
+            # before swapping them out, so nothing leaks across the shield.
+            background.flush_filter_events()
             background.events = type(background.events)()
             background.stats = type(background.stats)()
         return saved
@@ -246,5 +249,7 @@ class WarmupPolicy:
         if self.tpred is not None:
             self.tpred.stats = t_stats
         if self.background is not None:
+            # Warmup-window accesses still pending fold into the throwaway.
+            self.background.flush_filter_events()
             self.background.events = b_events
             self.background.stats = b_stats

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.pipeline.segment_batch import LRU_JOURNAL_LIMIT, flush_lru_refreshes
 from repro.trace.tid import TraceId
 
 
@@ -50,6 +51,10 @@ class CounterFilter:
         self.capacity = capacity
         self.threshold = threshold
         self._counters: dict[TraceId, int] = {}
+        #: Deferred move-to-MRU journal (see trace_cache): hits update the
+        #: counter in place and journal their recency; the reorder settles
+        #: in one step right before an eviction has to pick a victim.
+        self._pending_mru: list[TraceId] = []
         self.stats = FilterStats()
 
     def access(self, tid: TraceId) -> bool:
@@ -57,17 +62,24 @@ class CounterFilter:
         self.stats.accesses += 1
         counters = self._counters
         count = counters.get(tid)
+        pending = self._pending_mru
         if count is None:
             if len(counters) >= self.capacity:
+                flush_lru_refreshes(counters, pending)
                 oldest = next(iter(counters))
                 del counters[oldest]
                 self.stats.evictions += 1
             counters[tid] = 1
+            # Allocations set recency too: journal them so the flush
+            # re-ranks earlier journaled hits *before* this key, exactly
+            # where eager move-to-MRU would have left them.
+            pending.append(tid)
             return self.threshold == 1 and self._trigger()
         self.stats.hits += 1
-        # Move to MRU position and increment.
-        del counters[tid]
         counters[tid] = count + 1
+        pending.append(tid)
+        if len(pending) >= LRU_JOURNAL_LIMIT:
+            flush_lru_refreshes(counters, pending)
         if count + 1 == self.threshold:
             return self._trigger()
         return False
@@ -82,7 +94,13 @@ class CounterFilter:
 
     def forget(self, tid: TraceId) -> None:
         """Drop a TID (e.g. when its trace is evicted from the cache)."""
-        self._counters.pop(tid, None)
+        if self._counters.pop(tid, None) is not None and self._pending_mru:
+            # Journaled refreshes for a forgotten TID are void: were they
+            # left behind, a later re-allocation of the same TID would be
+            # re-ranked by its *stale* access position at the next flush.
+            self._pending_mru[:] = [
+                pending for pending in self._pending_mru if pending != tid
+            ]
 
     def __len__(self) -> int:
         return len(self._counters)

@@ -58,9 +58,11 @@ class Trace:
     _hot_plan_compiled: tuple | None = field(
         default=None, repr=False, compare=False
     )
-    #: Indices of CTI instructions within the trace's instruction span,
-    #: cached for the retire-time branch-predictor training loop.
-    _cti_indices: tuple | None = field(default=None, repr=False, compare=False)
+    #: Compiled retire-time branch-training plan (see
+    #: ``repro.pipeline.segment_batch.compile_hot_training``), cached on
+    #: first hot execution: per-TID path identity makes the trace's CTI
+    #: outcomes static, so per-CTI training folds into one batched replay.
+    _train_plan: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def num_uops(self) -> int:

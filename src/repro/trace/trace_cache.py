@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.pipeline.segment_batch import LRU_JOURNAL_LIMIT, flush_lru_refreshes
 from repro.trace.tid import TraceId
 from repro.trace.trace import Trace
 
@@ -45,6 +46,11 @@ class TraceCache:
         self.capacity_uops = capacity_uops
         self._traces: dict[TraceId, Trace] = {}
         self._used_uops = 0
+        #: Deferred move-to-MRU journal: recurring hot sequences hit the
+        #: same few TIDs thousands of times between insertions, so hits
+        #: journal their refresh and the reorder is applied in one step
+        #: right before recency becomes observable (insert / enumerate).
+        self._pending_mru: list[TraceId] = []
         self.stats = TraceCacheStats()
 
     # -- lookups -----------------------------------------------------------
@@ -55,9 +61,10 @@ class TraceCache:
         trace = self._traces.get(tid)
         if trace is None:
             return None
-        # Refresh LRU ordering.
-        del self._traces[tid]
-        self._traces[tid] = trace
+        pending = self._pending_mru
+        pending.append(tid)
+        if len(pending) >= LRU_JOURNAL_LIMIT:
+            flush_lru_refreshes(self._traces, pending)
         self.stats.hits += 1
         return trace
 
@@ -78,6 +85,9 @@ class TraceCache:
                 f"trace of {trace.num_uops} uops exceeds the cache capacity "
                 f"of {self.capacity_uops} uops"
             )
+        # Recency is about to matter (eviction must pick the true LRU
+        # victim): settle the journal first.
+        flush_lru_refreshes(self._traces, self._pending_mru)
         evicted: list[TraceId] = []
         tid = trace.tid
         existing = self._traces.get(tid)
@@ -111,6 +121,7 @@ class TraceCache:
 
     def resident_traces(self) -> list[Trace]:
         """Snapshot of resident traces, LRU to MRU."""
+        flush_lru_refreshes(self._traces, self._pending_mru)
         return list(self._traces.values())
 
     def utilization_histogram(self) -> dict[int, int]:

@@ -169,3 +169,40 @@ class TestResultStoreCli:
         assert "removed 2" in capsys.readouterr().out
         assert main(["cache", "info"]) == 0
         assert "entries   0" in capsys.readouterr().out
+
+    def test_cache_info_counts_corrupt_shard_and_orphan_tmp_once(self, capsys):
+        """A corrupt-body compiled-plan shard is quarantined and counted
+        exactly once, an orphaned writer tmp file is swept and counted
+        exactly once, and the plans size covers only healthy shards.
+        """
+        import marshal
+
+        from repro.pipeline.specialize import CompiledPlanCache, _header
+
+        cache = CompiledPlanCache()
+        code = compile("def replay(core, mem_lats):\n    pass\n",
+                       "<test>", "exec")
+        key_ok = "ab" + "0" * 62
+        cache.store(key_ok, code)
+        healthy_size = cache._path(key_ok).stat().st_size
+
+        # Valid header, body that decodes to a float instead of raising.
+        bad_path = cache._path("cd" + "0" * 62)
+        bad_path.parent.mkdir(parents=True, exist_ok=True)
+        bad_path.write_bytes(_header() + marshal.dumps(2.5))
+        orphan = bad_path.with_name(bad_path.name + ".tmp.12345")
+        orphan.write_bytes(b"partial write")
+
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "  compiled  1" in out
+        assert f"  size      {healthy_size} bytes" in out
+        assert "  quarantined 1 corrupt/stale entry" in out
+        assert "  swept     1 stale tmp file(s)" in out
+        assert not bad_path.exists() and not orphan.exists()
+
+        # Both were handled (and reported) once: a rerun starts clean.
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "  compiled  1" in out
+        assert "quarantined" not in out

@@ -47,6 +47,9 @@ class TestHotFiltering:
             processor.after_commit(segment, now=0.0)
         assert processor.events.get("construct_uop") > 0
         assert processor.events.get("tcache_write") > 0
+        # Filter accesses batch inside the processor and fold in at flush
+        # points (the simulator flushes at the end of every segment batch).
+        processor.flush_filter_events()
         assert processor.events.get("filter_access") > 0
 
 

@@ -39,6 +39,48 @@ class TestEventCounts:
         events.add("l2_access", 1)
         assert snapshot["l2_access"] == 3
 
+    def test_integral_counts_stay_exact_ints(self):
+        """Batched adds equal uop-at-a-time adds bit-for-bit at 1e8 scale.
+
+        Integer event counts must accumulate as Python ints: the batched
+        plan-level reductions add segment totals in one call, and the
+        result must be indistinguishable from per-uop increments even at
+        counts where float granularity (2**53) would eventually bite.
+        """
+        batched = EventCounts()
+        stepped = EventCounts()
+        total = 10**8
+        chunk = 10**7
+        batched.add("issue_uop", total)
+        for _ in range(10):
+            batched.add("issue_uop", 3)
+        for _ in range(total // chunk):
+            stepped.add("issue_uop", chunk)
+        for _ in range(10):
+            stepped.add("issue_uop", 3)
+        assert batched.get("issue_uop") == stepped.get("issue_uop")
+        assert isinstance(batched.get("issue_uop"), int)
+        assert isinstance(stepped.get("issue_uop"), int)
+        assert batched.get("issue_uop") == total + 30
+        # A huge count beyond float precision must survive exactly.
+        big = 2**60 + 1
+        exact = EventCounts()
+        exact.add("rob_write", big)
+        exact.add("rob_write", 1)
+        assert exact.get("rob_write") == big + 1
+        # Zero-guard registration (count 0) must not taint later ints.
+        guarded = EventCounts()
+        guarded.add("tpred_lookup", 0)
+        guarded.add("tpred_lookup", 7)
+        assert isinstance(guarded.get("tpred_lookup"), int)
+        # Fractional counts still work and demote that key only.
+        mixed = EventCounts()
+        mixed.add("core_cycle", 1.5)
+        mixed.add("core_cycle", 2)
+        mixed.add("issue_uop", 2)
+        assert mixed.get("core_cycle") == 3.5
+        assert isinstance(mixed.get("issue_uop"), int)
+
 
 class TestTagMatrix:
     def test_every_canonical_event_tagged(self):

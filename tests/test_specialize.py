@@ -17,6 +17,7 @@ generated (mostly uncontended) segments.
 from __future__ import annotations
 
 import json
+import marshal
 import pathlib
 
 import pytest
@@ -246,6 +247,37 @@ class TestLoaderStack:
         assert cache.clear() == 1
         assert cache.info().entries == 0
 
+    def test_corrupt_body_decoding_to_non_code_is_quarantined(self, tmp_path):
+        """marshal is not self-validating: a damaged body can decode into
+        an arbitrary object instead of raising.  Both load() and info()
+        must treat such a shard as corrupt — previously info() counted it
+        (and its size) as healthy while load() handed the junk to exec().
+        """
+        cache = sp.CompiledPlanCache(root=tmp_path)
+        code = compile(_nop_source(1), "<test>", "exec")
+        key_ok = "ab" + "0" * 62
+        cache.store(key_ok, code)
+        healthy_size = cache._path(key_ok).stat().st_size
+
+        key_bad = "cd" + "0" * 62
+        cache.store(key_bad, code)
+        bad_path = cache._path(key_bad)
+        bad_path.write_bytes(sp._header() + marshal.dumps(2.5))
+
+        info = cache.info()
+        assert info.entries == 1
+        assert info.total_bytes == healthy_size
+        assert info.quarantined == 1
+        assert not bad_path.exists()
+        # Counted exactly once: the next enumeration starts clean.
+        again = cache.info()
+        assert again.quarantined == 0 and again.entries == 1
+
+        cache.store(key_bad, code)
+        bad_path.write_bytes(sp._header() + marshal.dumps((1, "not code")))
+        assert cache.load(key_bad) is None
+        assert not bad_path.exists(), "load() must quarantine junk bodies"
+
     def test_plan_memo_eviction_order(self, monkeypatch):
         monkeypatch.setattr(sp, "_PLAN_MEMO_LIMIT", 2)
         sp._PLAN_MEMO.clear()
@@ -422,3 +454,35 @@ def test_maxplus_fail_streak_benches_the_scan(monkeypatch):
         sp.run_hot_compiled(core, plan, [], None, None)
     assert calls["n"] == sp.MAXPLUS_FAIL_LIMIT
     assert scan.fails == sp.MAXPLUS_FAIL_LIMIT
+
+
+def test_maxplus_production_floor_excludes_hot_frames():
+    """The production ``MAXPLUS_MIN_UOPS`` floor sits *above* the 64-uop
+    trace-cache frame cap on purpose, so no production hot plan ever
+    builds a scan — the gate is not dead code, it is the measured
+    crossover.  Forcing the floor down to 32 so the scan engages on
+    64-uop hot frames regresses the warmed full-detail run (swim/TON,
+    100k instructions, compiled backend) from 73.6 ms to 244.0 ms with
+    bit-identical results: below ~96 uops the scan's setup cost swamps
+    the replay it replaces.  Cold plans never build a scan at any size
+    (their branch predictions feed back into the same segment's fetch
+    redirects), so the floor only ever gates hot plans.
+    """
+    from repro.trace.trace import TRACE_CAPACITY_UOPS
+
+    assert sp.MAXPLUS_MIN_UOPS > TRACE_CAPACITY_UOPS
+    profile = ExecProfile.from_params(_WIDE)
+
+    def scan_for(n):
+        rows = [(FuClass.INT, 1, -1, -1, (), k % 16, -1, 0, k)
+                for k in range(n)]
+        return sp.build_maxplus_scan(
+            rows, _PER_CYCLE, _WIDE.front_depth, profile,
+            _WIDE.rob_size, _WIDE.window_size,
+        )
+
+    # A maximum-size hot frame stays below the floor: no scan.
+    assert scan_for(TRACE_CAPACITY_UOPS) is None
+    # The same shape past the floor is eligible — the gate is the only
+    # thing rejecting production frames, not some structural check.
+    assert scan_for(sp.MAXPLUS_MIN_UOPS) is not None
