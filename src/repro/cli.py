@@ -25,9 +25,23 @@ import os
 import sys
 
 from repro.core.simulator import ParrotSimulator, RunOptions
-from repro.experiments.engine import ResultStore, Scale, resolve_run_options
+from repro.errors import ExperimentError
+from repro.experiments.engine import (
+    ResultStore,
+    Scale,
+    default_jobs,
+    parse_apps,
+    resolve_run_options,
+)
 from repro.experiments.figures import FIGURE_GENERATORS, table3_1, table3_2
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.shard import (
+    ShardPlan,
+    merge_stores,
+    missing_keys,
+    plan_grid,
+    run_shard,
+)
 from repro.models.configs import MODEL_NAMES, model_config
 from repro.pipeline.columnar import ExecutionBackend
 from repro.pipeline.specialize import CompiledPlanCache
@@ -44,6 +58,10 @@ examples:
   repro sweep --models N,TON --length 200000 --sampling
   repro figure fig4_1 headline --apps all
   repro figure fig4_2 --no-cache
+  repro shard plan --models all --apps 8 --shards 2 --output plan.json
+  repro shard run plan.json --index 0 --store /tmp/shard0
+  repro shard merge --into ~/.cache/repro /tmp/shard0 /tmp/shard1 --plan plan.json
+  repro serve --port 8035
   repro cache info
   repro cache clear
 
@@ -314,6 +332,117 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_model_list(text: str) -> list[str] | None:
+    """``all`` -> None (full roster); otherwise a validated name list."""
+    if text.strip().lower() in ("all", "full"):
+        return None
+    return [name.strip() for name in text.split(",") if name.strip()]
+
+
+def cmd_shard_plan(args: argparse.Namespace) -> int:
+    """Partition a grid into deterministic shards and write the plan."""
+    options = _options_from_args(args)
+    try:
+        plan = plan_grid(
+            _parse_model_list(args.models),
+            parse_apps(args.apps),
+            length=args.length,
+            shards=args.shards,
+            sampling=options.sampling,
+            backend=options.backend,
+        )
+    except ExperimentError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    plan.save(args.output)
+    sampling = ("off" if plan.sampling is None
+                else plan.sampling.fingerprint())
+    print(f"planned {len(plan.cells)} cells over {len(plan.shards)} "
+          f"shard(s) (length {plan.length}, sampling {sampling}, "
+          f"backend {plan.backend.value})")
+    for index, shard in enumerate(plan.shards):
+        apps = len({app for _, app in shard})
+        print(f"  shard {index + 1}/{len(plan.shards)}: {len(shard)} "
+              f"cell(s), {apps} app(s)")
+    print(f"wrote {args.output} (digest {plan.digest()[:12]})")
+    return 0
+
+
+def cmd_shard_run(args: argparse.Namespace) -> int:
+    """Execute one shard of a plan against this host's own store."""
+    try:
+        plan = ShardPlan.load(args.plan)
+    except ExperimentError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    progress = _progress if sys.stderr.isatty() else None
+    jobs = default_jobs() if args.jobs is None else args.jobs
+    try:
+        report = run_shard(
+            plan, args.index,
+            store_root=args.store,
+            jobs=jobs,
+            artifacts=not args.no_artifacts,
+            progress=progress,
+        )
+    except ExperimentError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"shard {report.index + 1}/{report.shards}: {report.cells} "
+          f"cell(s) — {report.simulated} simulated, {report.from_store} "
+          f"already in store ({report.store_root})")
+    return 0
+
+
+def cmd_shard_merge(args: argparse.Namespace) -> int:
+    """Merge shard stores by run key; audit conflicts and completeness.
+
+    Exit status 1 flags an unhealthy merge: conflicting records (content
+    drift under one key) or — with ``--plan`` — grid cells still missing
+    from the merged store.
+    """
+    reports = merge_stores(args.into, args.sources,
+                           quarantine=not args.keep_corrupt)
+    dest = ResultStore(args.into)
+    unhealthy = False
+    for report in reports:
+        line = (f"{report.source}: {report.copied} copied, "
+                f"{report.identical} identical")
+        if report.conflicts:
+            line += f", {len(report.conflicts)} CONFLICT(S)"
+            unhealthy = True
+        if report.quarantined:
+            line += f", {report.quarantined} corrupt (quarantined)"
+        print(line)
+        for key in report.conflicts:
+            print(f"  conflict: {key} (destination record kept)")
+    print(f"merged into {dest.root}")
+    if args.plan is not None:
+        try:
+            plan = ShardPlan.load(args.plan)
+        except ExperimentError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        missing = missing_keys(plan, dest)
+        if missing:
+            unhealthy = True
+            print(f"{len(missing)} of {len(plan.cells)} plan cell(s) "
+                  f"missing from the merged store:")
+            for cell in missing:
+                print(f"  missing: {cell}")
+        else:
+            print(f"plan complete: all {len(plan.cells)} cell(s) "
+                  f"answerable from the merged store")
+    return 1 if unhealthy else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio HTTP front end over the warm result store."""
+    from repro.serve import main as serve_main
+
+    return serve_main(args)
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     """List models, applications and figures."""
     print("models:", ", ".join(MODEL_NAMES))
@@ -368,6 +497,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_args(figure)
     figure.set_defaults(func=cmd_figure)
+
+    shard = sub.add_parser(
+        "shard",
+        help="plan, execute and merge scale-out grid shards",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_action", required=True)
+
+    splan = shard_sub.add_parser(
+        "plan", help="partition a grid into N deterministic shards",
+    )
+    splan.add_argument("--models", default="all",
+                       help="comma-separated model names, or 'all'")
+    splan.add_argument("--apps", default="15", type=_apps_arg,
+                       help="number of applications (balanced) or 'all'")
+    splan.add_argument("--length", type=_positive_int, default=20_000)
+    splan.add_argument("--shards", type=_positive_int, required=True,
+                       metavar="N", help="work units to partition into")
+    splan.add_argument("--output", "-o", default="shard-plan.json",
+                       metavar="FILE", help="plan destination")
+    _add_run_option_args(splan)
+    splan.set_defaults(func=cmd_shard_plan)
+
+    srun = shard_sub.add_parser(
+        "run", help="execute one shard against this host's own store",
+    )
+    srun.add_argument("plan", help="plan file written by `repro shard plan`")
+    srun.add_argument("--index", type=int, required=True, metavar="I",
+                      help="shard to execute (0-based)")
+    srun.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                      help="worker processes "
+                           "(default: REPRO_BENCH_JOBS or usable cores)")
+    srun.add_argument("--store", default=None, metavar="DIR",
+                      help="result-store root "
+                           "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    srun.add_argument("--no-artifacts", action="store_true",
+                      help="walk the workload generator instead of "
+                           "compiled trace artifacts")
+    srun.set_defaults(func=cmd_shard_run)
+
+    smerge = shard_sub.add_parser(
+        "merge",
+        help="merge shard stores by run key (idempotent, skip-on-conflict)",
+    )
+    smerge.add_argument("sources", nargs="+", metavar="STORE",
+                        help="shard store roots to merge from")
+    smerge.add_argument("--into", default=None, metavar="DIR",
+                        help="destination store "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    smerge.add_argument("--plan", default=None, metavar="FILE",
+                        help="audit completeness against this plan after "
+                             "merging")
+    smerge.add_argument("--keep-corrupt", action="store_true",
+                        help="count corrupt source records but do not "
+                             "delete them")
+    smerge.set_defaults(func=cmd_shard_merge)
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP front end: submit jobs, stream progress, serve warm "
+             "results",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8035)
+    serve.add_argument("--lru", type=int, default=256, metavar="N",
+                       help="in-process LRU over deserialized results "
+                            "(0 disables)")
+    serve.add_argument("--jobs", type=_positive_int, default=None,
+                       metavar="N",
+                       help="worker processes for submitted sweep/figure "
+                            "jobs (default: REPRO_BENCH_JOBS or usable "
+                            "cores)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="result-store root "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve.set_defaults(func=cmd_serve)
 
     cache = sub.add_parser("cache", help="inspect or clear the result store")
     cache.add_argument("action", choices=("info", "clear"))

@@ -46,6 +46,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -90,13 +91,26 @@ ProgressFn = Callable[[int, int, str, str], None]
 
 
 def default_jobs() -> int:
-    """Worker count: ``REPRO_BENCH_JOBS`` if set, else ``os.cpu_count()``."""
+    """Worker count: ``REPRO_BENCH_JOBS`` if set, else the usable cores.
+
+    "Usable" respects the process CPU-affinity mask
+    (``os.sched_getaffinity``) where the platform exposes one: a
+    containerized CI shard pinned to 2 of a 64-core host gets 2 workers
+    instead of oversubscribing 64.  Platforms without affinity (macOS,
+    Windows) fall back to ``os.cpu_count()``.
+    """
     raw = os.environ.get(ENV_JOBS, "").strip()
     if raw:
         jobs = int(raw)
         if jobs < 1:
             raise ValueError(f"{ENV_JOBS} must be >= 1, got {jobs}")
         return jobs
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - affinity query denied
+            pass
     return os.cpu_count() or 1
 
 
@@ -311,6 +325,38 @@ class StoreInfo:
     stale_tmp: int = 0
 
 
+def _result_digest(payload: dict) -> str:
+    """Canonical content digest of one stored record's result payload."""
+    material = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class MergeReport:
+    """Audit trail of one :meth:`ResultStore.merge_from` pass.
+
+    ``copied`` records were new to the destination, ``identical`` existed
+    with a byte-equal result payload (skipped — the merge is idempotent),
+    ``conflicts`` lists keys that existed with a *different* payload
+    (skipped too — the destination wins — but surfaced for audit: with
+    content-derived keys a conflict means corruption or a schema lie),
+    and ``quarantined`` counts source records that failed to parse or
+    whose embedded key contradicted their filename (deleted best-effort).
+    """
+
+    source: Path
+    copied: int = 0
+    identical: int = 0
+    conflicts: list[str] = field(default_factory=list)
+    quarantined: int = 0
+
+    @property
+    def scanned(self) -> int:
+        """Source records examined in this pass."""
+        return (self.copied + self.identical + len(self.conflicts)
+                + self.quarantined)
+
+
 class ResultStore:
     """Content-keyed persistent store of simulation results.
 
@@ -318,19 +364,55 @@ class ResultStore:
     (``<root>/<k[:2]>/<k>.json``).  Writes are atomic (temp file +
     ``os.replace``), so a crashed or parallel writer can never leave a
     half-written record; unreadable records are treated as misses.
+
+    Several processes may share one root (grid shards, the serve front
+    end, a concurrent ``cache clear``): every directory scan and unlink
+    tolerates entries deleted underneath it mid-walk.
+
+    ``lru`` > 0 adds an in-process LRU over deserialized results, so a
+    repeated ``load`` of a warm key skips disk and JSON decode entirely
+    (the serve front end's hot path).  LRU hits still count as ``hits``;
+    they are additionally tallied in ``lru_hits``.
     """
 
-    def __init__(self, root: str | Path | None = None):
+    def __init__(self, root: str | Path | None = None, *, lru: int = 0):
         self.root = Path(root) if root is not None else default_store_root()
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.lru_hits = 0
+        self._lru_limit = max(0, int(lru))
+        self._lru: OrderedDict[str, SimulationResult] = OrderedDict()
+        self._lru_lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _lru_get(self, key: str) -> SimulationResult | None:
+        if not self._lru_limit:
+            return None
+        with self._lru_lock:
+            result = self._lru.get(key)
+            if result is not None:
+                self._lru.move_to_end(key)
+            return result
+
+    def _lru_put(self, key: str, result: SimulationResult) -> None:
+        if not self._lru_limit:
+            return
+        with self._lru_lock:
+            self._lru[key] = result
+            self._lru.move_to_end(key)
+            while len(self._lru) > self._lru_limit:
+                self._lru.popitem(last=False)
+
     def load(self, key: str) -> SimulationResult | None:
         """The stored result under ``key``, or ``None`` on any miss."""
+        cached = self._lru_get(key)
+        if cached is not None:
+            self.hits += 1
+            self.lru_hits += 1
+            return cached
         try:
             payload = json.loads(self._path(key).read_text())
             result = SimulationResult.from_dict(payload["result"])
@@ -338,27 +420,63 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
+        self._lru_put(key, result)
         return result
 
     def store(self, key: str, result: SimulationResult) -> None:
         """Persist ``result`` under ``key`` (atomic, last writer wins)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        record = {
+        self._write_record(key, {
             "key": key,
             "model": result.model_name,
             "app": result.app_name,
             "result": result.to_dict(),
-        }
+        })
+        self._lru_put(key, result)
+        self.writes += 1
+
+    def _write_record(self, key: str, record: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(record, sort_keys=True))
         os.replace(tmp, path)
-        self.writes += 1
+
+    def _scan(self, match: Callable[[str], bool]) -> list[Path]:
+        """Record paths whose filename satisfies ``match``.
+
+        Built on explicit ``os.scandir`` walks with per-directory
+        tolerance: a shard directory (or the root) deleted by a
+        concurrent ``clear()``/sweeper between listing and scanning is
+        skipped, where ``Path.glob`` would raise ``FileNotFoundError``
+        mid-iteration — a latent race once N shard processes share one
+        cache root.
+        """
+        try:
+            shards = sorted(
+                entry.path for entry in os.scandir(self.root)
+                if entry.is_dir(follow_symlinks=False)
+            )
+        except OSError:
+            return []
+        found: list[Path] = []
+        for shard in shards:
+            try:
+                entries = sorted(
+                    entry.path for entry in os.scandir(shard)
+                    if entry.is_file(follow_symlinks=False)
+                    and match(entry.name)
+                )
+            except OSError:
+                continue  # shard swept by a concurrent deleter mid-walk
+            found.extend(Path(path) for path in entries)
+        return found
 
     def _records(self) -> list[Path]:
-        if not self.root.is_dir():
-            return []
-        return sorted(self.root.glob("*/*.json"))
+        return self._scan(lambda name: name.endswith(".json"))
+
+    def keys(self) -> list[str]:
+        """Keys of every record currently on disk (sorted)."""
+        return [record.name[:-len(".json")] for record in self._records()]
 
     def _sweep_stale_tmp(self) -> int:
         """Remove ``.tmp.<pid>`` files orphaned by crashed writers.
@@ -366,17 +484,16 @@ class ResultStore:
         A writer that dies between ``write_text`` and ``os.replace`` leaks
         its temp file forever (no retry ever reuses the name, and ``clear``
         would fail to ``rmdir`` the shard around it).  Returns the number
-        swept; a tmp file concurrently renamed away mid-sweep is skipped.
+        swept; a tmp file concurrently renamed or deleted mid-sweep is
+        skipped, so N processes may sweep one root at once.
         """
         swept = 0
-        if not self.root.is_dir():
-            return swept
-        for tmp in self.root.glob("*/*.tmp.*"):
+        for tmp in self._scan(lambda name: ".tmp." in name):
             try:
                 tmp.unlink()
                 swept += 1
             except OSError:
-                pass
+                pass  # renamed into place or swept by a concurrent process
         return swept
 
     def info(self) -> StoreInfo:
@@ -387,12 +504,14 @@ class ResultStore:
         stale = self._sweep_stale_tmp()
         records = self._records()
         total = 0
+        entries = 0
         for record in records:
             try:
                 total += record.stat().st_size
             except OSError:
-                pass
-        return StoreInfo(path=self.root, entries=len(records),
+                continue  # deleted since the scan: not an entry anymore
+            entries += 1
+        return StoreInfo(path=self.root, entries=entries,
                          total_bytes=total, stale_tmp=stale)
 
     def clear(self) -> int:
@@ -400,6 +519,8 @@ class ResultStore:
 
         Stale writer temp files are swept too (they are not counted — they
         were never entries), so emptied shards always ``rmdir`` cleanly.
+        Safe to race against concurrent writers and other clearers: an
+        entry deleted underneath us is simply not counted.
         """
         self._sweep_stale_tmp()
         removed = 0
@@ -409,13 +530,79 @@ class ResultStore:
                 removed += 1
             except OSError:
                 pass
-        for shard in self.root.glob("*") if self.root.is_dir() else ():
-            if shard.is_dir():
-                try:
-                    shard.rmdir()
-                except OSError:
-                    pass
+        try:
+            shards = [entry.path for entry in os.scandir(self.root)
+                      if entry.is_dir(follow_symlinks=False)]
+        except OSError:
+            shards = []
+        for shard in shards:
+            try:
+                os.rmdir(shard)
+            except OSError:
+                pass
+        with self._lru_lock:
+            self._lru.clear()
         return removed
+
+    # -- scale-out merge ---------------------------------------------------
+
+    def merge_from(self, source: "ResultStore | str | Path",
+                   *, quarantine: bool = True) -> MergeReport:
+        """Merge another store's records into this one, idempotently.
+
+        Records are matched by run key (the filename).  A key new to this
+        store is copied (atomic write); a key present in both with a
+        byte-identical result payload is skipped, so re-running a merge —
+        or merging A into B and B into A — converges on the same store.
+        A key present in both with a *different* payload is a conflict:
+        the destination record wins (skip-on-conflict) and the key lands
+        in :attr:`MergeReport.conflicts` for audit — run keys are derived
+        from the full content of the run request, so a genuine conflict
+        means a corrupt record or an implementation that lied about its
+        schema, never a benign difference.
+
+        Source records that fail to parse, decode to no result, or carry
+        an embedded key contradicting their filename are quarantined:
+        counted in :attr:`MergeReport.quarantined` and (with
+        ``quarantine=True``) deleted from the source best-effort so the
+        next merge pass does not trip over them again.
+        """
+        src = source if isinstance(source, ResultStore) else ResultStore(source)
+        report = MergeReport(source=src.root)
+        for record_path in src._records():
+            key = record_path.name[:-len(".json")]
+            try:
+                record = json.loads(record_path.read_text())
+                payload = record["result"]
+                if record.get("key") != key:
+                    raise ValueError(
+                        f"embedded key {record.get('key')!r} contradicts "
+                        f"filename {key!r}"
+                    )
+                SimulationResult.from_dict(payload)  # validate schema
+            except FileNotFoundError:
+                continue  # deleted by a concurrent merger: nothing to do
+            except (OSError, ValueError, KeyError, TypeError):
+                report.quarantined += 1
+                if quarantine:
+                    try:
+                        record_path.unlink()
+                    except OSError:
+                        pass
+                continue
+            mine = self._path(key)
+            try:
+                existing = json.loads(mine.read_text())["result"]
+            except (OSError, ValueError, KeyError):
+                existing = None
+            if existing is None:
+                self._write_record(key, record)
+                report.copied += 1
+            elif _result_digest(existing) == _result_digest(payload):
+                report.identical += 1
+            else:
+                report.conflicts.append(key)
+        return report
 
 
 # -- the process-pool engine --------------------------------------------------
@@ -622,6 +809,7 @@ class ExperimentEngine:
         artifacts: bool = True,
         artifact_root: str | Path | None = None,
         backend: ExecutionBackend = ExecutionBackend.SCALAR,
+        shard: str | None = None,
     ):
         if timeout is None:
             raw = os.environ.get(ENV_TIMEOUT, "").strip()
@@ -635,6 +823,7 @@ class ExperimentEngine:
         self.mp_context = mp_context
         self.sampling = sampling
         self.backend = backend
+        self.shard = shard
         self.artifact_cache = ArtifactCache(artifact_root) if artifacts else None
         self.simulations_run = 0
         self._simulators: dict[str, ParrotSimulator] = {}
@@ -714,14 +903,22 @@ class ExperimentEngine:
                 results[task] = result
         return results
 
-    def _report(self, done: int, total: int, task: Task, source: str) -> None:
+    def _report(self, done: int, total: int, task: Task, source: str,
+                chunk: str = "") -> None:
         if self.progress is not None:
             # Reported progress is clamped monotonic: a pool-crash retry
             # replays its pass from the pre-crash count, and completed
             # work is never "un-done" from the caller's point of view.
             done = max(done, self._reported_done)
             self._reported_done = done
-            self.progress(done, total, f"{task[0]}/{task[1]}", source)
+            label = f"{task[0]}/{task[1]}"
+            if chunk:
+                # The serial and parallel paths both annotate runs with
+                # their chunk, so multi-host shard logs line up 1:1.
+                label = f"{label} [{chunk}]"
+            if self.shard:
+                label = f"{self.shard}:{label}"
+            self.progress(done, total, label, source)
 
     def _simulator(self, model_name: str) -> ParrotSimulator:
         if model_name not in self._simulators:
@@ -757,23 +954,25 @@ class ExperimentEngine:
     ) -> dict[Task, SimulationResult]:
         for model_name, _ in tasks:
             self._config(model_name)  # validate names before simulating
-        # Group cells by application (insertion order preserved) so the
-        # artifact and its shared segment partition are resolved once per
-        # app and replayed for every model — the jobs=1 fast path.
-        by_app: dict[str, list[str]] = {}
-        for model_name, app_name in tasks:
-            by_app.setdefault(app_name, []).append(model_name)
+        # Group cells into per-application chunks (the same planner the
+        # pool path uses, one "worker") so the artifact and its shared
+        # segment partition are resolved once per app and replayed for
+        # every model — and so progress lines carry the same chunk labels
+        # the parallel path reports.
+        chunks = self._plan_chunks(tasks, 1)
         use_artifacts = (
             self.artifact_cache is not None and self.task_fn is simulate_task
         )
         results: dict[Task, SimulationResult] = {}
-        for app_name, model_names in by_app.items():
+        for index, chunk in enumerate(chunks):
+            tag = f"chunk {index + 1}/{len(chunks)}"
+            app_name = chunk[0][1]
             artifact = segments = plan_cache = None
             if use_artifacts:
                 artifact, segments, plan_cache = self._serial_artifact(
                     app_name
                 )
-            for model_name in model_names:
+            for model_name, _ in chunk:
                 simulator = self._simulator(model_name)
                 if artifact is not None:
                     result = simulator.simulate(
@@ -794,7 +993,8 @@ class ExperimentEngine:
                 results[(model_name, app_name)] = result
                 self.simulations_run += 1
                 done += 1
-                self._report(done, total, (model_name, app_name), "run")
+                self._report(done, total, (model_name, app_name), "run",
+                             chunk=tag)
         return results
 
     def _run_parallel(
@@ -873,13 +1073,13 @@ class ExperimentEngine:
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=self.mp_context
         ) as pool:
-            futures: dict[Future, list[Task]] = {
+            futures: dict[Future, tuple[str, list[Task]]] = {
                 pool.submit(
                     simulate_chunk, chunk, self.length, self.sampling,
                     artifact_root=root, task_fn=custom,
                     backend=self.backend,
-                ): chunk
-                for chunk in chunks
+                ): (f"chunk {index + 1}/{len(chunks)}", chunk)
+                for index, chunk in enumerate(chunks)
             }
             pending = set(futures)
             while pending:
@@ -889,14 +1089,14 @@ class ExperimentEngine:
                 )
                 if not finished:
                     self._terminate(pool)
-                    abandoned = sum(len(futures[f]) for f in pending)
+                    abandoned = sum(len(futures[f][1]) for f in pending)
                     raise ExperimentError(
                         f"no simulation finished within {self.timeout}s; "
                         f"{abandoned} runs abandoned"
                     )
                 broken: BrokenProcessPool | None = None
                 for future in finished:
-                    chunk = futures[future]
+                    tag, chunk = futures[future]
                     try:
                         payload = future.result()
                     except BrokenProcessPool as exc:
@@ -920,7 +1120,7 @@ class ExperimentEngine:
                         results[task] = SimulationResult.from_dict(cell)
                         self.simulations_run += 1
                         done += 1
-                        self._report(done, total, task, "run")
+                        self._report(done, total, task, "run", chunk=tag)
                 if broken is not None:
                     raise broken
         return done

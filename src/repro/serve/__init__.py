@@ -1,0 +1,56 @@
+"""``repro serve``: an asyncio HTTP front end over the warm result store.
+
+The scale-out story's last hop: N shard hosts fill content-keyed result
+stores (:mod:`repro.experiments.shard`), stores merge into one warm root,
+and this package serves it — cached results and figures instantly (LRU +
+store, zero simulations, no worker processes on the warm path), cold
+sweeps/figures as background jobs with NDJSON progress streaming.
+
+Stdlib only: :mod:`asyncio` sockets, no web framework.  See
+:mod:`repro.serve.http` for the route table and
+:mod:`repro.serve.service` for the orchestration core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Any
+
+from repro.serve.http import handle_client, start_server
+from repro.serve.service import Job, ReproService, ServiceError
+
+__all__ = [
+    "Job",
+    "ReproService",
+    "ServiceError",
+    "handle_client",
+    "main",
+    "start_server",
+]
+
+
+async def _serve_forever(service: ReproService, host: str,
+                         port: int) -> None:
+    server = await start_server(service, host, port)
+    bound = server.sockets[0].getsockname()
+    print(f"repro serve listening on http://{bound[0]}:{bound[1]} "
+          f"(store {service.store.root})", file=sys.stderr, flush=True)
+    async with server:
+        await server.serve_forever()
+
+
+def main(args: Any) -> int:
+    """CLI entry point for ``repro serve`` (parsed argparse namespace)."""
+    service = ReproService(
+        store_root=args.store,
+        lru=args.lru,
+        jobs=args.jobs,
+    )
+    try:
+        asyncio.run(_serve_forever(service, args.host, args.port))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        service.close()
+    return 0

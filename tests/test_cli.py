@@ -1,5 +1,7 @@
 """Unit tests: the command-line interface."""
 
+import json
+
 import pytest
 
 from repro import cli
@@ -206,3 +208,97 @@ class TestResultStoreCli:
         out = capsys.readouterr().out
         assert "  compiled  1" in out
         assert "quarantined" not in out
+
+
+class TestShardParser:
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["shard", "plan", "--shards", "2"])
+        assert args.models == "all" and args.apps == "15"
+        assert args.shards == 2 and args.output == "shard-plan.json"
+
+    def test_plan_requires_shards(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard", "plan"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(
+            ["shard", "run", "plan.json", "--index", "1"]
+        )
+        assert args.plan == "plan.json" and args.index == 1
+        assert args.jobs is None and args.store is None
+        assert args.no_artifacts is False
+
+    def test_merge_takes_source_list(self):
+        args = build_parser().parse_args(
+            ["shard", "merge", "a", "b", "--into", "m", "--plan", "p.json"]
+        )
+        assert args.sources == ["a", "b"] and args.into == "m"
+        assert args.plan == "p.json" and args.keep_corrupt is False
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8035
+        assert args.lru == 256 and args.jobs is None and args.store is None
+
+
+class TestShardCommands:
+    def test_plan_run_merge_round_trip(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        assert main(["shard", "plan", "--models", "N,TON", "--apps", "2",
+                     "--length", "1200", "--shards", "2",
+                     "--output", str(plan)]) == 0
+        out = capsys.readouterr().out
+        assert "planned 4 cells over 2 shard(s)" in out
+        assert "digest" in out and plan.exists()
+
+        for index in range(2):
+            assert main(["shard", "run", str(plan), "--index", str(index),
+                         "--store", str(tmp_path / f"s{index}")]) == 0
+            out = capsys.readouterr().out
+            assert f"shard {index + 1}/2: 2 cell(s) — 2 simulated" in out
+
+        merge = ["shard", "merge", str(tmp_path / "s0"), str(tmp_path / "s1"),
+                 "--into", str(tmp_path / "merged"), "--plan", str(plan)]
+        assert main(merge) == 0
+        out = capsys.readouterr().out
+        assert out.count("2 copied, 0 identical") == 2
+        assert "plan complete: all 4 cell(s)" in out
+
+        # Idempotent: the second merge copies nothing and stays healthy.
+        assert main(merge) == 0
+        out = capsys.readouterr().out
+        assert out.count("0 copied, 2 identical") == 2
+
+    def test_merge_flags_missing_cells(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        assert main(["shard", "plan", "--models", "N", "--apps", "2",
+                     "--length", "1200", "--shards", "2",
+                     "--output", str(plan)]) == 0
+        capsys.readouterr()
+        assert main(["shard", "run", str(plan), "--index", "0",
+                     "--store", str(tmp_path / "s0")]) == 0
+        capsys.readouterr()
+        assert main(["shard", "merge", str(tmp_path / "s0"),
+                     "--into", str(tmp_path / "merged"),
+                     "--plan", str(plan)]) == 1
+        out = capsys.readouterr().out
+        assert "1 of 2 plan cell(s) missing" in out
+        assert "missing: N/" in out
+
+    def test_plan_rejects_unknown_model(self, tmp_path, capsys):
+        assert main(["shard", "plan", "--models", "N,QQ", "--shards", "1",
+                     "--output", str(tmp_path / "p.json")]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_run_rejects_tampered_plan(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        assert main(["shard", "plan", "--models", "N", "--apps", "1",
+                     "--length", "1200", "--shards", "1",
+                     "--output", str(plan)]) == 0
+        capsys.readouterr()
+        payload = json.loads(plan.read_text())
+        payload["length"] = 9999
+        plan.write_text(json.dumps(payload))
+        assert main(["shard", "run", str(plan), "--index", "0",
+                     "--store", str(tmp_path / "s0")]) == 2
+        assert "digest mismatch" in capsys.readouterr().err

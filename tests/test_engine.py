@@ -4,8 +4,10 @@ import json
 import multiprocessing
 import os
 import pathlib
+import shutil
 import time
 from argparse import Namespace
+from pathlib import Path
 
 import pytest
 
@@ -36,7 +38,7 @@ class TestScale:
         scale = Scale()
         assert scale.apps == DEFAULT_APPS
         assert scale.length == DEFAULT_LENGTH
-        assert scale.jobs == (os.cpu_count() or 1)
+        assert scale.jobs == default_jobs()
         assert scale.cache is True
 
     def test_from_environment(self, monkeypatch):
@@ -122,6 +124,27 @@ class TestScale:
         monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
         with pytest.raises(ValueError):
             default_jobs()
+
+    def test_default_jobs_respects_affinity_mask(self, monkeypatch):
+        # A container pinned to 3 of a 64-core host must get 3 workers,
+        # not 64: the affinity mask, not cpu_count, is what is usable.
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 5, 9},
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_jobs() == 3
+
+    def test_default_jobs_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert default_jobs() == 5
+
+    def test_env_jobs_overrides_affinity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "7")
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0},
+                            raising=False)
+        assert default_jobs() == 7
 
     def test_scale_is_hashable(self):
         assert Scale(apps=2, length=10, jobs=1, cache=True) in {
@@ -236,6 +259,90 @@ class TestResultStore:
         assert not orphan.exists()
         assert store.info().entries == 0
 
+    def test_scan_tolerates_shard_deleted_mid_walk(self, tmp_path,
+                                                   monkeypatch):
+        # A concurrent clear() can remove a shard directory between the
+        # root listing and the per-shard scan; the walk must skip it, not
+        # raise (the pathlib.glob it replaced raised FileNotFoundError).
+        store = ResultStore(tmp_path)
+        store.store("ab" + "0" * 62, _dummy_result())
+        store.store("cd" + "0" * 62, _dummy_result())
+        doomed = tmp_path / "ab"
+        real_scandir = os.scandir
+
+        def racing_scandir(path):
+            if isinstance(path, (str, os.PathLike)) \
+                    and Path(path) == doomed and doomed.exists():
+                shutil.rmtree(doomed)  # the "concurrent" deleter wins
+            return real_scandir(path)
+
+        monkeypatch.setattr(os, "scandir", racing_scandir)
+        assert store.keys() == ["cd" + "0" * 62]
+
+    def test_clear_tolerates_record_deleted_mid_walk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("ab" + "0" * 62, _dummy_result())
+        ghost = tmp_path / "cd" / ("cd" + "0" * 62 + ".json")
+        records = store._records() + [ghost]
+        store._records = lambda: list(records)  # type: ignore[method-assign]
+        assert store.clear() == 1  # the ghost is skipped, not fatal
+        assert store.info().entries == 0
+
+    def test_info_tolerates_record_deleted_mid_walk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("ab" + "0" * 62, _dummy_result())
+        ghost = tmp_path / "cd" / ("cd" + "0" * 62 + ".json")
+        records = store._records() + [ghost]
+        store._records = lambda: list(records)  # type: ignore[method-assign]
+        info = store.info()
+        assert info.entries == 1 and info.total_bytes > 0
+
+    def test_sweep_tolerates_concurrent_sweeper(self, tmp_path):
+        store = ResultStore(tmp_path)
+        orphan = tmp_path / "ab" / ("ab" + "0" * 62 + ".json.tmp.9")
+        orphan.parent.mkdir()
+        orphan.write_text("half-written")
+        tmps = store._scan(lambda name: ".tmp." in name)
+        orphan.unlink()  # the "other" sweeper got there first
+        store._scan = lambda match: list(tmps)  # type: ignore[method-assign]
+        assert store._sweep_stale_tmp() == 0  # skipped, not raised
+
+
+class TestResultStoreLRU:
+    def test_disabled_by_default(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "0" * 62
+        store.store(key, _dummy_result())
+        (tmp_path / "ab" / f"{key}.json").unlink()
+        assert store.load(key) is None  # no LRU: disk is the only truth
+
+    def test_warm_load_skips_disk(self, tmp_path):
+        store = ResultStore(tmp_path, lru=4)
+        key = "ab" + "0" * 62
+        result = _dummy_result()
+        store.store(key, result)
+        (tmp_path / "ab" / f"{key}.json").unlink()
+        assert store.load(key) == result  # served from the LRU
+        assert store.hits == 1 and store.lru_hits == 1
+
+    def test_eviction_is_least_recently_used(self, tmp_path):
+        store = ResultStore(tmp_path, lru=2)
+        keys = [f"{i:02x}" + "0" * 62 for i in range(3)]
+        for key in keys:
+            store.store(key, _dummy_result())
+        store.clear()  # drops disk *and* the LRU
+        assert all(store.load(key) is None for key in keys)
+
+        for key in keys[:2]:
+            store.store(key, _dummy_result())
+        store.load(keys[0])  # refresh 0: key 1 is now the LRU victim
+        store.store(keys[2], _dummy_result())
+        for path in store._records():
+            path.unlink()
+        assert store.load(keys[0]) is not None
+        assert store.load(keys[1]) is None  # evicted
+        assert store.load(keys[2]) is not None
+
 
 class TestEngine:
     def test_unknown_model_rejected(self):
@@ -273,7 +380,45 @@ class TestEngine:
         )
         engine.run([("N", "gzip"), ("N", "swim")])
         assert [c[:2] for c in seen] == [(1, 2), (2, 2)]
-        assert all(c[3] == "run" for c in seen)
+
+    def test_serial_progress_labels_carry_chunks(self):
+        seen = []
+        engine = ExperimentEngine(
+            1200, progress=lambda *call: seen.append(call)
+        )
+        engine.run([("N", "gzip"), ("N", "swim")])
+        assert [c[2] for c in seen] == [
+            "N/gzip [chunk 1/2]", "N/swim [chunk 2/2]",
+        ]
+
+    @pytest.mark.skipif(not FORK_AVAILABLE,
+                        reason="needs the fork start method")
+    def test_parallel_progress_labels_match_serial_format(self):
+        # Satellite guarantee: the serial and parallel paths emit the same
+        # "model/app [chunk i/n]" labels, so shard logs line up 1:1.
+        tasks = [("N", "gzip"), ("W", "gzip"), ("N", "swim"), ("W", "swim")]
+        serial_seen, parallel_seen = [], []
+        ExperimentEngine(
+            800, progress=lambda *call: serial_seen.append(call)
+        ).run(tasks)
+        ExperimentEngine(
+            800, jobs=2, progress=lambda *call: parallel_seen.append(call),
+            mp_context=multiprocessing.get_context("fork"),
+        ).run(tasks)
+        assert sorted(c[2] for c in parallel_seen) == \
+            sorted(c[2] for c in serial_seen)
+        assert all(" [chunk " in c[2] for c in parallel_seen)
+
+    def test_shard_label_prefixes_progress(self, tmp_path):
+        seen = []
+        engine = ExperimentEngine(
+            1200, store=ResultStore(tmp_path), shard="shard 2/3",
+            progress=lambda *call: seen.append(call),
+        )
+        engine.run([("N", "gzip")])
+        engine.run([("N", "gzip")])  # second pass: a store hit
+        assert [c[3] for c in seen] == ["run", "store"]
+        assert all(c[2].startswith("shard 2/3:N/gzip") for c in seen)
 
     def test_duplicate_tasks_run_once(self):
         engine = ExperimentEngine(1200)

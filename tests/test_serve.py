@@ -1,0 +1,292 @@
+"""The ``repro serve`` front end: HTTP routes, jobs, warm-path guarantees.
+
+Every test drives the real asyncio server on an ephemeral port with raw
+stream requests — the same bytes ``curl`` would send — so the stdlib
+HTTP layer is exercised end to end.  The acceptance-critical property is
+:class:`TestWarmPath`: a warm figure request performs zero simulations
+and never instantiates a worker pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments import engine as engine_mod
+from repro.experiments.runner import ExperimentRunner
+from repro.serve import ReproService, ServiceError, start_server
+
+MODELS = ["N", "W", "TON", "TOW"]  # what the headline figure consumes
+
+
+def _service(tmp_path, **kwargs):
+    kwargs.setdefault("store_root", tmp_path / "store")
+    kwargs.setdefault("jobs", 1)
+    return ReproService(**kwargs)
+
+
+def _warm_store(service, length=1200, max_apps=1):
+    """Fill the service's store with the headline grid, sharing its root."""
+    runner = ExperimentRunner(
+        length=length, max_apps=max_apps, jobs=1, cache=True,
+        cache_dir=service.store.root,
+    )
+    runner.grid(MODELS, runner.applications())
+    return runner.applications()
+
+
+async def _request(port, method, path, payload=None):
+    """One raw HTTP/1.1 exchange; returns (status, parsed JSON body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+    if body:
+        head += f"Content-Length: {len(body)}\r\n"
+    writer.write((head + "\r\n").encode("ascii") + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    _, _, content = raw.partition(b"\r\n\r\n")
+    return status, json.loads(content) if content.strip() else None
+
+
+async def _stream(port, path):
+    """GET an NDJSON endpoint; returns (status, [event, ...])."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: test\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    _, _, content = raw.partition(b"\r\n\r\n")
+    events = [json.loads(line) for line in content.splitlines() if line]
+    return status, events
+
+
+def _serve(service, scenario):
+    """Run ``await scenario(port)`` against a live server, then tear down."""
+
+    async def main():
+        server = await start_server(service, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await scenario(port)
+        finally:
+            server.close()
+            await server.wait_closed()
+            service.close()
+
+    return asyncio.run(main())
+
+
+class TestRoutes:
+    def test_healthz(self, tmp_path):
+        async def scenario(port):
+            assert await _request(port, "GET", "/healthz") == \
+                (200, {"status": "ok"})
+            status, body = await _request(port, "POST", "/healthz")
+            assert status == 405 and "error" in body
+
+        _serve(_service(tmp_path), scenario)
+
+    def test_unknown_routes_are_404(self, tmp_path):
+        async def scenario(port):
+            for path in ("/nope", "/api/nope", "/api/jobs/zz/extra/deep"):
+                status, body = await _request(port, "GET", path)
+                assert status == 404 and "error" in body
+
+        _serve(_service(tmp_path), scenario)
+
+    def test_malformed_request_line_is_400(self, tmp_path):
+        async def scenario(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"NONSENSE\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+
+        _serve(_service(tmp_path), scenario)
+
+    def test_status_reports_store_and_cache(self, tmp_path):
+        service = _service(tmp_path)
+
+        async def scenario(port):
+            status, body = await _request(port, "GET", "/api/status")
+            assert status == 200
+            assert body["store"]["entries"] == 0
+            assert body["jobs"] == []
+            assert set(body["cache"]) == {"hits", "misses", "lru_hits"}
+
+        _serve(service, scenario)
+
+
+class TestResultLookup:
+    def test_missing_params_are_400(self, tmp_path):
+        async def scenario(port):
+            status, body = await _request(port, "GET", "/api/result?model=N")
+            assert status == 400 and "app" in body["error"]
+
+        _serve(_service(tmp_path), scenario)
+
+    def test_cold_lookup_is_404_and_never_simulates(self, tmp_path):
+        service = _service(tmp_path)
+
+        async def scenario(port):
+            status, body = await _request(
+                port, "GET", "/api/result?model=N&app=swim&length=1200"
+            )
+            assert status == 404 and "POST /api/jobs" in body["error"]
+
+        _serve(service, scenario)
+        assert service.store.writes == 0  # a GET never computes
+
+    def test_warm_lookup_answers_with_metrics_and_lru(self, tmp_path):
+        service = _service(tmp_path, lru=8)
+        apps = _warm_store(service)
+        app = apps[0].name
+
+        async def scenario(port):
+            path = f"/api/result?model=N&app={app}&length=1200"
+            status, first = await _request(port, "GET", path)
+            assert status == 200
+            assert first["model"] == "N" and first["app"] == app
+            assert first["metrics"]["ipc"] > 0
+            assert first["metrics"]["energy"] > 0
+            status, second = await _request(port, "GET", path)
+            assert status == 200 and second["lru"] is True
+
+        _serve(service, scenario)
+
+    def test_unknown_names_are_400(self, tmp_path):
+        service = _service(tmp_path)
+        with pytest.raises(ServiceError) as err:
+            service.lookup("NOPE", "swim", None, None)
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            service.lookup("N", "nope", None, None)
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            service.lookup("N", "swim", "zero", None)
+        assert err.value.status == 400
+        service.close()
+
+
+class TestJobs:
+    def test_bad_specs_are_rejected_at_submit(self, tmp_path):
+        async def scenario(port):
+            for spec in (
+                ["not", "an", "object"],
+                {"kind": "nope"},
+                {"kind": "figure", "figure": "fig9_9"},
+                {"kind": "sweep", "models": ["NOPE"]},
+                {"kind": "sweep", "apps": "several"},
+                {"kind": "sweep", "length": 0},
+            ):
+                status, body = await _request(port, "POST", "/api/jobs", spec)
+                assert status == 400 and "error" in body
+
+        _serve(_service(tmp_path), scenario)
+
+    def test_unknown_job_is_404(self, tmp_path):
+        async def scenario(port):
+            status, body = await _request(port, "GET", "/api/jobs/job-99")
+            assert status == 404
+
+        _serve(_service(tmp_path), scenario)
+
+    def test_sweep_job_streams_progress_and_warms_the_store(self, tmp_path):
+        service = _service(tmp_path)
+
+        async def scenario(port):
+            spec = {"kind": "sweep", "models": ["N"], "apps": ["swim"],
+                    "length": 1200}
+            status, submitted = await _request(
+                port, "POST", "/api/jobs", spec
+            )
+            assert status == 202 and submitted["state"] in \
+                ("queued", "running", "done")
+            job_id = submitted["id"]
+            status, events = await _stream(
+                port, f"/api/jobs/{job_id}/events"
+            )
+            assert status == 200
+            assert events[0] == {"event": "state", "state": "running"}
+            done = events[-1]
+            assert done["event"] == "done"
+            assert done["result"]["simulated"] == 1
+            assert done["result"]["rows"][0]["model"] == "N"
+            progress = [e for e in events if e["event"] == "progress"]
+            assert progress and progress[-1]["done"] == 1
+
+            # The same job again: fully warm, zero simulations.
+            status, again = await _request(port, "POST", "/api/jobs", spec)
+            status, events = await _stream(
+                port, f"/api/jobs/{again['id']}/events"
+            )
+            final = events[-1]["result"]
+            assert final["simulated"] == 0 and final["from_store"] == 1
+
+            status, listed = await _request(port, "GET", "/api/jobs")
+            assert [job["state"] for job in listed] == ["done", "done"]
+
+        _serve(service, scenario)
+
+    def test_failed_job_reports_the_error(self, tmp_path):
+        service = _service(tmp_path)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic job failure")
+
+        service._execute_sweep = boom
+
+        async def scenario(port):
+            _, submitted = await _request(
+                port, "POST", "/api/jobs", {"kind": "sweep", "models": ["N"]}
+            )
+            _, events = await _stream(
+                port, f"/api/jobs/{submitted['id']}/events"
+            )
+            assert events[-1]["event"] == "failed"
+            assert "synthetic job failure" in events[-1]["error"]
+
+        _serve(service, scenario)
+
+
+class TestWarmPath:
+    def test_warm_figure_zero_simulations_no_worker_pool(
+        self, tmp_path, monkeypatch
+    ):
+        # The acceptance criterion: with the store pre-warmed by shard
+        # hosts, a figure request must not simulate anything — and must
+        # never even instantiate a process pool.  The monkeypatch turns
+        # any pool construction into a hard failure.
+        service = _service(tmp_path, lru=32)
+        _warm_store(service, length=1200, max_apps=1)
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("worker pool spawned on the warm path")
+
+        monkeypatch.setattr(engine_mod, "ProcessPoolExecutor", no_pool)
+
+        async def scenario(port):
+            status, body = await _request(
+                port, "GET", "/api/figure/headline?apps=1&length=1200"
+            )
+            assert status == 200
+            assert body["simulated"] == 0
+            assert body["from_store"] == len(MODELS)
+            assert "headline" in body["figure"]
+            assert body["text"]
+
+        _serve(service, scenario)
+
+    def test_unknown_figure_is_404(self, tmp_path):
+        async def scenario(port):
+            status, body = await _request(port, "GET", "/api/figure/fig9_9")
+            assert status == 404 and "known" in body["error"]
+
+        _serve(_service(tmp_path), scenario)
